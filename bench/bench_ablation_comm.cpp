@@ -1,0 +1,42 @@
+// Ablation — asynchronous vs master-coordinated halo exchange across rank
+// counts (the design choice §4.4 credits for beating Physis, and the
+// pluggability argument of the communication library).
+
+#include <cstdio>
+
+#include "comm/decompose.hpp"
+#include "comm/network_model.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "workload/report.hpp"
+
+int main() {
+  using namespace msc;
+  workload::print_banner(
+      "Ablation — asynchronous vs centralized halo exchange",
+      "context for §4.4/§5.5: the async library's advantage grows with "
+      "rank count; a centralized (Physis-style) runtime serializes");
+
+  const auto net = comm::tianhe3_network();
+  TextTable t({"ranks (2-D grid)", "async / step", "centralized / step", "centralized penalty"});
+  for (int side : {2, 4, 8, 16, 32}) {
+    comm::CartDecomp dec({side, side}, {8192, 8192});
+    const auto async = comm::halo_exchange_cost(net, dec, 2, 8, /*centralized=*/false);
+    const auto central = comm::halo_exchange_cost(net, dec, 2, 8, /*centralized=*/true);
+    t.add_row({strprintf("%d (%dx%d)", side * side, side, side),
+               workload::fmt_seconds(async.seconds), workload::fmt_seconds(central.seconds),
+               workload::fmt_ratio(central.seconds / async.seconds)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("halo width sensitivity (16x16 ranks): bytes/rank scale linearly\n");
+  TextTable t2({"stencil radius", "bytes per rank", "async / step"});
+  comm::CartDecomp dec({16, 16}, {8192, 8192});
+  for (std::int64_t r : {1, 2, 4, 6}) {
+    const auto cc = comm::halo_exchange_cost(net, dec, r, 8);
+    t2.add_row({std::to_string(r), workload::fmt_bytes(static_cast<double>(cc.bytes_per_rank)),
+                workload::fmt_seconds(cc.seconds)});
+  }
+  std::printf("%s\n", t2.render().c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Ablation — DMA coalescing (paper §2.3: the Gordon-Bell earthquake code's
+// "coalesced DMA access" is one of the techniques MSC's generated code
+// relies on).  The same tile volume is transferred with different
+// contiguous chunk sizes through the DMA engine model; sub-256 B chunks
+// pay per-transaction latency and lose stream efficiency.
+
+#include <cstdio>
+#include <vector>
+
+#include "sunway/dma.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "workload/report.hpp"
+
+int main() {
+  using namespace msc;
+  workload::print_banner(
+      "Ablation — DMA chunk size (coalescing) on the Sunway model",
+      "same 2 MiB tile volume; element-wise transfers are ~100x slower "
+      "than row-wise, motivating the unit-stride-innermost reorder rule");
+
+  const std::int64_t total = 2 * 1024 * 1024;
+  std::vector<std::byte> src(static_cast<std::size_t>(total)), dst(src.size());
+
+  TextTable t({"chunk", "transactions", "time", "effective bandwidth"});
+  for (std::int64_t chunk : {8L, 64L, 256L, 512L, 2048L, 16384L}) {
+    sunway::DmaEngine dma;
+    dma.get(dst.data(), src.data(), total, chunk);
+    const auto& s = dma.stats();
+    t.add_row({workload::fmt_bytes(static_cast<double>(chunk)), std::to_string(s.transactions),
+               workload::fmt_seconds(s.seconds),
+               strprintf("%.2f GB/s", static_cast<double>(total) / s.seconds / 1e9)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("a (2,8,64) fp64 tile moves 512-B rows — inside the coalesced regime; an\n"
+              "element-wise gather (8 B) is the OpenACC baseline's failure mode.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation — inspector-executor scheduling under load imbalance (paper
+// §5.6: WRF/POP2 subgrids "may require diverging compilation
+// optimizations").  Synthetic column imbalance skews a fraction of ranks;
+// the inspector derives per-shape schedules, the baseline reuses one
+// uniform schedule.  With no imbalance the two coincide; as skew grows
+// the inspected plan wins while its inspection cost stays amortized
+// (schedule cache keyed by shape).
+
+#include <cstdio>
+
+#include "machine/cost_model.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "tune/inspector.hpp"
+#include "workload/report.hpp"
+#include "workload/stencils.hpp"
+
+int main() {
+  using namespace msc;
+  workload::print_banner(
+      "Ablation — inspector-executor under WRF-style load imbalance (§5.6)",
+      "per-subgrid schedules beat one uniform schedule once subgrids diverge");
+
+  const auto& info = workload::benchmark("3d13pt_star");
+  auto prog = workload::make_program(info, ir::DataType::f64, {128, 128, 128});
+  const auto& st = prog->stencil();
+  const auto m = machine::sunway_cg();
+  const auto impl = machine::profile_msc_sunway();
+
+  TextTable t({"skew", "skewed ranks", "uniform step", "inspected step", "gain",
+               "shapes inspected", "inspect cost"});
+  for (double skew : {1.0, 1.5, 2.0, 3.0, 4.0}) {
+    const auto subs = tune::synthetic_imbalance({128, 128, 128}, 3, /*ranks=*/64, skew,
+                                                /*fraction=*/0.25, /*seed=*/9);
+    const double uniform = tune::uniform_step_time(st, m, impl, subs, true);
+    const auto plan = tune::plan(st, m, impl, subs, true);
+    const double inspected = tune::step_time(plan, subs);
+    t.add_row({strprintf("%.1fx", skew), strprintf("%d", skew == 1.0 ? 0 : 16),
+               workload::fmt_seconds(uniform), workload::fmt_seconds(inspected),
+               workload::fmt_ratio(uniform / inspected),
+               std::to_string(plan.distinct_shapes_inspected),
+               workload::fmt_seconds(plan.inspection_seconds)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("note: the inspector never loses — equal shapes hit the schedule cache and\n"
+              "reproduce the uniform plan; diverging shapes get their own tile selection.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation — compute/DMA overlap (double-buffered SPM ping-pong) in the
+// Sunway pipeline, the streaming/pipelining §5.6 calls for: overlapping
+// data access and computation within the limited local memory.  The same
+// functional simulation runs with and without the overlap.
+
+#include <cstdio>
+
+#include "exec/grid.hpp"
+#include "machine/machine.hpp"
+#include "sunway/cg_sim.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "workload/report.hpp"
+#include "workload/stencils.hpp"
+
+int main() {
+  using namespace msc;
+  workload::print_banner(
+      "Ablation — compute/DMA overlap in the Sunway SPM pipeline (§5.6)",
+      "double-buffered staging hides the smaller of compute and DMA time");
+
+  TextTable t({"benchmark", "compute/step", "DMA/step", "blocking", "overlapped", "gain"});
+  for (const auto* name : {"2d9pt_star", "2d121pt_box", "3d7pt_star", "3d13pt_star"}) {
+    const auto& info = workload::benchmark(name);
+    const auto grid = info.ndim == 2 ? std::array<std::int64_t, 3>{64, 64, 0}
+                                     : std::array<std::int64_t, 3>{32, 32, 32};
+    auto run_mode = [&](bool overlap) {
+      auto prog = workload::make_program(info, ir::DataType::f64, grid);
+      workload::apply_msc_schedule(*prog, info, "sunway",
+                                   info.ndim == 2 ? std::array<std::int64_t, 3>{16, 32, 0}
+                                                  : std::array<std::int64_t, 3>{2, 8, 16});
+      exec::GridStorage<double> g(prog->stencil().state());
+      for (int s = 0; s < g.slots(); ++s) g.fill_random(s, 7);
+      return sunway::run_cg_sim(prog->stencil(), prog->primary_schedule(), g, 1, 4,
+                                exec::Boundary::ZeroHalo, {}, machine::sunway_cg(), overlap);
+    };
+    const auto blocking = run_mode(false);
+    const auto overlapped = run_mode(true);
+    t.add_row({name, workload::fmt_seconds(overlapped.compute_seconds / 4),
+               workload::fmt_seconds(overlapped.dma_seconds / 4),
+               workload::fmt_seconds(blocking.seconds / 4),
+               workload::fmt_seconds(overlapped.seconds / 4),
+               workload::fmt_ratio(blocking.seconds / overlapped.seconds)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("the gain approaches 2x when compute and DMA are balanced and vanishes when\n"
+              "one side dominates — which is why the memory-bound low-order stencils see\n"
+              "modest overlap benefit while compute-heavier kernels profit more.\n");
+  return 0;
+}

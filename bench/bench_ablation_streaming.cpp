@@ -1,0 +1,51 @@
+// Ablation — 2.5-D streaming vs 3-D tile staging on the Sunway functional
+// simulator (§2.3's atmospheric-modeling technique): the rolling plane
+// window loads every input plane exactly once, eliminating the k-halo
+// re-staging thin 3-D tiles pay, and shrinks the SPM footprint.
+
+#include <cstdio>
+
+#include "exec/grid.hpp"
+#include "machine/machine.hpp"
+#include "sunway/streaming.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "workload/report.hpp"
+#include "workload/stencils.hpp"
+
+int main() {
+  using namespace msc;
+  workload::print_banner(
+      "Ablation — 2.5-D streaming vs 3-D tile staging (Sunway, functional)",
+      "rolling plane windows remove k-halo re-staging; gains grow with "
+      "stencil radius");
+
+  TextTable t({"benchmark", "k-tile staging DMA", "streaming DMA", "DMA saved",
+               "staging reuse", "streaming reuse", "stream SPM use"});
+  for (const auto* name : {"3d7pt_star", "3d13pt_star", "3d25pt_star"}) {
+    const auto& info = workload::benchmark(name);
+    auto prog = workload::make_program(info, ir::DataType::f64, {32, 32, 32});
+    // Thin k-tiles: the regime where full-box staging hurts most and the
+    // plane-tile shapes of both pipelines coincide.
+    workload::apply_msc_schedule(*prog, info, "sunway", {1, 8, 16});
+
+    exec::GridStorage<double> a(prog->stencil().state()), b(prog->stencil().state());
+    for (int s = 0; s < a.slots(); ++s) {
+      a.fill_random(s, 3);
+      b.fill_random(s, 3);
+    }
+    const auto tiled = sunway::run_cg_sim(prog->stencil(), prog->primary_schedule(), a, 1, 2,
+                                          exec::Boundary::ZeroHalo, {}, machine::sunway_cg());
+    const auto streamed =
+        sunway::run_cg_sim_streamed(prog->stencil(), prog->primary_schedule(), b, 1, 2,
+                                    exec::Boundary::ZeroHalo, {}, machine::sunway_cg());
+    t.add_row({name, workload::fmt_bytes(static_cast<double>(tiled.dma.bytes)),
+               workload::fmt_bytes(static_cast<double>(streamed.dma.bytes)),
+               workload::fmt_ratio(static_cast<double>(tiled.dma.bytes) /
+                                   static_cast<double>(streamed.dma.bytes)),
+               strprintf("%.1f", tiled.reuse_factor), strprintf("%.1f", streamed.reuse_factor),
+               strprintf("%.0f%%", streamed.spm_utilization * 100.0)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation — tile-shape sweep on the Sunway CG for 3d7pt_star.
+//
+// Shows why the paper's Table-5 tile (2,8,64) is a good choice: small
+// tiles pay halo-inflated DMA traffic and per-transaction latency; tiles
+// beyond the SPM budget are infeasible (the row is marked instead of
+// silently skipped).  Both the analytic cost model (paper grid 256^3) and
+// the functional simulator (real staged execution on 48^3) report, so the
+// two layers can be cross-checked.
+
+#include <cstdio>
+#include <vector>
+
+#include "exec/grid.hpp"
+#include "machine/cost_model.hpp"
+#include "sunway/cg_sim.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "workload/report.hpp"
+#include "workload/stencils.hpp"
+
+int main() {
+  using namespace msc;
+  workload::print_banner(
+      "Ablation — Sunway tile shape for 3d7pt_star",
+      "context for Table 5: the published (2,8,64) tile balances halo "
+      "overhead, DMA coalescing and the 64 KB SPM budget");
+
+  const auto& info = workload::benchmark("3d7pt_star");
+  const std::vector<std::array<std::int64_t, 3>> tiles = {
+      {1, 1, 32}, {1, 4, 64}, {2, 8, 64},  {2, 8, 32},
+      {4, 8, 64}, {8, 8, 64}, {4, 16, 64}, {8, 16, 64},
+  };
+
+  TextTable t({"tile", "SPM use", "model time/step (256^3)", "model traffic", "sim time/step",
+               "sim reuse", "sim DMA txns"});
+  for (const auto& tile : tiles) {
+    auto prog = workload::make_program(info, ir::DataType::f64);
+    workload::apply_msc_schedule(*prog, info, "sunway", tile);
+    const double spm =
+        static_cast<double>(prog->primary_schedule().spm_bytes()) / (64.0 * 1024.0);
+    const std::string tile_s = strprintf("(%ld,%ld,%ld)", static_cast<long>(tile[0]),
+                                         static_cast<long>(tile[1]), static_cast<long>(tile[2]));
+    if (spm > 1.0) {
+      t.add_row({tile_s, strprintf("%.0f%%", spm * 100), "infeasible (SPM)", "-", "-", "-", "-"});
+      continue;
+    }
+    const auto kc = machine::estimate(machine::sunway_cg(), prog->stencil(),
+                                      prog->primary_schedule(), machine::profile_msc_sunway(),
+                                      1, true);
+
+    // Functional simulation on a smaller grid (real staged execution).
+    auto sim_prog = workload::make_program(info, ir::DataType::f64, {48, 48, 48});
+    workload::apply_msc_schedule(*sim_prog, info, "sunway", tile);
+    exec::GridStorage<double> g(sim_prog->stencil().state());
+    for (int s = 0; s < g.slots(); ++s) g.fill_random(s, 5);
+    const auto sim = sunway::run_cg_sim(sim_prog->stencil(), sim_prog->primary_schedule(), g, 1,
+                                        2, exec::Boundary::ZeroHalo, {}, machine::sunway_cg());
+
+    t.add_row({tile_s, strprintf("%.0f%%", spm * 100),
+               workload::fmt_seconds(kc.seconds_per_step),
+               workload::fmt_bytes(static_cast<double>(kc.traffic_bytes)),
+               workload::fmt_seconds(sim.seconds / 2.0), strprintf("%.1f", sim.reuse_factor),
+               std::to_string(sim.dma.transactions / 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

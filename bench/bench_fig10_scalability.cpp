@@ -1,0 +1,127 @@
+// Figure 10 — strong (a) and weak (b) scalability of MSC-generated code on
+// Sunway TaihuLight (128 -> 1024 CGs) and the prototype Tianhe-3
+// (32 -> 256 processors), per the Table-7 configurations.
+//
+// Paper results: near-ideal scaling everywhere except 2-D stencils under
+// strong scaling on Tianhe-3 (halo-exchange congestion); max-scale average
+// strong-scaling speedups 6.74x / 5.85x and weak 7.85x / 7.38x over the
+// 8x core range.
+
+#include <cstdio>
+#include <vector>
+
+#include "comm/decompose.hpp"
+#include "comm/network_model.hpp"
+#include "machine/cost_model.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "workload/report.hpp"
+#include "workload/stencils.hpp"
+
+namespace {
+
+using namespace msc;
+
+struct Platform {
+  const char* name;
+  machine::MachineModel m;
+  machine::ImplProfile impl;
+  comm::NetworkModel net;
+  const char* target;
+  int cores_per_rank;
+  std::vector<std::vector<int>> grids2d;  // Table 7 MPI grids, 4 scales
+  std::vector<std::vector<int>> grids3d;
+};
+
+Platform sunway_platform() {
+  return {"Sunway TaihuLight",
+          machine::sunway_cg(),
+          machine::profile_msc_sunway(),
+          comm::sunway_network(),
+          "sunway",
+          65,
+          {{16, 8}, {16, 16}, {32, 16}, {32, 32}},
+          {{8, 4, 4}, {8, 8, 4}, {8, 8, 8}, {16, 8, 8}}};
+}
+
+Platform tianhe3_platform() {
+  return {"prototype Tianhe-3",
+          machine::matrix_sn(),
+          machine::profile_msc_matrix(),
+          comm::tianhe3_network(),
+          "matrix",
+          32,
+          {{8, 4}, {8, 8}, {16, 8}, {16, 16}},
+          {{4, 4, 2}, {4, 4, 4}, {4, 8, 4}, {8, 8, 4}}};
+}
+
+/// Aggregate GFlop/s of one configuration.
+double run_gflops(const Platform& plat, const workload::BenchmarkInfo& info,
+                  const std::vector<int>& mpi, bool weak) {
+  // Weak: every rank keeps the paper sub-grid (4096^2 / 256^3); strong: the
+  // global domain of the *first* scale is split over this scale's ranks.
+  std::vector<std::int64_t> global;
+  const auto& first = (info.ndim == 2 ? (weak ? mpi : plat.grids2d.front())
+                                      : (weak ? mpi : plat.grids3d.front()));
+  for (int d = 0; d < info.ndim; ++d) {
+    const std::int64_t base = info.ndim == 2 ? 4096 : 256;
+    global.push_back(base * first[static_cast<std::size_t>(d)]);
+  }
+  comm::CartDecomp dec(mpi, global);
+  std::array<std::int64_t, 3> local{1, 1, 1};
+  for (int d = 0; d < info.ndim; ++d)
+    local[static_cast<std::size_t>(d)] = dec.local_extent(0, d);
+
+  auto prog = workload::make_program(info, ir::DataType::f64);
+  workload::apply_msc_schedule(*prog, info, plat.target);
+  const auto kc = machine::estimate_subgrid(plat.m, prog->stencil(), prog->primary_schedule(),
+                                            plat.impl, local, 1, true);
+  const auto cc = comm::halo_exchange_cost(plat.net, dec, info.radius, 8);
+  const double step = kc.seconds_per_step + cc.seconds;
+  return static_cast<double>(kc.flops_per_step) * dec.size() / step / 1e9;
+}
+
+void scaling_table(const Platform& plat, bool weak) {
+  std::printf("-- %s, %s scaling --\n", plat.name, weak ? "weak" : "strong");
+  std::vector<std::string> header = {"Benchmark"};
+  for (const auto& mpi : plat.grids3d) {
+    int ranks = 1;
+    for (int d : mpi) ranks *= d;
+    header.push_back(strprintf("%d cores", ranks * plat.cores_per_rank));
+  }
+  header.push_back("speedup@max");
+  TextTable t(header);
+
+  std::vector<double> max_speedups;
+  for (const auto& info : workload::all_benchmarks()) {
+    const auto& grids = info.ndim == 2 ? plat.grids2d : plat.grids3d;
+    std::vector<std::string> row = {info.name};
+    double first = 0.0, last = 0.0;
+    for (const auto& mpi : grids) {
+      const double gf = run_gflops(plat, info, mpi, weak);
+      if (first == 0.0) first = gf;
+      last = gf;
+      row.push_back(workload::fmt_gflops(gf));
+    }
+    row.push_back(workload::fmt_ratio(last / first));
+    max_speedups.push_back(last / first);
+    t.add_row(row);
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("average speedup at max scale: %s (ideal 8.00x)\n\n",
+              workload::fmt_ratio(workload::geomean(max_speedups)).c_str());
+}
+
+}  // namespace
+
+int main() {
+  workload::print_banner(
+      "Figure 10 — strong (a) / weak (b) scalability (GFlop/s vs cores)",
+      "near-ideal except 2-D strong scaling on Tianhe-3; strong avg "
+      "6.74x|5.85x, weak avg 7.85x|7.38x over an 8x core range");
+  for (const auto& plat : {sunway_platform(), tianhe3_platform()}) {
+    scaling_table(plat, /*weak=*/false);
+    scaling_table(plat, /*weak=*/true);
+  }
+  return 0;
+}

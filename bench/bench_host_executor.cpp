@@ -1,0 +1,87 @@
+// Google-benchmark microbenches of the *real* execution paths in this
+// repository (wall-clock on the build host, not simulated time): the
+// reference executor, the scheduled executor, the Sunway functional
+// simulator, and the in-process halo exchange.  These guard the library's
+// own performance rather than reproducing a paper figure.
+
+#include <benchmark/benchmark.h>
+
+#include "comm/halo_exchange.hpp"
+#include "exec/executor.hpp"
+#include "sunway/cg_sim.hpp"
+#include "workload/stencils.hpp"
+
+namespace {
+
+using namespace msc;
+
+std::unique_ptr<dsl::Program> bench_program(const char* name,
+                                            std::array<std::int64_t, 3> grid,
+                                            std::array<std::int64_t, 3> tile) {
+  const auto& info = workload::benchmark(name);
+  auto prog = workload::make_program(info, ir::DataType::f64, grid);
+  workload::apply_msc_schedule(*prog, info, "sunway", tile);
+  return prog;
+}
+
+void BM_ReferenceExecutor3d7pt(benchmark::State& state) {
+  const auto n = state.range(0);
+  auto prog = bench_program("3d7pt_star", {n, n, n}, {4, 8, 16});
+  exec::GridStorage<double> g(prog->stencil().state());
+  for (int s = 0; s < g.slots(); ++s) g.fill_random(s, 1);
+  std::int64_t t = 1;
+  for (auto _ : state) {
+    exec::run_reference(prog->stencil(), g, t, t, exec::Boundary::ZeroHalo);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_ReferenceExecutor3d7pt)->Arg(32)->Arg(64);
+
+void BM_ScheduledExecutor3d7pt(benchmark::State& state) {
+  const auto n = state.range(0);
+  auto prog = bench_program("3d7pt_star", {n, n, n}, {4, 8, 16});
+  exec::GridStorage<double> g(prog->stencil().state());
+  for (int s = 0; s < g.slots(); ++s) g.fill_random(s, 1);
+  std::int64_t t = 1;
+  for (auto _ : state) {
+    exec::run_scheduled(prog->stencil(), prog->primary_schedule(), g, t, t,
+                        exec::Boundary::ZeroHalo);
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_ScheduledExecutor3d7pt)->Arg(32)->Arg(64);
+
+void BM_SunwayFunctionalSim(benchmark::State& state) {
+  const auto n = state.range(0);
+  auto prog = bench_program("3d7pt_star", {n, n, n}, {4, 8, 16});
+  exec::GridStorage<double> g(prog->stencil().state());
+  for (int s = 0; s < g.slots(); ++s) g.fill_random(s, 1);
+  std::int64_t t = 1;
+  for (auto _ : state) {
+    sunway::run_cg_sim(prog->stencil(), prog->primary_schedule(), g, t, t,
+                       exec::Boundary::ZeroHalo, {}, machine::sunway_cg());
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_SunwayFunctionalSim)->Arg(32);
+
+void BM_HaloExchange2x2(benchmark::State& state) {
+  const auto n = state.range(0);
+  auto tensor = ir::make_sp_tensor("B", ir::DataType::f64, {n, n}, 1, 1);
+  comm::CartDecomp dec({2, 2}, {2 * n, 2 * n});
+  for (auto _ : state) {
+    comm::SimWorld world(4);
+    world.run([&](comm::RankCtx& ctx) {
+      exec::GridStorage<double> g(tensor);
+      g.fill_random(0, static_cast<std::uint64_t>(ctx.rank()));
+      comm::exchange_halo(ctx, dec, g, 0);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * n * n);
+}
+BENCHMARK(BM_HaloExchange2x2)->Arg(64)->Arg(256);
+
+}  // namespace

@@ -1,0 +1,37 @@
+// Table 4 — benchmark characteristics.  Read/Write bytes and spatial shape
+// are derived from the DSL-built IR; the Ops column shows both our
+// distinct-coefficient formulation (points muls + points-1 adds) and the
+// figure the paper reports (which assumes coefficient factoring for some
+// kernels).
+
+#include <cstdio>
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "workload/report.hpp"
+#include "workload/stencils.hpp"
+
+int main() {
+  using namespace msc;
+  workload::print_banner("Table 4 — stencil benchmarks used in the evaluation",
+                         "8 star/box stencils, 2-D/3-D, all with 2 time dependencies");
+
+  TextTable t({"Benchmark", "Read(B)", "Write(B)", "Ops(+-x) derived", "Ops paper",
+               "Time Dep.", "radius", "points"});
+  for (const auto& info : workload::all_benchmarks()) {
+    const auto grid = info.ndim == 2 ? std::array<std::int64_t, 3>{64, 64, 0}
+                                     : std::array<std::int64_t, 3>{16, 16, 16};
+    auto prog = workload::make_program(info, ir::DataType::f64, grid);
+    const auto& st = prog->stencil();
+    const auto& stats = st.terms().front().kernel->stats();
+    t.add_row({info.name, std::to_string(stats.bytes_read), std::to_string(stats.bytes_written),
+               std::to_string(stats.ops.plus_minus_times()), std::to_string(info.paper_ops),
+               std::to_string(st.time_dependencies()), std::to_string(stats.max_radius),
+               std::to_string(stats.points_read)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Read/Write bytes match the paper exactly (points x 8 B).  The paper's\n"
+              "Ops column uses coefficient-factored counts for some kernels; our DSL\n"
+              "formulation keeps distinct coefficients (2p-1 ops for p points).\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Weather-model advection — the paper's §5.6 outlook made real: kernels
+// from WRF's advect_em / POP2's baroclinic modules "commonly require more
+// than one input grid, along with their coefficient grids".
+//
+// This example advects a scalar tracer q through a spatially varying wind
+// field (u, v) with first-order upwinding rewritten as a flux-form linear
+// combination (usable without branches by taking u >= 0 in this demo's
+// rotational field quadrant):
+//
+//   q[t] = q[t-1] - dt/h * ( u * (q - q_W) + v * (q - q_S) )[t-1]
+//
+// u and v are *auxiliary grids*: read-only coefficient fields attached to
+// the stencil with Program::set_aux.  The multi-grid path runs on the
+// reference executor (scheduled/codegen paths require single-grid affine
+// stencils — documented in DESIGN.md).
+//
+//   $ ./advection_weather
+
+#include <cmath>
+#include <cstdio>
+
+#include "dsl/program.hpp"
+#include "workload/report.hpp"
+
+int main() {
+  using namespace msc;
+  using dsl::ExprH;
+
+  const std::int64_t N = 96;
+  const double cfl = 0.4;
+
+  dsl::Program prog("advect");
+  dsl::Var j = prog.var("j"), i = prog.var("i");
+  dsl::GridRef Q = prog.def_tensor_2d_timewin("Q", 1, 1, ir::DataType::f64, N, N);
+  dsl::GridRef U = prog.def_tensor_2d("U", 1, ir::DataType::f64, N, N);  // wind (i dir)
+  dsl::GridRef V = prog.def_tensor_2d("V", 1, ir::DataType::f64, N, N);  // wind (j dir)
+
+  // Upwind advection with grid-valued coefficients: note U(j,i) and V(j,i)
+  // multiply *stencil* accesses of Q — a bilinear term no constant-
+  // coefficient DSL can express.
+  dsl::KernelHandle& K = prog.kernel(
+      "upwind", {j, i},
+      Q(j, i) - ExprH(cfl) * (U(j, i) * (Q(j, i) - Q(j, i - 1)) +
+                              V(j, i) * (Q(j, i) - Q(j - 1, i))));
+  (void)K;
+  prog.def_stencil("advect", Q, K[prog.t() - 1]);
+
+  // Wind: uniform diagonal flow, slightly faster near the domain center
+  // (positive components keep the fixed upwind direction valid).
+  prog.set_aux(U, [N](std::array<std::int64_t, 3> c) {
+    const double r = std::hypot(static_cast<double>(c[0] - N / 2),
+                                static_cast<double>(c[1] - N / 2));
+    return 0.6 + 0.3 * std::exp(-r * r / (N * 4.0));
+  });
+  prog.set_aux(V, [N](std::array<std::int64_t, 3> c) {
+    const double r = std::hypot(static_cast<double>(c[0] - N / 2),
+                                static_cast<double>(c[1] - N / 2));
+    return 0.4 + 0.2 * std::exp(-r * r / (N * 4.0));
+  });
+
+  // Tracer blob in the lower-left quadrant.
+  const double bx = N / 4.0;
+  prog.set_initial([bx](std::int64_t, std::array<std::int64_t, 3> c) {
+    const double d2 = (c[0] - bx) * (c[0] - bx) + (c[1] - bx) * (c[1] - bx);
+    return std::exp(-d2 / 18.0);
+  });
+
+  std::printf("step | blob centroid (j, i) | total tracer | peak\n");
+  double prev_cj = bx, prev_ci = bx;
+  bool moves_downwind = true;
+  for (int t_end = 10; t_end <= 60; t_end += 10) {
+    prog.run(t_end - 9, t_end);
+    double total = 0.0, peak = 0.0, cj = 0.0, ci = 0.0;
+    for (std::int64_t a = 0; a < N; ++a)
+      for (std::int64_t b = 0; b < N; ++b) {
+        const double v = prog.value_at(t_end, {a, b, 0});
+        total += v;
+        cj += v * static_cast<double>(a);
+        ci += v * static_cast<double>(b);
+        peak = std::max(peak, v);
+      }
+    cj /= total;
+    ci /= total;
+    std::printf("%4d |     (%5.1f, %5.1f)   | %10.4f | %.3f\n", t_end, cj, ci, total, peak);
+    // The wind is positive in both components: the centroid must drift
+    // toward increasing j and i.
+    if (cj < prev_cj - 1e-9 || ci < prev_ci - 1e-9) moves_downwind = false;
+    prev_cj = cj;
+    prev_ci = ci;
+  }
+  std::printf("\ntracer drifts downwind (centroid monotone): %s\n",
+              moves_downwind ? "yes" : "NO");
+  std::printf("upwind scheme is diffusive but positivity-preserving: peak decays, no negative"
+              " overshoot expected\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Auto-tuning walkthrough (paper §4.4 / §5.4): fit the linear-regression
+// performance model from sampled configurations, search tile sizes and the
+// MPI grid shape with simulated annealing, and report the improvement over
+// the untuned configuration.
+//
+//   $ ./autotune_demo
+
+#include <cstdio>
+
+#include "comm/network_model.hpp"
+#include "machine/cost_model.hpp"
+#include "tune/tuner.hpp"
+#include "workload/report.hpp"
+#include "workload/stencils.hpp"
+
+int main() {
+  using namespace msc;
+
+  const auto& info = workload::benchmark("3d13pt_star");
+  auto prog = workload::make_program(info, ir::DataType::f64, {1024, 256, 256});
+
+  tune::TuneConfig cfg;
+  cfg.processes = 32;
+  cfg.global = {1024, 256, 256};
+  cfg.timesteps = 100;
+  cfg.train_samples = 48;
+  cfg.sa_iterations = 8000;
+  cfg.seed = 2024;
+
+  std::printf("tuning %s on %lld Sunway CGs, global domain %lldx%lldx%lld...\n",
+              info.name.c_str(), static_cast<long long>(cfg.processes),
+              static_cast<long long>(cfg.global[0]), static_cast<long long>(cfg.global[1]),
+              static_cast<long long>(cfg.global[2]));
+
+  const auto result = tune::tune(prog->stencil(), machine::sunway_cg(),
+                                 machine::profile_msc_sunway(), comm::sunway_network(), cfg);
+
+  std::printf("\nperformance model fit: R^2 = %.4f over %lld sampled configurations\n",
+              result.model_r2, static_cast<long long>(cfg.train_samples));
+  std::printf("annealing: %lld iterations, converged at %lld\n",
+              static_cast<long long>(cfg.sa_iterations),
+              static_cast<long long>(result.converged_at));
+
+  auto show = [](const char* label, const tune::TuneParams& p, double seconds) {
+    std::printf("%s: mpi=(", label);
+    for (std::size_t d = 0; d < p.mpi_dims.size(); ++d)
+      std::printf("%s%d", d ? "," : "", p.mpi_dims[d]);
+    std::printf(") tile=(%lld,%lld,%lld) -> %s per 100 steps\n",
+                static_cast<long long>(p.tile[0]), static_cast<long long>(p.tile[1]),
+                static_cast<long long>(p.tile[2]), workload::fmt_seconds(seconds).c_str());
+  };
+  show("untuned", result.initial, result.initial_seconds);
+  show("tuned  ", result.best, result.best_seconds);
+  std::printf("\nimprovement: %s  (paper reports 3.28x for its Fig. 11 case)\n",
+              workload::fmt_ratio(result.speedup()).c_str());
+
+  std::printf("\nbest-so-far trace (plot this for the paper's Fig. 11 shape):\n");
+  for (const auto& p : result.trace)
+    std::printf("  iter %7lld: %s\n", static_cast<long long>(p.iteration),
+                workload::fmt_seconds(p.objective).c_str());
+  return 0;
+}

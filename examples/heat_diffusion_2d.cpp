@@ -1,0 +1,75 @@
+// 2-D heat diffusion — a physically meaningful single-time-dependency
+// stencil (the FDM discretization of du/dt = alpha * laplace(u)).
+//
+// A hot square is placed in the center of a cold plate with Dirichlet-zero
+// edges; the explicit Euler update
+//
+//   u[t] = u[t-1] + r * (u_N + u_S + u_E + u_W - 4 u)      (r = alpha dt/h^2)
+//
+// runs for a few hundred steps.  The example demonstrates set_initial,
+// long time loops through the sliding window, physical invariants (maximum
+// principle, monotone heat loss through the boundary) and value probing.
+//
+//   $ ./heat_diffusion_2d
+
+#include <cstdio>
+
+#include "dsl/program.hpp"
+#include "workload/report.hpp"
+
+int main() {
+  using namespace msc;
+  using dsl::ExprH;
+
+  const std::int64_t N = 128;
+  const double r = 0.2;  // stability requires r <= 0.25
+
+  dsl::Program prog("heat2d");
+  dsl::Var j = prog.var("j"), i = prog.var("i");
+  dsl::GridRef U = prog.def_tensor_2d_timewin("U", /*time_deps=*/1, /*halo=*/1,
+                                              ir::DataType::f64, N, N);
+
+  dsl::KernelHandle& K = prog.kernel(
+      "heat", {j, i},
+      ExprH(1.0 - 4.0 * r) * U(j, i) +
+          ExprH(r) * (U(j, i - 1) + U(j, i + 1) + U(j - 1, i) + U(j + 1, i)));
+  K.tile({16, 32})
+      .reorder({"j_outer", "i_outer", "j_inner", "i_inner"})
+      .parallel("j_outer", 4);
+  prog.def_stencil("step", U, K[prog.t() - 1]);
+
+  // Hot 20x20 square (1000 K) centered on a 300 K plate.
+  prog.set_initial([N](std::int64_t, std::array<std::int64_t, 3> c) {
+    const bool hot = std::abs(c[0] - N / 2) < 10 && std::abs(c[1] - N / 2) < 10;
+    return hot ? 1000.0 : 300.0;
+  });
+
+  std::printf("step | center temp | corner temp | plate total\n");
+  double prev_total = 0.0;
+  bool monotone = true, max_principle = true;
+  for (int chunk = 0; chunk < 6; ++chunk) {
+    const std::int64_t t_begin = chunk * 50 + 1, t_end = t_begin + 49;
+    prog.run(t_begin, t_end);
+
+    double total = 0.0, peak = 0.0;
+    for (std::int64_t a = 0; a < N; ++a)
+      for (std::int64_t b = 0; b < N; ++b) {
+        const double v = prog.value_at(t_end, {a, b, 0});
+        total += v;
+        peak = std::max(peak, v);
+      }
+    std::printf("%4lld | %11.1f | %11.1f | %11.0f\n", static_cast<long long>(t_end),
+                prog.value_at(t_end, {N / 2, N / 2, 0}), prog.value_at(t_end, {1, 1, 0}),
+                total);
+
+    // Physical invariants of the explicit heat equation with cold edges.
+    if (peak > 1000.0 + 1e-9) max_principle = false;
+    if (prev_total != 0.0 && total > prev_total + 1e-6) monotone = false;
+    prev_total = total;
+  }
+  std::printf("\nmaximum principle held: %s\n", max_principle ? "yes" : "NO");
+  std::printf("heat decays monotonically (Dirichlet edges): %s\n", monotone ? "yes" : "NO");
+  std::printf("validation vs serial reference: max rel err %.3g\n",
+              prog.relative_error_vs_reference(1, 20));
+  return 0;
+}

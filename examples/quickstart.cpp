@@ -1,0 +1,80 @@
+// Quickstart — the paper's Listing 1 end to end.
+//
+// Builds the 3d7pt stencil with two time dependencies through the MSC DSL,
+// applies the Listing-2 schedule (tile + reorder + SPM caching + athread
+// parallelism), runs it on the host executor with the §5.1 correctness
+// check, simulates it on a Sunway core group, and AOT-generates the
+// Sunway master/slave sources plus a Makefile into ./msc_generated.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "dsl/program.hpp"
+#include "exec/grid.hpp"
+#include "machine/machine.hpp"
+#include "sunway/cg_sim.hpp"
+#include "workload/report.hpp"
+
+int main() {
+  using namespace msc;
+  using dsl::ExprH;
+
+  // ---- Listing 1: definition ------------------------------------------
+  const std::int64_t N = 64;  // 256 in the paper; smaller for a quick demo
+  dsl::Program prog("quickstart_3d7pt");
+  dsl::Var k = prog.var("k"), j = prog.var("j"), i = prog.var("i");
+  dsl::GridRef B = prog.def_tensor_3d_timewin("B", /*time_deps=*/2, /*halo=*/1,
+                                              ir::DataType::f64, N, N, N);
+
+  const double c0 = 0.4, c1 = 0.1;
+  dsl::KernelHandle& S = prog.kernel(
+      "S_3d7pt", {k, j, i},
+      ExprH(c0) * B(k, j, i) + ExprH(c1) * B(k, j, i - 1) + ExprH(c1) * B(k, j, i + 1) +
+          ExprH(c1) * B(k - 1, j, i) + ExprH(c1) * B(k + 1, j, i) +
+          ExprH(c1) * B(k, j - 1, i) + ExprH(c1) * B(k, j + 1, i));
+
+  // ---- Listing 2: schedule primitives -----------------------------------
+  S.tile({2, 8, 32})
+      .reorder({"k_outer", "j_outer", "i_outer", "k_inner", "j_inner", "i_inner"})
+      .cache_read("B", "buffer_read", "global")
+      .cache_write("buffer_write", "global")
+      .compute_at("buffer_read", "i_outer")
+      .compute_at("buffer_write", "i_outer")
+      .parallel("k_outer", 64);
+
+  // Res[t] << S[t-1] + S[t-2], weighted for stability.
+  prog.def_stencil("st_3d7pt", B, 0.6 * S[prog.t() - 1] + 0.4 * S[prog.t() - 2]);
+  prog.def_shape_mpi({4, 4, 4});
+
+  std::printf("%s\n", prog.dump().c_str());
+
+  // ---- host execution + paper §5.1 validation -----------------------
+  prog.input(B, /*seed=*/42);
+  const auto run = prog.run(1, 10);
+  std::printf("host run: 10 timesteps over %lld points in %s (%s points/s)\n",
+              static_cast<long long>(run.stats.points_updated),
+              workload::fmt_seconds(run.seconds).c_str(),
+              workload::fmt_bytes(static_cast<double>(run.stats.points_updated) / run.seconds)
+                  .c_str());
+  const double err = prog.relative_error_vs_reference(1, 10);
+  std::printf("max relative error vs serial reference: %.3g  (paper criterion < 1e-10)\n", err);
+
+  // ---- Sunway core-group functional simulation ----------------------
+  exec::GridStorage<double> grid(prog.stencil().state());
+  for (int s = 0; s < grid.slots(); ++s) grid.fill_random(s, 42);
+  const auto sw = sunway::run_cg_sim(prog.stencil(), prog.primary_schedule(), grid, 1, 10,
+                                     exec::Boundary::ZeroHalo, {}, machine::sunway_cg());
+  std::printf("\nSunway CG simulation: %s simulated for 10 steps\n",
+              workload::fmt_seconds(sw.seconds).c_str());
+  std::printf("  SPM utilization %.0f%%, DMA %s in %lld transactions, reuse factor %.1f\n",
+              sw.spm_utilization * 100.0, workload::fmt_bytes(static_cast<double>(sw.dma.bytes)).c_str(),
+              static_cast<long long>(sw.dma.transactions), sw.reuse_factor);
+
+  // ---- AOT code generation -----------------------------------------
+  for (const auto* target : {"c", "openmp", "sunway"}) {
+    prog.compile_to_source_code(target, "msc_generated");
+    std::printf("generated %s sources under ./msc_generated\n", target);
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// 3-D acoustic wave propagation — the paper's motivating use case for
+// stencils with *multiple time dependencies* (§1: second-order wave
+// equations update a point from neighbors in both space and time).
+//
+// The second-order leapfrog discretization of u_tt = c^2 laplace(u) is
+//
+//   u[t] = 2 u[t-1] - u[t-2] + C * laplace(u[t-1])        (C = c^2 dt^2/h^2)
+//
+// which MSC expresses directly as a Stencil combining TWO kernels at two
+// previous timesteps:
+//
+//   Stencil st:  Res[t] << K_prop[t-1] + (-1) * K_ident[t-2]
+//
+// where K_prop = 2u + C*lap(u) and K_ident = u.  A point source is fired
+// in the domain center and the expanding wavefront is tracked at probes.
+//
+//   $ ./seismic_wave_3d
+
+#include <cmath>
+#include <cstdio>
+
+#include "dsl/program.hpp"
+#include "workload/report.hpp"
+
+int main() {
+  using namespace msc;
+  using dsl::ExprH;
+
+  const std::int64_t N = 64;
+  const double C = 0.2;  // CFL-stable Courant factor
+
+  dsl::Program prog("wave3d");
+  dsl::Var k = prog.var("k"), j = prog.var("j"), i = prog.var("i");
+  dsl::GridRef U = prog.def_tensor_3d_timewin("U", /*time_deps=*/2, /*halo=*/1,
+                                              ir::DataType::f64, N, N, N);
+
+  // Propagation kernel: 2u + C * 7-point Laplacian.
+  dsl::KernelHandle& prop = prog.kernel(
+      "propagate", {k, j, i},
+      ExprH(2.0 - 6.0 * C) * U(k, j, i) +
+          ExprH(C) * (U(k, j, i - 1) + U(k, j, i + 1) + U(k, j - 1, i) + U(k, j + 1, i) +
+                      U(k - 1, j, i) + U(k + 1, j, i)));
+  prop.tile({4, 8, 32})
+      .reorder({"k_outer", "j_outer", "i_outer", "k_inner", "j_inner", "i_inner"})
+      .parallel("k_outer", 4);
+
+  // Identity kernel for the t-2 term.
+  dsl::KernelHandle& ident = prog.kernel("identity", {k, j, i}, ExprH(1.0) * U(k, j, i));
+
+  prog.def_stencil("wave", U, prop[prog.t() - 1] + (-1.0) * ident[prog.t() - 2]);
+
+  // Point source: a Gaussian displacement at the center at t=0 and t=-1
+  // (zero initial velocity).
+  const double cx = N / 2.0;
+  prog.set_initial([cx](std::int64_t, std::array<std::int64_t, 3> c) {
+    const double d2 = (c[0] - cx) * (c[0] - cx) + (c[1] - cx) * (c[1] - cx) +
+                      (c[2] - cx) * (c[2] - cx);
+    return std::exp(-d2 / 8.0);
+  });
+
+  // Probes at increasing distance from the source along the i axis.
+  const std::int64_t probes[] = {N / 2 + 4, N / 2 + 12, N / 2 + 20, N / 2 + 28};
+  std::printf("step |");
+  for (auto p : probes) std::printf("  probe r=%2lld |", static_cast<long long>(p - N / 2));
+  std::printf("   energy\n");
+
+  double arrival[4] = {0, 0, 0, 0};
+  for (int t_end = 5; t_end <= 60; t_end += 5) {
+    prog.run(t_end - 4, t_end);
+    double energy = 0.0;
+    for (std::int64_t a = 0; a < N; ++a)
+      for (std::int64_t b = 0; b < N; ++b)
+        for (std::int64_t c = 0; c < N; ++c) {
+          const double v = prog.value_at(t_end, {a, b, c});
+          energy += v * v;
+        }
+    std::printf("%4d |", t_end);
+    for (int p = 0; p < 4; ++p) {
+      const double v = prog.value_at(t_end, {N / 2, N / 2, probes[p]});
+      if (arrival[p] == 0.0 && std::abs(v) > 1e-3) arrival[p] = t_end;
+      std::printf("  %10.2e |", v);
+    }
+    std::printf("  %.3e\n", energy);
+  }
+
+  // Causality: the wavefront reaches nearer probes first.
+  bool causal = arrival[0] > 0 && arrival[1] >= arrival[0] && arrival[2] >= arrival[1] &&
+                arrival[3] >= arrival[2];
+  std::printf("\nwavefront arrivals ordered by distance: %s\n", causal ? "yes" : "NO");
+  std::printf("validation vs serial reference: max rel err %.3g\n",
+              prog.relative_error_vs_reference(1, 30));
+  return 0;
+}

@@ -1,0 +1,59 @@
+#pragma once
+
+// Comparator systems (paper §5.2.1, §5.5).  Each baseline is modelled by
+// the mechanism the paper credits for its performance difference, running
+// through the same machine/network cost models as MSC:
+//
+//   OpenACC (Sunway)  — row-granular staging, no fine-grained SPM/DMA
+//   manual OpenMP     — same optimization set as MSC, slightly worse
+//                       blocking constants
+//   Halide JIT / AOT  — subscript-expression indexing overhead (+ JIT
+//                       compile time for the JIT path)
+//   Patus             — aggressive SSE vectorization with unaligned loads
+//   Physis            — MPI + master-coordinated (centralized) halo runtime
+//
+// Every run helper returns the simulated seconds for `timesteps` sweeps of
+// a benchmark at its paper configuration.
+
+#include <cstdint>
+#include <string>
+
+#include "comm/network_model.hpp"
+#include "machine/cost_model.hpp"
+#include "workload/stencils.hpp"
+
+namespace msc::baselines {
+
+/// Simulated time of MSC's generated code on a Sunway CG / Matrix SN / the
+/// paper's CPU server.
+double msc_seconds(const workload::BenchmarkInfo& info, const std::string& target,
+                   std::int64_t timesteps, bool fp64);
+
+/// The paper's OpenACC Sunway baseline.
+double openacc_sunway_seconds(const workload::BenchmarkInfo& info, std::int64_t timesteps,
+                              bool fp64);
+
+/// Hand-optimized OpenMP on Matrix.
+double manual_openmp_matrix_seconds(const workload::BenchmarkInfo& info,
+                                    std::int64_t timesteps, bool fp64);
+
+/// Halide on the CPU server (paper §5.5, Fig. 12).
+double halide_seconds(const workload::BenchmarkInfo& info, bool jit, std::int64_t timesteps,
+                      bool fp64);
+
+/// Patus on the CPU server (Fig. 13).
+double patus_seconds(const workload::BenchmarkInfo& info, std::int64_t timesteps, bool fp64);
+
+/// Physis with `processes` MPI ranks on the CPU server (Fig. 14); uses the
+/// centralized-exchange network model.  `grid` is the Fig.-14 input domain.
+double physis_seconds(const workload::BenchmarkInfo& info, std::array<std::int64_t, 3> grid,
+                      const std::vector<int>& mpi_dims, std::int64_t timesteps, bool fp64);
+
+/// MSC in the Fig.-14 configuration (MPI + OpenMP hybrid, asynchronous
+/// halo exchange).
+double msc_distributed_cpu_seconds(const workload::BenchmarkInfo& info,
+                                   std::array<std::int64_t, 3> grid,
+                                   const std::vector<int>& mpi_dims, int omp_threads,
+                                   std::int64_t timesteps, bool fp64);
+
+}  // namespace msc::baselines

@@ -1,0 +1,44 @@
+#pragma once
+
+// Shared emission helpers used by every backend: grid geometry macros, the
+// scheduled loop nest, the per-point update statement, halo handling and
+// the (optional) MPI halo-exchange section.
+
+#include <string>
+
+#include "codegen/codegen.hpp"
+#include "codegen/emitter.hpp"
+
+namespace msc::codegen {
+
+/// How the parallel axis is rendered.
+enum class ParallelStyle {
+  None,     ///< plain serial loop
+  OpenMP,   ///< #pragma omp parallel for above the loop
+  Athread,  ///< task-ownership guard: if (task % 64 != my_id) continue;
+};
+
+/// #define block with grid extents, halo, strides and window size.
+void emit_geometry(Emitter& e, const GenContext& ctx);
+
+/// SplitMix64 helper + allocation/seeding of the window slots.
+void emit_alloc_and_seed(Emitter& e, const GenContext& ctx);
+
+/// The scheduled sweep function `static void sweep(grids..., long t)`.
+/// `style` selects the parallel rendering; `stage_spm` adds SPM staging
+/// comments/DMA hooks at the compute_at level (Athread slave only).
+void emit_sweep(Emitter& e, const GenContext& ctx, ParallelStyle style);
+
+/// The per-point update statement reading the window slots.
+std::string point_update(const GenContext& ctx);
+
+/// Time loop + checksum main() body (single-node or MPI-guarded).
+void emit_main(Emitter& e, const GenContext& ctx, const std::string& sweep_call);
+
+/// MPI halo-exchange helpers (pack/isend/irecv/unpack), MSC_WITH_MPI-guarded.
+void emit_mpi_exchange(Emitter& e, const GenContext& ctx);
+
+/// C type of the stencil's element ("double"/"float").
+std::string elem_type(const GenContext& ctx);
+
+}  // namespace msc::codegen

@@ -1,0 +1,82 @@
+#include "comm/decompose.hpp"
+
+#include "support/error.hpp"
+
+namespace msc::comm {
+
+CartDecomp::CartDecomp(std::vector<int> proc_dims, std::vector<std::int64_t> global)
+    : dims_(std::move(proc_dims)), global_(std::move(global)) {
+  MSC_CHECK(!dims_.empty() && dims_.size() <= 3) << "process grid must be 1-D/2-D/3-D";
+  MSC_CHECK(dims_.size() == global_.size())
+      << "process grid rank " << dims_.size() << " != domain rank " << global_.size();
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    MSC_CHECK(dims_[d] >= 1) << "process grid extent must be positive";
+    MSC_CHECK(global_[d] >= dims_[d])
+        << "dimension " << d << ": cannot split " << global_[d] << " points over " << dims_[d]
+        << " processes";
+  }
+}
+
+int CartDecomp::size() const {
+  int p = 1;
+  for (int d : dims_) p *= d;
+  return p;
+}
+
+std::vector<int> CartDecomp::coords_of(int rank) const {
+  MSC_CHECK(rank >= 0 && rank < size()) << "invalid rank " << rank;
+  std::vector<int> coords(dims_.size());
+  for (int d = ndim() - 1; d >= 0; --d) {
+    coords[static_cast<std::size_t>(d)] = rank % dims_[static_cast<std::size_t>(d)];
+    rank /= dims_[static_cast<std::size_t>(d)];
+  }
+  return coords;
+}
+
+int CartDecomp::rank_of(const std::vector<int>& coords) const {
+  MSC_CHECK(coords.size() == dims_.size()) << "coordinate rank mismatch";
+  int rank = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    MSC_CHECK(coords[d] >= 0 && coords[d] < dims_[d]) << "coordinate out of range";
+    rank = rank * dims_[d] + coords[d];
+  }
+  return rank;
+}
+
+int CartDecomp::neighbor(int rank, int dim, int dir) const {
+  MSC_CHECK(dim >= 0 && dim < ndim()) << "invalid dimension " << dim;
+  MSC_CHECK(dir == -1 || dir == 1) << "direction must be -1 or +1";
+  auto coords = coords_of(rank);
+  coords[static_cast<std::size_t>(dim)] += dir;
+  if (coords[static_cast<std::size_t>(dim)] < 0 ||
+      coords[static_cast<std::size_t>(dim)] >= dims_[static_cast<std::size_t>(dim)])
+    return -1;
+  return rank_of(coords);
+}
+
+std::int64_t CartDecomp::local_extent(int rank, int d) const {
+  const auto coords = coords_of(rank);
+  const std::int64_t base = global_[static_cast<std::size_t>(d)] /
+                            dims_[static_cast<std::size_t>(d)];
+  const std::int64_t rem = global_[static_cast<std::size_t>(d)] %
+                           dims_[static_cast<std::size_t>(d)];
+  return base + (coords[static_cast<std::size_t>(d)] < rem ? 1 : 0);
+}
+
+std::int64_t CartDecomp::local_offset(int rank, int d) const {
+  const auto coords = coords_of(rank);
+  const std::int64_t base = global_[static_cast<std::size_t>(d)] /
+                            dims_[static_cast<std::size_t>(d)];
+  const std::int64_t rem = global_[static_cast<std::size_t>(d)] %
+                           dims_[static_cast<std::size_t>(d)];
+  const std::int64_t c = coords[static_cast<std::size_t>(d)];
+  return c * base + std::min<std::int64_t>(c, rem);
+}
+
+std::int64_t CartDecomp::local_points(int rank) const {
+  std::int64_t n = 1;
+  for (int d = 0; d < ndim(); ++d) n *= local_extent(rank, d);
+  return n;
+}
+
+}  // namespace msc::comm

@@ -1,0 +1,46 @@
+#pragma once
+
+// Cartesian domain decomposition (paper Fig. 6a): the global grid is split
+// evenly over an n-D process grid; each rank owns a sub-tensor with its own
+// halo region.  Remainder points go to the low-coordinate ranks.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace msc::comm {
+
+class CartDecomp {
+ public:
+  /// `proc_dims` is the MPI grid (paper's DefShapeMPI), one entry per grid
+  /// dimension; `global` the interior extents of the full domain.
+  CartDecomp(std::vector<int> proc_dims, std::vector<std::int64_t> global);
+
+  int ndim() const { return static_cast<int>(dims_.size()); }
+  int size() const;
+  const std::vector<int>& dims() const { return dims_; }
+  std::int64_t global_extent(int d) const { return global_[static_cast<std::size_t>(d)]; }
+
+  /// Rank <-> cartesian coordinates (row-major, dim 0 slowest).
+  std::vector<int> coords_of(int rank) const;
+  int rank_of(const std::vector<int>& coords) const;
+
+  /// Neighbor rank one step along `dim` (`dir` = -1 or +1), or -1 at the
+  /// domain boundary (non-periodic).
+  int neighbor(int rank, int dim, int dir) const;
+
+  /// Extent of `rank`'s sub-domain in dimension d.
+  std::int64_t local_extent(int rank, int d) const;
+
+  /// Global offset of `rank`'s sub-domain origin in dimension d.
+  std::int64_t local_offset(int rank, int d) const;
+
+  /// Interior points owned by `rank`.
+  std::int64_t local_points(int rank) const;
+
+ private:
+  std::vector<int> dims_;
+  std::vector<std::int64_t> global_;
+};
+
+}  // namespace msc::comm

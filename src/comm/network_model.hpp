@@ -1,0 +1,55 @@
+#pragma once
+
+// Analytic interconnect model for large-scale runs (paper §5.3, Fig. 10).
+//
+// Spawning 1,024 simulated ranks with real data is pointless on one host;
+// the scaling curves depend on halo surface-to-volume ratios and network
+// contention, which this alpha-beta + bisection model captures.  Per
+// timestep, every rank exchanges its sub-grid faces with up to 2*ndim
+// neighbors; exchanges are asynchronous (MSC's library) or serialized
+// through a master (the Physis comparison, §5.5).
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "comm/decompose.hpp"
+
+namespace msc::comm {
+
+struct NetworkModel {
+  std::string name;
+  double latency_us = 1.5;       ///< per-message injection latency
+  double link_bw_gbs = 8.0;      ///< per-node injection bandwidth
+  double bisection_gbs = 1000.0; ///< aggregate cross-section bandwidth
+  /// Empirical hot-link factor for 2-D process grids at scale: a planar
+  /// decomposition embedded in the physical topology concentrates traffic
+  /// on few routes.  Calibrated to the paper's Fig. 10(a) observation that
+  /// 2-D stencils deviate from ideal strong scaling on the prototype
+  /// Tianhe-3 while 3-D stays near ideal (see DESIGN.md).
+  double low_dim_congestion = 0.0;
+};
+
+/// Sunway TaihuLight: custom fat tree, generous bisection for its size.
+NetworkModel sunway_network();
+
+/// Prototype Tianhe-3: proportionally lower bisection — the source of the
+/// paper's 2-D strong-scaling congestion deviation.
+NetworkModel tianhe3_network();
+
+/// Per-timestep communication cost of one halo exchange round.
+struct CommCost {
+  double seconds = 0.0;
+  std::int64_t bytes_per_rank = 0;  ///< busiest-rank send volume
+  int messages_per_rank = 0;
+  std::int64_t total_bytes = 0;     ///< network-wide volume
+};
+
+/// `halo` is the stencil radius (exchange width), `esz` element bytes,
+/// `slots` the number of window slots exchanged per step (1 in steady
+/// state).  `centralized` models Physis's master-coordinated RPC runtime:
+/// all transfers serialize through rank 0.
+CommCost halo_exchange_cost(const NetworkModel& net, const CartDecomp& dec, std::int64_t halo,
+                            std::int64_t esz, bool centralized = false);
+
+}  // namespace msc::comm

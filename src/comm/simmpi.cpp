@@ -1,0 +1,112 @@
+#include "comm/simmpi.hpp"
+
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace msc::comm {
+
+int RankCtx::size() const { return world_->size(); }
+
+Request RankCtx::isend(int dst, int tag, const void* data, std::int64_t bytes) {
+  MSC_CHECK(dst >= 0 && dst < world_->size()) << "isend to invalid rank " << dst;
+  MSC_CHECK(bytes >= 0) << "negative payload";
+  auto& box = world_->mailbox(rank_, dst);
+  {
+    std::lock_guard lock(box.m);
+    SimWorld::Message msg;
+    msg.tag = tag;
+    msg.payload.resize(static_cast<std::size_t>(bytes));
+    if (bytes > 0) std::memcpy(msg.payload.data(), data, static_cast<std::size_t>(bytes));
+    box.messages.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+  Request req;
+  req.kind = Request::Kind::Send;
+  req.peer = dst;
+  req.tag = tag;
+  req.done = true;  // buffered send completes immediately
+  return req;
+}
+
+Request RankCtx::irecv(int src, int tag, void* buf, std::int64_t bytes) {
+  MSC_CHECK(src >= 0 && src < world_->size()) << "irecv from invalid rank " << src;
+  Request req;
+  req.kind = Request::Kind::Recv;
+  req.peer = src;
+  req.tag = tag;
+  req.recv_buf = buf;
+  req.recv_bytes = bytes;
+  return req;
+}
+
+void RankCtx::wait(Request& req) {
+  if (req.done) return;
+  MSC_CHECK(req.kind == Request::Kind::Recv) << "only receives can be pending";
+  auto& box = world_->mailbox(req.peer, rank_);
+  std::unique_lock lock(box.m);
+  for (;;) {
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+      if (it->tag != req.tag) continue;
+      MSC_CHECK(static_cast<std::int64_t>(it->payload.size()) == req.recv_bytes)
+          << "message size mismatch: expected " << req.recv_bytes << " B, got "
+          << it->payload.size() << " B (tag " << req.tag << ")";
+      if (req.recv_bytes > 0)
+        std::memcpy(req.recv_buf, it->payload.data(), it->payload.size());
+      box.messages.erase(it);
+      req.done = true;
+      return;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void RankCtx::wait_all(std::vector<Request>& reqs) {
+  for (auto& r : reqs) wait(r);
+}
+
+void RankCtx::barrier() {
+  std::unique_lock lock(world_->barrier_mutex_);
+  const std::int64_t gen = world_->barrier_generation_;
+  if (++world_->barrier_arrived_ == world_->size()) {
+    world_->barrier_arrived_ = 0;
+    ++world_->barrier_generation_;
+    world_->barrier_cv_.notify_all();
+  } else {
+    world_->barrier_cv_.wait(lock, [&] { return world_->barrier_generation_ != gen; });
+  }
+}
+
+SimWorld::SimWorld(int nranks) : nranks_(nranks) {
+  MSC_CHECK(nranks >= 1) << "world needs at least one rank";
+  mailboxes_.resize(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks));
+  for (auto& box : mailboxes_) box = std::make_unique<Mailbox>();
+}
+
+SimWorld::Mailbox& SimWorld::mailbox(int src, int dst) {
+  return *mailboxes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks_) +
+                     static_cast<std::size_t>(dst)];
+}
+
+void SimWorld::run(const std::function<void(RankCtx&)>& body) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([this, r, &body, &errors] {
+      RankCtx ctx(this, r);
+      try {
+        body(ctx);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace msc::comm

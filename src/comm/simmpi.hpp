@@ -1,0 +1,101 @@
+#pragma once
+
+// In-process simulated MPI runtime.
+//
+// The paper's communication library targets mpich on TaihuLight/Tianhe-3;
+// no MPI exists in this environment, so MSC's halo exchange runs against
+// this functional substitute: every rank is a std::thread, point-to-point
+// messages are typed byte buffers moved through per-pair mailboxes, and
+// the nonblocking isend/irecv + wait semantics mirror the MPI calls the
+// generated code would issue.  Functional tests run real multi-rank data
+// movement through it; the large-scale benches use the analytic network
+// model (network_model.hpp) instead of spawning thousands of threads.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace msc::comm {
+
+class SimWorld;
+
+/// A pending nonblocking operation; resolved by RankCtx::wait.
+struct Request {
+  enum class Kind { Send, Recv } kind = Kind::Send;
+  int peer = -1;
+  int tag = 0;
+  void* recv_buf = nullptr;
+  std::int64_t recv_bytes = 0;
+  bool done = false;
+};
+
+/// Per-rank communication endpoint passed to the rank body.
+class RankCtx {
+ public:
+  RankCtx(SimWorld* world, int rank) : world_(world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Nonblocking send: the payload is copied immediately (MPI_Isend with a
+  /// buffered small message); completion is immediate but a Request is
+  /// returned for symmetric wait() code.
+  Request isend(int dst, int tag, const void* data, std::int64_t bytes);
+
+  /// Nonblocking receive: registers interest; wait() blocks until a
+  /// matching message arrives and copies it into `buf`.
+  Request irecv(int src, int tag, void* buf, std::int64_t bytes);
+
+  /// Blocks until the request completes.
+  void wait(Request& req);
+  void wait_all(std::vector<Request>& reqs);
+
+  /// Barrier across every rank in the world.
+  void barrier();
+
+ private:
+  SimWorld* world_;
+  int rank_;
+};
+
+/// The rank universe; run() spawns one thread per rank.
+class SimWorld {
+ public:
+  explicit SimWorld(int nranks);
+
+  int size() const { return nranks_; }
+
+  /// Executes `body` on every rank concurrently; rethrows the first rank
+  /// exception after all threads join.
+  void run(const std::function<void(RankCtx&)>& body);
+
+ private:
+  friend class RankCtx;
+
+  struct Message {
+    int tag;
+    std::vector<std::byte> payload;
+  };
+  struct Mailbox {
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  Mailbox& mailbox(int src, int dst);
+
+  int nranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // src * nranks + dst
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::int64_t barrier_generation_ = 0;
+};
+
+}  // namespace msc::comm

@@ -1,0 +1,49 @@
+#include "dsl/expr.hpp"
+
+#include "support/error.hpp"
+
+namespace msc::dsl {
+
+namespace {
+ExprH binary(ir::BinaryOp op, const ExprH& a, const ExprH& b) {
+  MSC_CHECK(a.valid() && b.valid()) << "arithmetic on an empty DSL expression";
+  return ExprH(ir::make_binary(op, a.ir(), b.ir()));
+}
+}  // namespace
+
+ExprH operator+(const ExprH& a, const ExprH& b) { return binary(ir::BinaryOp::Add, a, b); }
+ExprH operator-(const ExprH& a, const ExprH& b) { return binary(ir::BinaryOp::Sub, a, b); }
+ExprH operator*(const ExprH& a, const ExprH& b) { return binary(ir::BinaryOp::Mul, a, b); }
+ExprH operator/(const ExprH& a, const ExprH& b) { return binary(ir::BinaryOp::Div, a, b); }
+
+ExprH operator-(const ExprH& a) {
+  MSC_CHECK(a.valid()) << "negation of an empty DSL expression";
+  return ExprH(ir::make_unary(ir::UnaryOp::Neg, a.ir()));
+}
+
+ExprH min(const ExprH& a, const ExprH& b) { return binary(ir::BinaryOp::Min, a, b); }
+ExprH max(const ExprH& a, const ExprH& b) { return binary(ir::BinaryOp::Max, a, b); }
+
+ExprH call(const std::string& func, const ExprH& arg) {
+  MSC_CHECK(arg.valid()) << "call on an empty DSL expression";
+  return ExprH(ir::make_call(func, {arg.ir()}, arg.ir()->dtype));
+}
+
+ExprH GridRef::operator()(Idx i) const { return at_time(0, {std::move(i)}); }
+ExprH GridRef::operator()(Idx j, Idx i) const { return at_time(0, {std::move(j), std::move(i)}); }
+ExprH GridRef::operator()(Idx k, Idx j, Idx i) const {
+  return at_time(0, {std::move(k), std::move(j), std::move(i)});
+}
+
+ExprH GridRef::at_time(int time_offset, std::vector<Idx> subscripts) const {
+  MSC_CHECK(tensor_ != nullptr) << "access through an undeclared grid";
+  MSC_CHECK(static_cast<int>(subscripts.size()) == tensor_->ndim())
+      << "grid '" << tensor_->name() << "' is " << tensor_->ndim() << "-D but was accessed with "
+      << subscripts.size() << " subscripts";
+  std::vector<ir::IndexExpr> indices;
+  indices.reserve(subscripts.size());
+  for (auto& s : subscripts) indices.push_back({std::move(s.axis), s.offset});
+  return ExprH(ir::make_access(tensor_, std::move(indices), time_offset));
+}
+
+}  // namespace msc::dsl

@@ -1,0 +1,93 @@
+#pragma once
+
+// DSL-level expression sugar (paper §4.2, Listing 1).
+//
+// Users write stencil updates as ordinary C++ arithmetic over grid
+// accesses:
+//
+//   auto K = prog.kernel("s3d7pt", {k, j, i},
+//       c0 * B(k, j, i) + c1 * B(k, j, i - 1) + c2 * B(k, j, i + 1) + ...);
+//
+// Var is a loop index created by Program::var (the paper's DefVar); Var ± n
+// forms an Idx subscript; GridRef::operator() builds a tensor access; ExprH
+// wraps the IR expression tree with overloaded arithmetic.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+#include "ir/tensor.hpp"
+
+namespace msc::dsl {
+
+/// A loop-index variable (the paper's DefVar(k, i32)).
+class Var {
+ public:
+  explicit Var(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// A subscript of the form `axis + constant`, produced by Var ± int.
+struct Idx {
+  std::string axis;
+  std::int64_t offset = 0;
+
+  Idx(const Var& v) : axis(v.name()) {}  // NOLINT(google-explicit-constructor)
+  Idx(std::string a, std::int64_t off) : axis(std::move(a)), offset(off) {}
+};
+
+inline Idx operator+(const Var& v, std::int64_t off) { return {v.name(), off}; }
+inline Idx operator-(const Var& v, std::int64_t off) { return {v.name(), -off}; }
+
+/// Value-semantics handle around an IR expression with DSL arithmetic.
+class ExprH {
+ public:
+  ExprH() = default;
+  explicit ExprH(ir::Expr e) : expr_(std::move(e)) {}
+  ExprH(double v) : expr_(ir::make_float(v)) {}          // NOLINT
+  ExprH(int v) : expr_(ir::make_int(v)) {}               // NOLINT
+
+  const ir::Expr& ir() const { return expr_; }
+  bool valid() const { return expr_ != nullptr; }
+
+ private:
+  ir::Expr expr_;
+};
+
+ExprH operator+(const ExprH& a, const ExprH& b);
+ExprH operator-(const ExprH& a, const ExprH& b);
+ExprH operator*(const ExprH& a, const ExprH& b);
+ExprH operator/(const ExprH& a, const ExprH& b);
+ExprH operator-(const ExprH& a);
+ExprH min(const ExprH& a, const ExprH& b);
+ExprH max(const ExprH& a, const ExprH& b);
+/// External function call (sqrt/exp/sin/cos/fabs are executable).
+ExprH call(const std::string& func, const ExprH& arg);
+
+/// Reference to a declared grid; operator() builds accesses.
+class GridRef {
+ public:
+  GridRef() = default;
+  explicit GridRef(ir::Tensor tensor) : tensor_(std::move(tensor)) {}
+
+  const ir::Tensor& tensor() const { return tensor_; }
+  const std::string& name() const { return tensor_->name(); }
+
+  /// 1-D / 2-D / 3-D accesses at the current timestep.
+  ExprH operator()(Idx i) const;
+  ExprH operator()(Idx j, Idx i) const;
+  ExprH operator()(Idx k, Idx j, Idx i) const;
+
+  /// Access reaching back in time within the kernel itself (rare; the usual
+  /// multi-time composition happens at the Stencil level instead).
+  ExprH at_time(int time_offset, std::vector<Idx> subscripts) const;
+
+ private:
+  ir::Tensor tensor_;
+};
+
+}  // namespace msc::dsl

@@ -1,0 +1,73 @@
+#include "exec/eval.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace msc::exec {
+
+double eval_expr(const ir::Expr& e, const EvalEnv& env) {
+  using namespace ir;
+  switch (e->kind) {
+    case ExprKind::IntImm:
+      return static_cast<double>(static_cast<const IntImm&>(*e).value);
+    case ExprKind::FloatImm:
+      return static_cast<const FloatImm&>(*e).value;
+    case ExprKind::VarRef: {
+      const auto& name = static_cast<const VarRef&>(*e).name;
+      if (const auto it = env.axis_values.find(name); it != env.axis_values.end())
+        return static_cast<double>(it->second);
+      if (env.bindings != nullptr) {
+        if (const auto it = env.bindings->find(name); it != env.bindings->end())
+          return it->second;
+      }
+      MSC_FAIL() << "unbound variable '" << name << "' during evaluation";
+    }
+    case ExprKind::TensorAccess: {
+      const auto& acc = static_cast<const TensorAccess&>(*e);
+      std::array<std::int64_t, 3> coord{0, 0, 0};
+      for (std::size_t d = 0; d < acc.indices.size(); ++d) {
+        const auto it = env.axis_values.find(acc.indices[d].axis);
+        MSC_CHECK(it != env.axis_values.end())
+            << "axis '" << acc.indices[d].axis << "' has no value during evaluation";
+        coord[d] = it->second + acc.indices[d].offset;
+      }
+      MSC_CHECK(env.read != nullptr) << "evaluation environment has no tensor reader";
+      return env.read(acc.tensor->name(), acc.time_offset, coord);
+    }
+    case ExprKind::Unary:
+      return -eval_expr(static_cast<const UnaryExpr&>(*e).operand, env);
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(*e);
+      const double l = eval_expr(b.lhs, env);
+      const double r = eval_expr(b.rhs, env);
+      switch (b.op) {
+        case BinaryOp::Add: return l + r;
+        case BinaryOp::Sub: return l - r;
+        case BinaryOp::Mul: return l * r;
+        case BinaryOp::Div:
+          MSC_CHECK(r != 0.0) << "division by zero during evaluation";
+          return l / r;
+        case BinaryOp::Min: return std::fmin(l, r);
+        case BinaryOp::Max: return std::fmax(l, r);
+      }
+      MSC_FAIL() << "unknown binary op";
+    }
+    case ExprKind::CallFunc: {
+      const auto& c = static_cast<const CallFuncExpr&>(*e);
+      MSC_CHECK(c.args.size() == 1) << "external call '" << c.func << "' must take one argument";
+      const double v = eval_expr(c.args[0], env);
+      if (c.func == "sqrt") return std::sqrt(v);
+      if (c.func == "exp") return std::exp(v);
+      if (c.func == "sin") return std::sin(v);
+      if (c.func == "cos") return std::cos(v);
+      if (c.func == "fabs") return std::fabs(v);
+      MSC_FAIL() << "unsupported external function '" << c.func << "'";
+    }
+    case ExprKind::Assign:
+      MSC_FAIL() << "assignment cannot be evaluated as a value";
+  }
+  MSC_FAIL() << "unknown expression kind";
+}
+
+}  // namespace msc::exec

@@ -1,0 +1,34 @@
+#pragma once
+
+// Generic (slow-path) expression evaluator used when a kernel RHS does not
+// lower to the affine normal form of linearize.hpp — e.g. boundary
+// conditions with min/max, divides or external function calls.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "exec/linearize.hpp"
+#include "ir/expr.hpp"
+
+namespace msc::exec {
+
+/// Callback resolving a tensor read: (tensor name, time offset, absolute
+/// interior coordinate) -> value.
+using ReadFn =
+    std::function<double(const std::string&, int, std::array<std::int64_t, 3>)>;
+
+struct EvalEnv {
+  /// Current value of each axis id_var (interior coordinates).
+  std::map<std::string, std::int64_t> axis_values;
+  const Bindings* bindings = nullptr;
+  ReadFn read;
+};
+
+/// Evaluates `e` in `env`; throws msc::Error on unbound vars or unsupported
+/// external calls (supported: sqrt, exp, sin, cos, fabs).
+double eval_expr(const ir::Expr& e, const EvalEnv& env);
+
+}  // namespace msc::exec

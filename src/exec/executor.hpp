@@ -1,0 +1,254 @@
+#pragma once
+
+// Host executors for stencil programs.
+//
+//  * run_reference — serial, definition-order sweep straight off the IR;
+//    the ground truth for correctness checks (paper §5.1 measures relative
+//    error of generated code against exactly such a serial version).
+//  * run_scheduled — interprets the kernel's Schedule: tiled/reordered
+//    loop nests, a parallel axis executed on the process thread pool, and
+//    staging statistics for the cache_read/cache_write pipeline.
+//
+// Both compute timesteps t_begin..t_end (inclusive) of a StencilDef,
+// writing the output of step t into the state grid's ring slot for t and
+// reading the slots of t-1, t-2, ... per the stencil's time terms.  The
+// caller seeds the initial slots (t_begin-1 .. t_begin-window+1).
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "exec/eval.hpp"
+#include "exec/grid.hpp"
+#include "exec/linearize.hpp"
+#include "ir/stencil.hpp"
+#include "schedule/schedule.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace msc::exec {
+
+/// Observable work counters filled by the executors (used by tests and by
+/// the simulators' traffic accounting).
+struct ExecStats {
+  std::int64_t timesteps = 0;
+  std::int64_t points_updated = 0;
+  std::int64_t flops = 0;          ///< 2 per linear term (mul + add)
+  std::int64_t tiles_executed = 0; ///< entries into the read buffer's compute_at level
+  std::int64_t staged_bytes_in = 0;
+  std::int64_t staged_bytes_out = 0;
+};
+
+/// One level of the interpreted loop nest, distilled from the Schedule.
+struct LoopLevel {
+  enum class Kind { Original, Outer, Inner };
+  Kind kind = Kind::Original;
+  int dim = 0;
+  std::int64_t trip = 0;   ///< iteration count of this level
+  std::int64_t tile = 0;   ///< Outer levels: iterations covered per block
+  bool parallel = false;
+  int threads = 1;
+};
+
+/// Interpreter-ready digest of a Schedule.
+struct LoopPlan {
+  std::vector<LoopLevel> levels;
+  std::array<std::int64_t, 3> extent{1, 1, 1};
+  int ndim = 0;
+  int parallel_depth = -1;     ///< nest index of the parallel level, or -1
+  int read_stage_depth = -1;   ///< compute_at depth of the read buffer, or -1
+  int write_stage_depth = -1;  ///< compute_at depth of the write buffer, or -1
+  std::int64_t tile_bytes_read = 0;   ///< staged bytes per tile (incl. halo)
+  std::int64_t tile_bytes_write = 0;  ///< staged bytes per tile (interior)
+  std::int64_t tiles_per_step = 0;    ///< DMA tile count per sweep (0 if no staging)
+};
+
+/// Builds the digest; validates that the schedule covers the whole kernel
+/// iteration space.
+LoopPlan build_loop_plan(const schedule::Schedule& sched);
+
+/// The stencil's combined affine form: every (kernel, time term) pair
+/// flattened to weighted linear terms against the single state grid.
+/// nullopt when any member kernel leaves the affine fragment.
+std::optional<LinearKernel> linearize_stencil(const ir::StencilDef& st,
+                                              const Bindings& bindings);
+
+namespace detail {
+
+/// Per-term precomputation: linear memory delta + resolved source slot.
+struct ResolvedTerm {
+  double coeff;
+  std::int64_t delta;  ///< linear index offset within a slot
+  const void* src;     ///< slot base pointer for the current timestep
+};
+
+template <typename T>
+void sweep_point_linear(T* out_base, std::int64_t out_idx,
+                        const std::vector<ResolvedTerm>& terms) {
+  double acc = 0.0;
+  for (const auto& term : terms)
+    acc += term.coeff * static_cast<double>(static_cast<const T*>(term.src)[out_idx + term.delta]);
+  out_base[out_idx] = static_cast<T>(acc);
+}
+
+}  // namespace detail
+
+/// Read-only auxiliary grids (coefficient fields etc.) keyed by tensor
+/// name; the caller owns them and has filled their halos.
+template <typename T>
+using AuxGrids = std::map<std::string, const GridStorage<T>*>;
+
+/// Serial reference executor (ground truth).  Stencils whose kernels read
+/// auxiliary grids supply them via `aux`.
+template <typename T>
+void run_reference(const ir::StencilDef& st, GridStorage<T>& state, std::int64_t t_begin,
+                   std::int64_t t_end, Boundary bc, const Bindings& bindings = {},
+                   ExecStats* stats = nullptr, const AuxGrids<T>& aux = {}) {
+  MSC_CHECK(t_begin <= t_end) << "empty time range";
+  MSC_CHECK(state.tensor()->name() == st.state()->name())
+      << "grid '" << state.tensor()->name() << "' is not the stencil state '"
+      << st.state()->name() << "'";
+
+  // Seed halos of the initial window slots.
+  for (int back = 1; back < st.time_window(); ++back)
+    state.fill_halo(state.slot_for_time(t_begin - back), bc);
+
+  const auto lin = linearize_stencil(st, bindings);
+
+  for (std::int64_t t = t_begin; t <= t_end; ++t) {
+    const int out_slot = state.slot_for_time(t);
+    T* out = state.slot_data(out_slot);
+
+    if (lin.has_value()) {
+      std::vector<detail::ResolvedTerm> terms;
+      terms.reserve(lin->terms.size());
+      for (const auto& lt : lin->terms) {
+        std::int64_t delta = 0;
+        for (int d = 0; d < state.ndim(); ++d) delta += lt.offset[static_cast<std::size_t>(d)] * state.stride(d);
+        terms.push_back({lt.coeff, delta, state.slot_data(state.slot_for_time(t + lt.time_offset))});
+      }
+      state.for_each_interior([&](std::array<std::int64_t, 3> c) {
+        detail::sweep_point_linear(out, state.index(c), terms);
+      });
+      if (stats != nullptr) stats->flops += 2 * static_cast<std::int64_t>(terms.size()) * state.tensor()->interior_points();
+    } else {
+      // Generic path: evaluate each time term's kernel RHS per point.
+      state.for_each_interior([&](std::array<std::int64_t, 3> c) {
+        double acc = 0.0;
+        for (const auto& term : st.terms()) {
+          EvalEnv env;
+          env.bindings = &bindings;
+          const auto& axes = term.kernel->axes();
+          for (std::size_t d = 0; d < axes.size(); ++d)
+            env.axis_values[axes[d].id_var] = c[d];
+          const std::int64_t term_time = t + term.time_offset;
+          env.read = [&](const std::string& name, int toff,
+                         std::array<std::int64_t, 3> coord) -> double {
+            if (name == state.tensor()->name())
+              return static_cast<double>(state.at(state.slot_for_time(term_time + toff), coord));
+            const auto it = aux.find(name);
+            MSC_CHECK(it != aux.end())
+                << "stencil reads tensor '" << name << "' but no grid was supplied for it";
+            return static_cast<double>(it->second->at(0, coord));
+          };
+          acc += term.weight * eval_expr(term.kernel->rhs(), env);
+        }
+        out[state.index(c)] = static_cast<T>(acc);
+      });
+    }
+
+    state.fill_halo(out_slot, bc);
+    if (stats != nullptr) {
+      ++stats->timesteps;
+      stats->points_updated += state.tensor()->interior_points();
+    }
+  }
+}
+
+/// Scheduled executor: same numerics as run_reference, loop structure and
+/// parallelism from `sched`.
+template <typename T>
+void run_scheduled(const ir::StencilDef& st, const schedule::Schedule& sched,
+                   GridStorage<T>& state, std::int64_t t_begin, std::int64_t t_end, Boundary bc,
+                   const Bindings& bindings = {}, ExecStats* stats = nullptr) {
+  MSC_CHECK(t_begin <= t_end) << "empty time range";
+  const auto lin = linearize_stencil(st, bindings);
+  MSC_CHECK(lin.has_value())
+      << "run_scheduled requires an affine stencil (use run_reference for the generic fragment)";
+
+  const LoopPlan plan = build_loop_plan(sched);
+  MSC_CHECK(plan.ndim == state.ndim()) << "plan rank mismatch";
+  for (int d = 0; d < plan.ndim; ++d)
+    MSC_CHECK(plan.extent[static_cast<std::size_t>(d)] == state.extent(d))
+        << "schedule extent mismatch in dim " << d;
+
+  for (int back = 1; back < st.time_window(); ++back)
+    state.fill_halo(state.slot_for_time(t_begin - back), bc);
+
+  for (std::int64_t t = t_begin; t <= t_end; ++t) {
+    const int out_slot = state.slot_for_time(t);
+    T* out = state.slot_data(out_slot);
+
+    std::vector<detail::ResolvedTerm> terms;
+    terms.reserve(lin->terms.size());
+    for (const auto& lt : lin->terms) {
+      std::int64_t delta = 0;
+      for (int d = 0; d < state.ndim(); ++d)
+        delta += lt.offset[static_cast<std::size_t>(d)] * state.stride(d);
+      terms.push_back({lt.coeff, delta, state.slot_data(state.slot_for_time(t + lt.time_offset))});
+    }
+
+    // Recursive nest interpreter.  `base` accumulates tile origins from
+    // Outer levels; Inner/Original levels produce final coordinates.
+    auto run_nest = [&](auto&& self, std::size_t depth, std::array<std::int64_t, 3> base,
+                        std::array<std::int64_t, 3> coord) -> void {
+      if (depth == plan.levels.size()) {
+        detail::sweep_point_linear(out, state.index(coord), terms);
+        return;
+      }
+      const LoopLevel& lv = plan.levels[depth];
+      const auto d = static_cast<std::size_t>(lv.dim);
+
+      auto iterate = [&](std::int64_t lo, std::int64_t hi) {
+        auto b = base;
+        auto c = coord;
+        for (std::int64_t v = lo; v < hi; ++v) {
+          switch (lv.kind) {
+            case LoopLevel::Kind::Original:
+              c[d] = v;
+              break;
+            case LoopLevel::Kind::Outer:
+              b[d] = v * lv.tile;
+              break;
+            case LoopLevel::Kind::Inner:
+              c[d] = b[d] + v;
+              if (c[d] >= plan.extent[d]) continue;  // remainder tile clamp
+              break;
+          }
+          self(self, depth + 1, b, c);
+        }
+      };
+
+      if (lv.parallel && lv.threads > 1) {
+        global_pool().parallel_for(0, lv.trip,
+                                   [&](std::int64_t lo, std::int64_t hi) { iterate(lo, hi); });
+      } else {
+        iterate(0, lv.trip);
+      }
+    };
+    run_nest(run_nest, 0, {0, 0, 0}, {0, 0, 0});
+
+    state.fill_halo(out_slot, bc);
+    if (stats != nullptr) {
+      ++stats->timesteps;
+      stats->points_updated += state.tensor()->interior_points();
+      stats->flops += 2 * static_cast<std::int64_t>(terms.size()) * state.tensor()->interior_points();
+      stats->tiles_executed += plan.tiles_per_step;
+      stats->staged_bytes_in += plan.tiles_per_step * plan.tile_bytes_read;
+      stats->staged_bytes_out += plan.tiles_per_step * plan.tile_bytes_write;
+    }
+  }
+}
+
+}  // namespace msc::exec

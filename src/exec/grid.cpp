@@ -1,0 +1,18 @@
+#include "exec/grid.hpp"
+
+namespace msc::exec {
+
+// GridStorage is header-only (templated on the element type); this
+// translation unit only anchors the module in the build and provides the
+// boundary-policy name used in logs and bench output.
+
+std::string boundary_name(Boundary bc) {
+  switch (bc) {
+    case Boundary::ZeroHalo: return "zero-halo";
+    case Boundary::Periodic: return "periodic";
+    case Boundary::External: return "external";
+  }
+  return "?";
+}
+
+}  // namespace msc::exec

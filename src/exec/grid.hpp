@@ -1,0 +1,214 @@
+#pragma once
+
+// Runtime grid storage: one aligned, halo-padded buffer per sliding-window
+// slot of a tensor.  Rank-generic (1-3 D) via precomputed strides; the hot
+// sweep loops in the executors use raw pointers + these strides.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/tensor.hpp"
+#include "support/buffer.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace msc::exec {
+
+/// Halo boundary handling between timesteps.
+enum class Boundary {
+  ZeroHalo,  ///< Dirichlet zero: halo cells stay 0
+  Periodic,  ///< wrap-around copy from the opposite interior face
+  External,  ///< halos are managed externally (distributed halo exchange)
+};
+
+template <typename T>
+class GridStorage {
+ public:
+  explicit GridStorage(ir::Tensor tensor) : tensor_(std::move(tensor)) {
+    MSC_CHECK(tensor_ != nullptr) << "GridStorage needs a tensor";
+    MSC_CHECK(sizeof(T) == ir::dtype_size(tensor_->dtype()))
+        << "GridStorage element type does not match tensor dtype "
+        << ir::dtype_name(tensor_->dtype());
+    ndim_ = tensor_->ndim();
+    halo_ = tensor_->halo();
+    std::int64_t padded = 1;
+    for (int d = ndim_ - 1; d >= 0; --d) {
+      extent_[static_cast<std::size_t>(d)] = tensor_->extent(d);
+      stride_[static_cast<std::size_t>(d)] = padded;
+      padded *= tensor_->extent(d) + 2 * halo_;
+    }
+    padded_points_ = padded;
+    slots_.reserve(static_cast<std::size_t>(tensor_->time_window()));
+    for (int s = 0; s < tensor_->time_window(); ++s)
+      slots_.emplace_back(static_cast<std::size_t>(padded) * sizeof(T));
+  }
+
+  const ir::Tensor& tensor() const { return tensor_; }
+  int ndim() const { return ndim_; }
+  std::int64_t halo() const { return halo_; }
+  int slots() const { return static_cast<int>(slots_.size()); }
+  std::int64_t extent(int d) const { return extent_[static_cast<std::size_t>(d)]; }
+  std::int64_t stride(int d) const { return stride_[static_cast<std::size_t>(d)]; }
+  std::int64_t padded_points() const { return padded_points_; }
+
+  /// Ring slot that holds timestep `t` (t may be negative for initial data).
+  int slot_for_time(std::int64_t t) const {
+    const auto w = static_cast<std::int64_t>(slots_.size());
+    return static_cast<int>(((t % w) + w) % w);
+  }
+
+  T* slot_data(int slot) {
+    MSC_CHECK(slot >= 0 && slot < slots()) << "bad slot " << slot;
+    return slots_[static_cast<std::size_t>(slot)].template as<T>().data();
+  }
+  const T* slot_data(int slot) const {
+    MSC_CHECK(slot >= 0 && slot < slots()) << "bad slot " << slot;
+    return slots_[static_cast<std::size_t>(slot)].template as<T>().data();
+  }
+
+  /// Linear index of interior coordinate (coords exclude the halo shift).
+  std::int64_t index(std::array<std::int64_t, 3> coord) const {
+    std::int64_t idx = 0;
+    for (int d = 0; d < ndim_; ++d)
+      idx += (coord[static_cast<std::size_t>(d)] + halo_) * stride_[static_cast<std::size_t>(d)];
+    return idx;
+  }
+
+  T& at(int slot, std::array<std::int64_t, 3> coord) { return slot_data(slot)[index(coord)]; }
+  const T& at(int slot, std::array<std::int64_t, 3> coord) const {
+    return slot_data(slot)[index(coord)];
+  }
+
+  /// Fills the interior of `slot` with deterministic pseudo-random values
+  /// in [-1, 1] (substitute for the paper's /data/rand.data).
+  void fill_random(int slot, std::uint64_t seed) {
+    Rng rng(seed);
+    for_each_interior([&](std::array<std::int64_t, 3> c) {
+      at(slot, c) = static_cast<T>(rng.next_real(-1.0, 1.0));
+    });
+  }
+
+  /// Applies the boundary policy to the halo cells of `slot`.
+  void fill_halo(int slot, Boundary bc) {
+    if (halo_ == 0 || bc == Boundary::External) return;
+    if (bc == Boundary::ZeroHalo) {
+      zero_halo(slot);
+    } else {
+      periodic_halo(slot);
+    }
+  }
+
+  /// Invokes fn on every interior coordinate (row-major, last dim fastest).
+  template <typename Fn>
+  void for_each_interior(Fn&& fn) const {
+    std::array<std::int64_t, 3> c{0, 0, 0};
+    if (ndim_ == 1) {
+      for (c[0] = 0; c[0] < extent_[0]; ++c[0]) fn(c);
+    } else if (ndim_ == 2) {
+      for (c[0] = 0; c[0] < extent_[0]; ++c[0])
+        for (c[1] = 0; c[1] < extent_[1]; ++c[1]) fn(c);
+    } else {
+      for (c[0] = 0; c[0] < extent_[0]; ++c[0])
+        for (c[1] = 0; c[1] < extent_[1]; ++c[1])
+          for (c[2] = 0; c[2] < extent_[2]; ++c[2]) fn(c);
+    }
+  }
+
+ private:
+  void zero_halo(int slot) {
+    // Zero everything that is not interior: iterate the padded box and skip
+    // the interior region.  Halo volume is small, so clarity over speed.
+    T* data = slot_data(slot);
+    std::array<std::int64_t, 3> p{0, 0, 0};  // padded coords
+    const auto in_interior = [&](int d) {
+      return p[static_cast<std::size_t>(d)] >= halo_ &&
+             p[static_cast<std::size_t>(d)] < extent_[static_cast<std::size_t>(d)] + halo_;
+    };
+    iterate_padded([&](std::array<std::int64_t, 3> pc) {
+      p = pc;
+      for (int d = 0; d < ndim_; ++d)
+        if (!in_interior(d)) {
+          std::int64_t idx = 0;
+          for (int e = 0; e < ndim_; ++e)
+            idx += pc[static_cast<std::size_t>(e)] * stride_[static_cast<std::size_t>(e)];
+          data[idx] = T{};
+          return;
+        }
+    });
+  }
+
+  void periodic_halo(int slot) {
+    T* data = slot_data(slot);
+    iterate_padded([&](std::array<std::int64_t, 3> pc) {
+      bool is_halo = false;
+      std::array<std::int64_t, 3> src = pc;
+      for (int d = 0; d < ndim_; ++d) {
+        const auto e = extent_[static_cast<std::size_t>(d)];
+        auto& v = src[static_cast<std::size_t>(d)];
+        if (pc[static_cast<std::size_t>(d)] < halo_) {
+          v = pc[static_cast<std::size_t>(d)] + e;
+          is_halo = true;
+        } else if (pc[static_cast<std::size_t>(d)] >= e + halo_) {
+          v = pc[static_cast<std::size_t>(d)] - e;
+          is_halo = true;
+        }
+      }
+      if (!is_halo) return;
+      std::int64_t dst_idx = 0, src_idx = 0;
+      for (int d = 0; d < ndim_; ++d) {
+        dst_idx += pc[static_cast<std::size_t>(d)] * stride_[static_cast<std::size_t>(d)];
+        src_idx += src[static_cast<std::size_t>(d)] * stride_[static_cast<std::size_t>(d)];
+      }
+      data[dst_idx] = data[src_idx];
+    });
+  }
+
+  template <typename Fn>
+  void iterate_padded(Fn&& fn) const {
+    std::array<std::int64_t, 3> p{0, 0, 0};
+    const auto pe = [&](int d) { return extent_[static_cast<std::size_t>(d)] + 2 * halo_; };
+    if (ndim_ == 1) {
+      for (p[0] = 0; p[0] < pe(0); ++p[0]) fn(p);
+    } else if (ndim_ == 2) {
+      for (p[0] = 0; p[0] < pe(0); ++p[0])
+        for (p[1] = 0; p[1] < pe(1); ++p[1]) fn(p);
+    } else {
+      for (p[0] = 0; p[0] < pe(0); ++p[0])
+        for (p[1] = 0; p[1] < pe(1); ++p[1])
+          for (p[2] = 0; p[2] < pe(2); ++p[2]) fn(p);
+    }
+  }
+
+  ir::Tensor tensor_;
+  int ndim_ = 0;
+  std::int64_t halo_ = 0;
+  std::array<std::int64_t, 3> extent_{1, 1, 1};
+  std::array<std::int64_t, 3> stride_{0, 0, 0};
+  std::int64_t padded_points_ = 0;
+  std::vector<AlignedBuffer> slots_;
+};
+
+/// Maximum relative error between the interiors of two grids' slots, the
+/// correctness metric of paper §5.1 (|a-b| / max(|b|, eps)).
+template <typename T>
+double max_relative_error(const GridStorage<T>& a, int slot_a, const GridStorage<T>& b,
+                          int slot_b) {
+  MSC_CHECK(a.ndim() == b.ndim()) << "rank mismatch";
+  double worst = 0.0;
+  a.for_each_interior([&](std::array<std::int64_t, 3> c) {
+    const double va = static_cast<double>(a.at(slot_a, c));
+    const double vb = static_cast<double>(b.at(slot_b, c));
+    const double denom = std::max(std::abs(vb), 1e-30);
+    worst = std::max(worst, std::abs(va - vb) / denom);
+  });
+  return worst;
+}
+
+/// "zero-halo" / "periodic", for logs and bench output.
+std::string boundary_name(Boundary bc);
+
+}  // namespace msc::exec

@@ -1,0 +1,103 @@
+#include "exec/linearize.hpp"
+
+#include "support/error.hpp"
+
+namespace msc::exec {
+
+namespace {
+
+using ir::BinaryExpr;
+using ir::BinaryOp;
+using ir::Expr;
+using ir::ExprKind;
+
+/// Recursive lowering with an accumulated scalar multiplier and sign.
+/// Returns false when the expression leaves the affine fragment.
+bool lower(const Expr& e, double scale, const Bindings& bindings,
+           std::vector<LinTerm>* terms, std::string* input,
+           const std::map<std::string, int>& axis_dim) {
+  switch (e->kind) {
+    case ExprKind::TensorAccess: {
+      const auto& acc = static_cast<const ir::TensorAccess&>(*e);
+      if (input->empty()) {
+        *input = acc.tensor->name();
+      } else if (*input != acc.tensor->name()) {
+        return false;  // more than one state tensor — outside the fragment
+      }
+      LinTerm term;
+      term.coeff = scale;
+      term.time_offset = acc.time_offset;
+      for (const auto& idx : acc.indices) {
+        const auto it = axis_dim.find(idx.axis);
+        if (it == axis_dim.end()) return false;
+        term.offset[static_cast<std::size_t>(it->second)] = idx.offset;
+      }
+      terms->push_back(term);
+      return true;
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const ir::UnaryExpr&>(*e);
+      return lower(u.operand, -scale, bindings, terms, input, axis_dim);
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(*e);
+      switch (b.op) {
+        case BinaryOp::Add:
+          return lower(b.lhs, scale, bindings, terms, input, axis_dim) &&
+                 lower(b.rhs, scale, bindings, terms, input, axis_dim);
+        case BinaryOp::Sub:
+          return lower(b.lhs, scale, bindings, terms, input, axis_dim) &&
+                 lower(b.rhs, -scale, bindings, terms, input, axis_dim);
+        case BinaryOp::Mul: {
+          // Exactly one side must be a compile-time scalar.
+          double value = 0.0;
+          const Expr* other = nullptr;
+          if (b.lhs->kind == ExprKind::FloatImm) {
+            value = static_cast<const ir::FloatImm&>(*b.lhs).value;
+            other = &b.rhs;
+          } else if (b.lhs->kind == ExprKind::IntImm) {
+            value = static_cast<double>(static_cast<const ir::IntImm&>(*b.lhs).value);
+            other = &b.rhs;
+          } else if (b.lhs->kind == ExprKind::VarRef) {
+            const auto it = bindings.find(static_cast<const ir::VarRef&>(*b.lhs).name);
+            if (it == bindings.end()) return false;
+            value = it->second;
+            other = &b.rhs;
+          } else if (b.rhs->kind == ExprKind::FloatImm) {
+            value = static_cast<const ir::FloatImm&>(*b.rhs).value;
+            other = &b.lhs;
+          } else if (b.rhs->kind == ExprKind::IntImm) {
+            value = static_cast<double>(static_cast<const ir::IntImm&>(*b.rhs).value);
+            other = &b.lhs;
+          } else if (b.rhs->kind == ExprKind::VarRef) {
+            const auto it = bindings.find(static_cast<const ir::VarRef&>(*b.rhs).name);
+            if (it == bindings.end()) return false;
+            value = it->second;
+            other = &b.lhs;
+          } else {
+            return false;
+          }
+          return lower(*other, scale * value, bindings, terms, input, axis_dim);
+        }
+        default:
+          return false;  // Div/Min/Max leave the affine fragment
+      }
+    }
+    default:
+      return false;  // bare scalars, calls, assigns: not an affine stencil term
+  }
+}
+
+}  // namespace
+
+std::optional<LinearKernel> linearize(const ir::Kernel& kernel, const Bindings& bindings) {
+  std::map<std::string, int> axis_dim;
+  for (const auto& ax : kernel.axes()) axis_dim[ax.id_var] = ax.dim;
+
+  LinearKernel out;
+  if (!lower(kernel.rhs(), 1.0, bindings, &out.terms, &out.input, axis_dim)) return std::nullopt;
+  if (out.input.empty()) return std::nullopt;
+  return out;
+}
+
+}  // namespace msc::exec

@@ -1,0 +1,44 @@
+#pragma once
+
+// Lowers a kernel RHS to the affine normal form
+//
+//     out(x) = sum_n  coeff_n * in(x + offset_n)  [at time t + toff_n]
+//
+// which is the hot-path representation both host executors and the Sunway
+// functional simulator evaluate (one fused multiply-add per term).  Any
+// stencil whose RHS is built from +, -, unary minus and scalar*access
+// products lowers exactly; RHS shapes outside that fragment (divides,
+// min/max, calls) fall back to the generic tree evaluator in eval.hpp.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace msc::exec {
+
+/// Named scalar values for coefficients expressed as DSL vars.
+using Bindings = std::map<std::string, double>;
+
+struct LinTerm {
+  double coeff = 1.0;
+  std::array<std::int64_t, 3> offset{0, 0, 0};  ///< per-dim neighbor offset
+  int time_offset = 0;                          ///< relative timestep of the read
+};
+
+struct LinearKernel {
+  std::vector<LinTerm> terms;
+  std::string input;  ///< the single state tensor every term reads
+
+  std::size_t size() const { return terms.size(); }
+};
+
+/// Attempts the lowering; nullopt when the RHS leaves the affine fragment
+/// or reads more than one tensor.
+std::optional<LinearKernel> linearize(const ir::Kernel& kernel, const Bindings& bindings);
+
+}  // namespace msc::exec

@@ -1,0 +1,15 @@
+#include "ir/axis.hpp"
+
+namespace msc::ir {
+
+int find_axis(const AxisList& axes, const std::string& id_var) {
+  for (std::size_t n = 0; n < axes.size(); ++n)
+    if (axes[n].id_var == id_var) return static_cast<int>(n);
+  return -1;
+}
+
+void renumber(AxisList& axes) {
+  for (std::size_t n = 0; n < axes.size(); ++n) axes[n].order = static_cast<int>(n);
+}
+
+}  // namespace msc::ir

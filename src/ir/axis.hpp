@@ -1,0 +1,50 @@
+#pragma once
+
+// Nested-loop IR (paper Table 2, node `Axis`).
+//
+// A kernel's iteration space is an ordered list of axes.  Every axis has a
+// stable id (`id_var`), its position in the nest (`order`, outermost = 0),
+// a half-open range [start, end) and a stride.  The schedule primitives
+// rewrite this list: `tile` splits one axis into an outer/inner pair,
+// `reorder` permutes orders, `parallel` marks one axis as the
+// multi-threaded loop.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msc::ir {
+
+enum class AxisRole {
+  Original,  ///< axis as defined by the kernel (one per grid dimension)
+  Outer,     ///< tile-outer axis produced by the `tile` primitive
+  Inner,     ///< tile-inner axis produced by the `tile` primitive
+};
+
+struct Axis {
+  std::string id_var;          ///< unique name, e.g. "i", "i_outer", "i_inner"
+  int order = 0;               ///< position in the nest, 0 = outermost
+  std::int64_t start = 0;      ///< inclusive lower bound
+  std::int64_t end = 0;        ///< exclusive upper bound
+  std::int64_t stride = 1;     ///< iteration step
+  AxisRole role = AxisRole::Original;
+  int dim = -1;                ///< grid dimension this axis scans (0 = slowest)
+  bool parallel = false;       ///< marked by the `parallel` primitive
+  int num_threads = 0;         ///< thread count when parallel
+  std::int64_t tile_size = 0;  ///< for Outer axes: iterations covered per block
+  bool vectorize = false;      ///< innermost-axis SIMD hint (Matrix backend)
+  int unroll = 0;              ///< unroll factor hint (0 = none)
+
+  std::int64_t trip_count() const { return (end - start + stride - 1) / stride; }
+};
+
+/// Ordered loop nest; index 0 is the outermost loop.
+using AxisList = std::vector<Axis>;
+
+/// Returns the index of the axis named `id_var`, or -1.
+int find_axis(const AxisList& axes, const std::string& id_var);
+
+/// Re-assigns `order` fields to match vector positions.
+void renumber(AxisList& axes);
+
+}  // namespace msc::ir

@@ -1,0 +1,184 @@
+#include "ir/expr.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace msc::ir {
+
+std::string unary_op_name(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::Neg: return "neg";
+  }
+  MSC_FAIL() << "unknown unary op";
+}
+
+std::string binary_op_name(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add: return "add";
+    case BinaryOp::Sub: return "sub";
+    case BinaryOp::Mul: return "mul";
+    case BinaryOp::Div: return "div";
+    case BinaryOp::Min: return "min";
+    case BinaryOp::Max: return "max";
+  }
+  MSC_FAIL() << "unknown binary op";
+}
+
+std::string binary_op_token(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Min: return "fmin";
+    case BinaryOp::Max: return "fmax";
+  }
+  MSC_FAIL() << "unknown binary op";
+}
+
+TensorAccess::TensorAccess(Tensor t, std::vector<IndexExpr> idx, int toff)
+    : ExprNode(ExprKind::TensorAccess, t->dtype()),
+      tensor(std::move(t)),
+      indices(std::move(idx)),
+      time_offset(toff) {
+  MSC_CHECK(static_cast<int>(indices.size()) == tensor->ndim())
+      << "access of " << tensor->name() << " has " << indices.size() << " subscripts, tensor is "
+      << tensor->ndim() << "-D";
+  MSC_CHECK(time_offset <= 0) << "access of " << tensor->name()
+                              << " reads the future (time offset " << time_offset << ")";
+}
+
+AssignExpr::AssignExpr(std::shared_ptr<const TensorAccess> l, Expr r)
+    : ExprNode(ExprKind::Assign, l->dtype), lhs(std::move(l)), rhs(std::move(r)) {
+  for (const auto& idx : lhs->indices)
+    MSC_CHECK(idx.offset == 0) << "assignment target " << lhs->tensor->name()
+                               << " must use zero-offset indices";
+}
+
+Expr make_int(std::int64_t v) { return std::make_shared<IntImm>(v); }
+Expr make_float(double v, DataType dt) { return std::make_shared<FloatImm>(v, dt); }
+Expr make_var(std::string name, DataType dt) {
+  return std::make_shared<VarRef>(std::move(name), dt);
+}
+Expr make_access(Tensor t, std::vector<IndexExpr> idx, int time_offset) {
+  return std::make_shared<TensorAccess>(std::move(t), std::move(idx), time_offset);
+}
+Expr make_unary(UnaryOp op, Expr v) { return std::make_shared<UnaryExpr>(op, std::move(v)); }
+Expr make_binary(BinaryOp op, Expr l, Expr r) {
+  return std::make_shared<BinaryExpr>(op, std::move(l), std::move(r));
+}
+Expr make_call(std::string func, std::vector<Expr> args, DataType dt) {
+  return std::make_shared<CallFuncExpr>(std::move(func), std::move(args), dt);
+}
+Expr make_assign(Expr lhs_access, Expr rhs) {
+  MSC_CHECK(lhs_access->kind == ExprKind::TensorAccess) << "assignment target must be an access";
+  auto acc = std::static_pointer_cast<const TensorAccess>(lhs_access);
+  return std::make_shared<AssignExpr>(std::move(acc), std::move(rhs));
+}
+
+void visit_exprs(const Expr& e, const std::function<void(const ExprNode&)>& fn) {
+  if (!e) return;
+  fn(*e);
+  switch (e->kind) {
+    case ExprKind::Unary:
+      visit_exprs(static_cast<const UnaryExpr&>(*e).operand, fn);
+      break;
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(*e);
+      visit_exprs(b.lhs, fn);
+      visit_exprs(b.rhs, fn);
+      break;
+    }
+    case ExprKind::CallFunc:
+      for (const auto& a : static_cast<const CallFuncExpr&>(*e).args) visit_exprs(a, fn);
+      break;
+    case ExprKind::Assign: {
+      const auto& a = static_cast<const AssignExpr&>(*e);
+      fn(*a.lhs);
+      visit_exprs(a.rhs, fn);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+OpCount count_ops(const Expr& e) {
+  OpCount c;
+  visit_exprs(e, [&c](const ExprNode& n) {
+    if (n.kind == ExprKind::Binary) {
+      switch (static_cast<const BinaryExpr&>(n).op) {
+        case BinaryOp::Add:
+        case BinaryOp::Sub: ++c.add_sub; break;
+        case BinaryOp::Mul: ++c.mul; break;
+        case BinaryOp::Div: ++c.div; break;
+        case BinaryOp::Min:
+        case BinaryOp::Max: ++c.other; break;
+      }
+    } else if (n.kind == ExprKind::Unary || n.kind == ExprKind::CallFunc) {
+      ++c.other;
+    }
+  });
+  return c;
+}
+
+std::vector<std::shared_ptr<const TensorAccess>> collect_accesses(const Expr& e) {
+  std::vector<std::shared_ptr<const TensorAccess>> out;
+  // visit_exprs hands out references, but we need the shared_ptr — walk
+  // manually instead.
+  std::function<void(const Expr&)> walk = [&](const Expr& node) {
+    if (!node) return;
+    switch (node->kind) {
+      case ExprKind::TensorAccess:
+        out.push_back(std::static_pointer_cast<const TensorAccess>(node));
+        break;
+      case ExprKind::Unary:
+        walk(std::static_pointer_cast<const UnaryExpr>(node)->operand);
+        break;
+      case ExprKind::Binary: {
+        auto b = std::static_pointer_cast<const BinaryExpr>(node);
+        walk(b->lhs);
+        walk(b->rhs);
+        break;
+      }
+      case ExprKind::CallFunc:
+        for (const auto& a : std::static_pointer_cast<const CallFuncExpr>(node)->args) walk(a);
+        break;
+      case ExprKind::Assign:
+        walk(std::static_pointer_cast<const AssignExpr>(node)->rhs);
+        break;
+      default:
+        break;
+    }
+  };
+  walk(e);
+  return out;
+}
+
+std::int64_t count_distinct_reads(const Expr& e) {
+  std::set<std::tuple<std::string, std::vector<IndexExpr>, int>> seen;
+  for (const auto& acc : collect_accesses(e))
+    seen.insert({acc->tensor->name(), acc->indices, acc->time_offset});
+  return static_cast<std::int64_t>(seen.size());
+}
+
+std::vector<std::int64_t> access_radius(const Expr& e, const std::string& tensor_name,
+                                        int ndim) {
+  std::vector<std::int64_t> radius(static_cast<std::size_t>(ndim), 0);
+  for (const auto& acc : collect_accesses(e)) {
+    if (acc->tensor->name() != tensor_name) continue;
+    for (std::size_t d = 0; d < acc->indices.size() && d < radius.size(); ++d)
+      radius[d] = std::max(radius[d], std::abs(acc->indices[d].offset));
+  }
+  return radius;
+}
+
+int min_time_offset(const Expr& e) {
+  int lowest = 0;
+  for (const auto& acc : collect_accesses(e)) lowest = std::min(lowest, acc->time_offset);
+  return lowest;
+}
+
+}  // namespace msc::ir

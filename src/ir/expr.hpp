@@ -1,0 +1,167 @@
+#pragma once
+
+// Expression IR (paper Table 2): value assignment, unary/binary operators,
+// external function calls and index calculations.
+//
+// Expressions are immutable trees shared via shared_ptr<const ExprNode>.
+// Stencil accesses are affine with unit coefficients: every tensor index is
+// `axis + constant offset` (an IndexExpr), which is what lets the analyses
+// below compute footprints, halos and byte/op counts exactly.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/tensor.hpp"
+#include "ir/type.hpp"
+
+namespace msc::ir {
+
+enum class ExprKind {
+  IntImm,
+  FloatImm,
+  VarRef,
+  TensorAccess,
+  Unary,
+  Binary,
+  CallFunc,
+  Assign,
+};
+
+enum class UnaryOp { Neg };
+enum class BinaryOp { Add, Sub, Mul, Div, Min, Max };
+
+std::string unary_op_name(UnaryOp op);
+std::string binary_op_name(BinaryOp op);
+/// C operator token; Min/Max render as fmin/fmax calls instead.
+std::string binary_op_token(BinaryOp op);
+
+struct ExprNode;
+using Expr = std::shared_ptr<const ExprNode>;
+
+/// IndexExpr (paper Table 2): one tensor subscript of the form `axis + off`.
+struct IndexExpr {
+  std::string axis;          ///< id_var of the axis being indexed
+  std::int64_t offset = 0;   ///< constant neighbor offset
+
+  bool operator==(const IndexExpr&) const = default;
+  bool operator<(const IndexExpr& o) const {
+    return axis != o.axis ? axis < o.axis : offset < o.offset;
+  }
+};
+
+struct ExprNode {
+  ExprKind kind;
+  DataType dtype;
+
+  ExprNode(ExprKind k, DataType dt) : kind(k), dtype(dt) {}
+  virtual ~ExprNode() = default;
+};
+
+struct IntImm final : ExprNode {
+  std::int64_t value;
+  explicit IntImm(std::int64_t v) : ExprNode(ExprKind::IntImm, DataType::i32), value(v) {}
+};
+
+struct FloatImm final : ExprNode {
+  double value;
+  explicit FloatImm(double v, DataType dt = DataType::f64)
+      : ExprNode(ExprKind::FloatImm, dt), value(v) {}
+};
+
+/// Reference to a named scalar (a DSL coefficient or loop variable).
+struct VarRef final : ExprNode {
+  std::string name;
+  VarRef(std::string n, DataType dt) : ExprNode(ExprKind::VarRef, dt), name(std::move(n)) {}
+};
+
+/// Read of tensor element `tensor[idx0, idx1, ...]` at relative timestep
+/// `time_offset` (0 = current window slot; -1, -2 reach back in time).
+struct TensorAccess final : ExprNode {
+  Tensor tensor;
+  std::vector<IndexExpr> indices;
+  int time_offset;
+
+  TensorAccess(Tensor t, std::vector<IndexExpr> idx, int toff);
+};
+
+struct UnaryExpr final : ExprNode {
+  UnaryOp op;
+  Expr operand;
+  UnaryExpr(UnaryOp o, Expr v) : ExprNode(ExprKind::Unary, v->dtype), op(o), operand(std::move(v)) {}
+};
+
+struct BinaryExpr final : ExprNode {
+  BinaryOp op;
+  Expr lhs, rhs;
+  BinaryExpr(BinaryOp o, Expr l, Expr r)
+      : ExprNode(ExprKind::Binary, dtype_promote(l->dtype, r->dtype)),
+        op(o),
+        lhs(std::move(l)),
+        rhs(std::move(r)) {}
+};
+
+/// External function call, e.g. sqrt/exp in boundary conditions.
+struct CallFuncExpr final : ExprNode {
+  std::string func;
+  std::vector<Expr> args;
+  CallFuncExpr(std::string f, std::vector<Expr> a, DataType dt)
+      : ExprNode(ExprKind::CallFunc, dt), func(std::move(f)), args(std::move(a)) {}
+};
+
+/// `lhs = rhs` where lhs is a zero-offset access of the kernel's output.
+struct AssignExpr final : ExprNode {
+  std::shared_ptr<const TensorAccess> lhs;
+  Expr rhs;
+  AssignExpr(std::shared_ptr<const TensorAccess> l, Expr r);
+};
+
+// ----- constructors ---------------------------------------------------------
+
+Expr make_int(std::int64_t v);
+Expr make_float(double v, DataType dt = DataType::f64);
+Expr make_var(std::string name, DataType dt);
+Expr make_access(Tensor t, std::vector<IndexExpr> idx, int time_offset = 0);
+Expr make_unary(UnaryOp op, Expr v);
+Expr make_binary(BinaryOp op, Expr l, Expr r);
+Expr make_call(std::string func, std::vector<Expr> args, DataType dt);
+Expr make_assign(Expr lhs_access, Expr rhs);
+
+// ----- analyses -------------------------------------------------------------
+
+/// Arithmetic-op census over an expression tree (the paper's "Ops (+-x)"
+/// column counts adds, subs and muls; divides are reported separately).
+struct OpCount {
+  std::int64_t add_sub = 0;
+  std::int64_t mul = 0;
+  std::int64_t div = 0;
+  std::int64_t other = 0;  ///< min/max/neg/calls
+
+  std::int64_t plus_minus_times() const { return add_sub + mul; }
+  std::int64_t flops() const { return add_sub + mul + div + other; }
+};
+
+OpCount count_ops(const Expr& e);
+
+/// All tensor reads in the tree, in syntactic order.
+std::vector<std::shared_ptr<const TensorAccess>> collect_accesses(const Expr& e);
+
+/// Distinct (tensor, indices, time) triples — the unique-read footprint.
+std::int64_t count_distinct_reads(const Expr& e);
+
+/// Per-dimension maximum |offset| over every access of `tensor_name`
+/// (the stencil radius, which determines the halo requirement).
+std::vector<std::int64_t> access_radius(const Expr& e, const std::string& tensor_name,
+                                        int ndim);
+
+/// Most negative time offset over all accesses (0 if none); a stencil whose
+/// deepest reach is -2 needs a sliding window of 3 slots.
+int min_time_offset(const Expr& e);
+
+/// Generic recursive visitor; `fn` is invoked on every node pre-order.
+void visit_exprs(const Expr& e, const std::function<void(const ExprNode&)>& fn);
+
+}  // namespace msc::ir

@@ -1,0 +1,83 @@
+#include "ir/kernel.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace msc::ir {
+
+Kernel::Kernel(std::string name, Tensor output, AxisList axes, Expr rhs)
+    : name_(std::move(name)), output_(std::move(output)), axes_(std::move(axes)), rhs_(std::move(rhs)) {
+  MSC_CHECK(!name_.empty()) << "kernel needs a name";
+  MSC_CHECK(output_ != nullptr) << "kernel " << name_ << ": null output tensor";
+  MSC_CHECK(rhs_ != nullptr) << "kernel " << name_ << ": null RHS";
+  MSC_CHECK(static_cast<int>(axes_.size()) == output_->ndim())
+      << "kernel " << name_ << ": axis count " << axes_.size() << " != output rank "
+      << output_->ndim();
+  renumber(axes_);
+  for (std::size_t d = 0; d < axes_.size(); ++d) {
+    axes_[d].role = AxisRole::Original;
+    axes_[d].dim = static_cast<int>(d);
+  }
+
+  // Characterize: distinct reads, bytes, ops, radius.
+  const auto dt_bytes = static_cast<std::int64_t>(dtype_size(output_->dtype()));
+  stats_.points_read = count_distinct_reads(rhs_);
+  stats_.bytes_read = stats_.points_read * dt_bytes;
+  stats_.bytes_written = dt_bytes;
+  stats_.ops = count_ops(rhs_);
+  stats_.radius.assign(static_cast<std::size_t>(output_->ndim()), 0);
+  for (const auto& acc : collect_accesses(rhs_)) {
+    for (std::size_t d = 0; d < acc->indices.size() && d < stats_.radius.size(); ++d)
+      stats_.radius[d] = std::max(stats_.radius[d], std::abs(acc->indices[d].offset));
+  }
+  for (auto r : stats_.radius) stats_.max_radius = std::max(stats_.max_radius, r);
+  min_time_offset_ = ir::min_time_offset(rhs_);
+
+  // Validate that every read stays within the declared halo of its tensor.
+  for (const auto& acc : collect_accesses(rhs_)) {
+    for (const auto& idx : acc->indices) {
+      MSC_CHECK(std::abs(idx.offset) <= acc->tensor->halo())
+          << "kernel " << name_ << ": access " << acc->tensor->name() << "[" << idx.axis
+          << (idx.offset >= 0 ? "+" : "") << idx.offset << "] exceeds declared halo "
+          << acc->tensor->halo();
+    }
+  }
+}
+
+std::vector<Tensor> Kernel::inputs() const {
+  std::vector<Tensor> out;
+  std::set<std::string> seen;
+  for (const auto& acc : collect_accesses(rhs_)) {
+    if (seen.insert(acc->tensor->name()).second) out.push_back(acc->tensor);
+  }
+  return out;
+}
+
+KernelPtr make_kernel(std::string name, Tensor output, AxisList axes, Expr rhs) {
+  return std::make_shared<Kernel>(std::move(name), std::move(output), std::move(axes),
+                                  std::move(rhs));
+}
+
+AxisList default_axes(const Tensor& t) {
+  static const char* kNames3[] = {"k", "j", "i"};
+  static const char* kNames2[] = {"j", "i"};
+  static const char* kNames1[] = {"i"};
+  const char** names = t->ndim() == 3 ? kNames3 : (t->ndim() == 2 ? kNames2 : kNames1);
+  AxisList axes;
+  for (int d = 0; d < t->ndim(); ++d) {
+    Axis ax;
+    ax.id_var = names[d];
+    ax.order = d;
+    ax.start = 0;
+    ax.end = t->extent(d);
+    ax.stride = 1;
+    ax.role = AxisRole::Original;
+    ax.dim = d;
+    axes.push_back(ax);
+  }
+  return axes;
+}
+
+}  // namespace msc::ir

@@ -1,0 +1,73 @@
+#pragma once
+
+// Kernel IR node (paper Table 2): one basic stencil sweep, e.g. a 3-D
+// Laplacian.  A Kernel is the unit the schedule primitives operate on; a
+// Stencil (stencil.hpp) combines kernel applications from several previous
+// timesteps.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/axis.hpp"
+#include "ir/expr.hpp"
+#include "ir/tensor.hpp"
+
+namespace msc::ir {
+
+/// Static characterization of one kernel application at a single grid point
+/// (the quantities of the paper's Table 4).
+struct KernelStats {
+  std::int64_t points_read = 0;    ///< distinct neighbor elements read
+  std::int64_t bytes_read = 0;     ///< points_read x sizeof(dtype)
+  std::int64_t bytes_written = 0;  ///< one output element
+  OpCount ops;                     ///< arithmetic census of the RHS
+  std::vector<std::int64_t> radius;  ///< per-dimension max |offset|
+  std::int64_t max_radius = 0;
+};
+
+class Kernel {
+ public:
+  /// `axes` must contain one Original axis per dimension of `output`, in
+  /// nest order (outermost first); `rhs` is the update expression whose
+  /// tensor accesses index those axes.
+  Kernel(std::string name, Tensor output, AxisList axes, Expr rhs);
+
+  const std::string& name() const { return name_; }
+  const Tensor& output() const { return output_; }
+  const AxisList& axes() const { return axes_; }
+  const Expr& rhs() const { return rhs_; }
+
+  /// Input tensors read by the RHS (deduplicated, in first-use order).
+  std::vector<Tensor> inputs() const;
+
+  /// Per-point characterization; computed once at construction.
+  const KernelStats& stats() const { return stats_; }
+
+  /// Deepest time offset the RHS reaches (0 or negative).
+  int min_time_offset() const { return min_time_offset_; }
+
+  /// Required sliding-window width when this kernel self-references
+  /// `window = 1 - min_time_offset` (paper Fig. 5: deps on t-1 and t-2 need 3).
+  int required_time_window() const { return 1 - min_time_offset_; }
+
+ private:
+  std::string name_;
+  Tensor output_;
+  AxisList axes_;
+  Expr rhs_;
+  KernelStats stats_;
+  int min_time_offset_ = 0;
+};
+
+using KernelPtr = std::shared_ptr<const Kernel>;
+
+KernelPtr make_kernel(std::string name, Tensor output, AxisList axes, Expr rhs);
+
+/// Builds the canonical loop nest for a tensor: one axis per dimension over
+/// the interior, outermost = slowest-varying dimension, with conventional
+/// names ("k","j","i" for 3-D; "j","i" for 2-D; "i" for 1-D).
+AxisList default_axes(const Tensor& t);
+
+}  // namespace msc::ir

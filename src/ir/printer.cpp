@@ -1,0 +1,111 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace msc::ir {
+
+std::string to_string(const Expr& e) {
+  if (!e) return "<null>";
+  std::ostringstream out;
+  switch (e->kind) {
+    case ExprKind::IntImm:
+      out << static_cast<const IntImm&>(*e).value;
+      break;
+    case ExprKind::FloatImm:
+      out << static_cast<const FloatImm&>(*e).value;
+      break;
+    case ExprKind::VarRef:
+      out << static_cast<const VarRef&>(*e).name;
+      break;
+    case ExprKind::TensorAccess: {
+      const auto& a = static_cast<const TensorAccess&>(*e);
+      out << a.tensor->name();
+      if (a.time_offset != 0) out << "@t" << a.time_offset;
+      out << "[";
+      std::vector<std::string> subs;
+      for (const auto& idx : a.indices) {
+        std::string s = idx.axis;
+        if (idx.offset > 0) s += "+" + std::to_string(idx.offset);
+        if (idx.offset < 0) s += std::to_string(idx.offset);
+        subs.push_back(s);
+      }
+      out << join(subs, ",") << "]";
+      break;
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(*e);
+      out << "(-" << to_string(u.operand) << ")";
+      break;
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(*e);
+      if (b.op == BinaryOp::Min || b.op == BinaryOp::Max) {
+        out << binary_op_token(b.op) << "(" << to_string(b.lhs) << ", " << to_string(b.rhs) << ")";
+      } else {
+        out << "(" << to_string(b.lhs) << " " << binary_op_token(b.op) << " " << to_string(b.rhs)
+            << ")";
+      }
+      break;
+    }
+    case ExprKind::CallFunc: {
+      const auto& c = static_cast<const CallFuncExpr&>(*e);
+      std::vector<std::string> args;
+      for (const auto& a : c.args) args.push_back(to_string(a));
+      out << c.func << "(" << join(args, ", ") << ")";
+      break;
+    }
+    case ExprKind::Assign: {
+      const auto& a = static_cast<const AssignExpr&>(*e);
+      out << to_string(std::static_pointer_cast<const ExprNode>(a.lhs)) << " = "
+          << to_string(a.rhs);
+      break;
+    }
+  }
+  return out.str();
+}
+
+std::string to_string(const Axis& ax) {
+  std::ostringstream out;
+  out << "for " << ax.id_var << " in [" << ax.start << ", " << ax.end << ")";
+  if (ax.stride != 1) out << " step " << ax.stride;
+  if (ax.parallel) out << " parallel(" << ax.num_threads << ")";
+  return out.str();
+}
+
+std::string to_string(const AxisList& axes) {
+  std::string out;
+  std::string indent;
+  for (const auto& ax : axes) {
+    out += indent + to_string(ax) + "\n";
+    indent += "  ";
+  }
+  return out;
+}
+
+std::string to_string(const Kernel& k) {
+  std::ostringstream out;
+  out << "Kernel " << k.name() << " -> " << k.output()->name() << " ("
+      << dtype_name(k.output()->dtype()) << ")\n";
+  out << to_string(k.axes());
+  out << std::string(2 * k.axes().size(), ' ') << k.output()->name() << "[...] = "
+      << to_string(k.rhs()) << "\n";
+  return out.str();
+}
+
+std::string to_string(const StencilDef& st) {
+  std::ostringstream out;
+  out << "Stencil " << st.name() << ": " << st.result()->name() << "[t] <<";
+  for (const auto& term : st.terms()) {
+    out << " ";
+    if (term.weight != 1.0) out << term.weight << "*";
+    out << term.kernel->name() << "[t" << term.time_offset << "]";
+    if (&term != &st.terms().back()) out << " +";
+  }
+  out << "  (window=" << st.time_window() << ", radius=" << st.max_radius() << ")\n";
+  return out.str();
+}
+
+}  // namespace msc::ir

@@ -1,0 +1,20 @@
+#pragma once
+
+// Human-readable dumps of IR trees — used by error messages, tests and
+// `msc::dsl::Program::dump()`.
+
+#include <string>
+
+#include "ir/expr.hpp"
+#include "ir/kernel.hpp"
+#include "ir/stencil.hpp"
+
+namespace msc::ir {
+
+std::string to_string(const Expr& e);
+std::string to_string(const Axis& ax);
+std::string to_string(const AxisList& axes);
+std::string to_string(const Kernel& k);
+std::string to_string(const StencilDef& st);
+
+}  // namespace msc::ir

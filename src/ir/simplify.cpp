@@ -1,0 +1,106 @@
+#include "ir/simplify.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "support/error.hpp"
+
+namespace msc::ir {
+
+namespace {
+
+/// Literal value of e when it is an IntImm/FloatImm.
+std::optional<double> const_value(const Expr& e) {
+  if (e->kind == ExprKind::IntImm) {
+    return static_cast<double>(static_cast<const IntImm&>(*e).value);
+  }
+  if (e->kind == ExprKind::FloatImm) return static_cast<const FloatImm&>(*e).value;
+  return std::nullopt;
+}
+
+Expr make_const_like(double v, const Expr& like) {
+  if (like->dtype == DataType::i32 && v == static_cast<double>(static_cast<std::int64_t>(v)))
+    return make_int(static_cast<std::int64_t>(v));
+  return make_float(v, dtype_is_float(like->dtype) ? like->dtype : DataType::f64);
+}
+
+}  // namespace
+
+bool is_const(const Expr& e, double value) {
+  const auto v = const_value(e);
+  return v.has_value() && *v == value;
+}
+
+Expr simplify(const Expr& e) {
+  if (!e) return e;
+  switch (e->kind) {
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(*e);
+      Expr v = simplify(u.operand);
+      // -(-x) -> x
+      if (v->kind == ExprKind::Unary) return static_cast<const UnaryExpr&>(*v).operand;
+      if (const auto c = const_value(v)) return make_const_like(-*c, e);
+      if (v == u.operand) return e;
+      return make_unary(u.op, std::move(v));
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(*e);
+      Expr l = simplify(b.lhs);
+      Expr r = simplify(b.rhs);
+      const auto cl = const_value(l), cr = const_value(r);
+      if (cl && cr) {
+        switch (b.op) {
+          case BinaryOp::Add: return make_const_like(*cl + *cr, e);
+          case BinaryOp::Sub: return make_const_like(*cl - *cr, e);
+          case BinaryOp::Mul: return make_const_like(*cl * *cr, e);
+          case BinaryOp::Div:
+            MSC_CHECK(*cr != 0.0) << "constant division by zero during simplification";
+            return make_const_like(*cl / *cr, e);
+          case BinaryOp::Min: return make_const_like(std::min(*cl, *cr), e);
+          case BinaryOp::Max: return make_const_like(std::max(*cl, *cr), e);
+        }
+      }
+      switch (b.op) {
+        case BinaryOp::Add:
+          if (cl && *cl == 0.0) return r;
+          if (cr && *cr == 0.0) return l;
+          break;
+        case BinaryOp::Sub:
+          if (cr && *cr == 0.0) return l;
+          break;
+        case BinaryOp::Mul:
+          if ((cl && *cl == 0.0) || (cr && *cr == 0.0)) return make_const_like(0.0, e);
+          if (cl && *cl == 1.0) return r;
+          if (cr && *cr == 1.0) return l;
+          break;
+        case BinaryOp::Div:
+          if (cr && *cr == 1.0) return l;
+          break;
+        default:
+          break;
+      }
+      if (l == b.lhs && r == b.rhs) return e;
+      return make_binary(b.op, std::move(l), std::move(r));
+    }
+    case ExprKind::CallFunc: {
+      const auto& c = static_cast<const CallFuncExpr&>(*e);
+      std::vector<Expr> args;
+      bool changed = false;
+      for (const auto& a : c.args) {
+        args.push_back(simplify(a));
+        changed |= args.back() != a;
+      }
+      return changed ? make_call(c.func, std::move(args), c.dtype) : e;
+    }
+    case ExprKind::Assign: {
+      const auto& a = static_cast<const AssignExpr&>(*e);
+      Expr rhs = simplify(a.rhs);
+      if (rhs == a.rhs) return e;
+      return std::make_shared<AssignExpr>(a.lhs, std::move(rhs));
+    }
+    default:
+      return e;
+  }
+}
+
+}  // namespace msc::ir

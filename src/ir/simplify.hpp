@@ -1,0 +1,30 @@
+#pragma once
+
+// Algebraic simplification pass over expression IR.
+//
+// The DSL's operator overloading builds expressions verbatim; generated
+// code quality (and the op counts the cost model sees) improves when
+// trivial algebra is folded before scheduling:
+//
+//   const + const        ->  folded constant
+//   x * 1, 1 * x         ->  x
+//   x * 0, 0 * x         ->  0        (exact for the finite stencil values
+//                                      MSC computes on; documented)
+//   x + 0, 0 + x, x - 0  ->  x
+//   -(-x)                ->  x
+//   x / 1                ->  x
+//
+// The pass is pure: it returns a new tree and never mutates shared nodes.
+
+#include "ir/expr.hpp"
+
+namespace msc::ir {
+
+/// Returns the simplified expression (possibly the same pointer when no
+/// rule applied anywhere in the tree).
+Expr simplify(const Expr& e);
+
+/// True when the expression is a literal with the given value.
+bool is_const(const Expr& e, double value);
+
+}  // namespace msc::ir

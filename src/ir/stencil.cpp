@@ -1,0 +1,74 @@
+#include "ir/stencil.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace msc::ir {
+
+StencilDef::StencilDef(std::string name, Tensor result, std::vector<TimeTerm> terms)
+    : name_(std::move(name)), result_(std::move(result)), terms_(std::move(terms)) {
+  MSC_CHECK(!name_.empty()) << "stencil needs a name";
+  MSC_CHECK(result_ != nullptr) << "stencil " << name_ << ": null result tensor";
+  MSC_CHECK(!terms_.empty()) << "stencil " << name_ << ": needs at least one time term";
+
+  std::set<int> offsets;
+  for (const auto& term : terms_) {
+    MSC_CHECK(term.kernel != nullptr) << "stencil " << name_ << ": null kernel term";
+    MSC_CHECK(term.time_offset < 0)
+        << "stencil " << name_ << ": term offset " << term.time_offset
+        << " must reference a previous timestep (t-1, t-2, ...)";
+    MSC_CHECK(offsets.insert(term.time_offset).second)
+        << "stencil " << name_ << ": duplicate time offset " << term.time_offset;
+    min_time_offset_ = std::min(min_time_offset_, term.time_offset);
+    max_radius_ = std::max(max_radius_, term.kernel->stats().max_radius);
+
+    // The state grid is the input matching the result tensor; every other
+    // input is a read-only auxiliary grid (coefficients etc.) accessed at
+    // the current timestep only.
+    for (const auto& input : term.kernel->inputs()) {
+      if (input->name() == result_->name()) {
+        if (state_ == nullptr) state_ = input;
+        continue;
+      }
+      bool known = false;
+      for (const auto& aux : aux_) known |= aux->name() == input->name();
+      if (!known) {
+        MSC_CHECK(input->time_window() == 1)
+            << "stencil " << name_ << ": auxiliary grid '" << input->name()
+            << "' must not declare a time window (only the state grid iterates in time)";
+        aux_.push_back(input);
+      }
+    }
+    MSC_CHECK(term.kernel->output()->shape() == result_->shape())
+        << "stencil " << name_ << ": kernel output shape mismatch with result";
+  }
+  MSC_CHECK(state_ != nullptr)
+      << "stencil " << name_ << ": no kernel reads the result grid '" << result_->name()
+      << "' (the state grid must appear in the update expression)";
+  for (const auto& aux : aux_) {
+    for (const auto& term : terms_) {
+      for (const auto& acc : collect_accesses(term.kernel->rhs())) {
+        if (acc->tensor->name() != aux->name()) continue;
+        MSC_CHECK(acc->time_offset == 0)
+            << "stencil " << name_ << ": auxiliary grid '" << aux->name()
+            << "' must be read at the current timestep";
+      }
+    }
+  }
+  time_window_ = 1 - min_time_offset_;
+  MSC_CHECK(state_->time_window() >= time_window_)
+      << "stencil " << name_ << ": state grid '" << state_->name() << "' declares a time window of "
+      << state_->time_window() << " but the stencil needs " << time_window_
+      << " (declare it with DefTensor*_TimeWin)";
+  MSC_CHECK(state_->halo() >= max_radius_)
+      << "stencil " << name_ << ": state halo " << state_->halo() << " < stencil radius "
+      << max_radius_;
+}
+
+StencilPtr make_stencil(std::string name, Tensor result, std::vector<TimeTerm> terms) {
+  return std::make_shared<StencilDef>(std::move(name), std::move(result), std::move(terms));
+}
+
+}  // namespace msc::ir

@@ -1,0 +1,76 @@
+#pragma once
+
+// Stencil IR node (paper Table 2): a stencil with multiple time
+// dependencies, composed of Kernel applications at distinct previous
+// timesteps:   Res[t] = sum_m  w_m * K_m( state[t + off_m] )
+//
+// The state grid is the kernels' input SpNode; its sliding time window
+// (paper Fig. 5) retains `time_window()` slots so that every K_m can read
+// the timestep it depends on.  After a step, Res is rotated into the
+// newest window slot.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "ir/tensor.hpp"
+
+namespace msc::ir {
+
+/// One term of the temporal combination: kernel applied to the state grid
+/// as it was at relative timestep `time_offset` (must be negative — the
+/// paper's S_3d7pt[t-1] has offset -1), scaled by `weight`.
+struct TimeTerm {
+  KernelPtr kernel;
+  int time_offset = -1;
+  double weight = 1.0;
+};
+
+class StencilDef {
+ public:
+  StencilDef(std::string name, Tensor result, std::vector<TimeTerm> terms);
+
+  const std::string& name() const { return name_; }
+  const Tensor& result() const { return result_; }
+  const std::vector<TimeTerm>& terms() const { return terms_; }
+
+  /// The state grid every term's kernel reads through the time window
+  /// (identified as the input matching the result tensor).
+  const Tensor& state() const { return state_; }
+
+  /// Read-only auxiliary grids (coefficient fields, velocity fields, ...)
+  /// read at the current timestep only — the paper's §5.6 extension for
+  /// real-world kernels (WRF advect, POP2 diffusion) that need more than
+  /// one input grid.
+  const std::vector<Tensor>& aux_inputs() const { return aux_; }
+
+  /// Slots the sliding window must retain: 1 (the new output) plus the
+  /// deepest dependency (offsets -1 and -2 need a window of 3, Fig. 5c).
+  int time_window() const { return time_window_; }
+
+  /// Deepest (most negative) time offset among terms.
+  int min_time_offset() const { return min_time_offset_; }
+
+  /// Widest spatial radius over all member kernels (halo requirement).
+  std::int64_t max_radius() const { return max_radius_; }
+
+  /// Number of distinct previous timesteps read ("Time Dep." in Table 4).
+  int time_dependencies() const { return static_cast<int>(terms_.size()); }
+
+ private:
+  std::string name_;
+  Tensor result_;
+  std::vector<TimeTerm> terms_;
+  Tensor state_;
+  std::vector<Tensor> aux_;
+  int time_window_ = 2;
+  int min_time_offset_ = -1;
+  std::int64_t max_radius_ = 0;
+};
+
+using StencilPtr = std::shared_ptr<const StencilDef>;
+
+StencilPtr make_stencil(std::string name, Tensor result, std::vector<TimeTerm> terms);
+
+}  // namespace msc::ir

@@ -1,0 +1,59 @@
+#include "ir/tensor.hpp"
+
+#include "support/error.hpp"
+
+namespace msc::ir {
+
+TensorDecl::TensorDecl(std::string name, TensorKind kind, DataType dtype,
+                       std::vector<std::int64_t> shape, std::int64_t halo, int time_window)
+    : name_(std::move(name)),
+      kind_(kind),
+      dtype_(dtype),
+      shape_(std::move(shape)),
+      halo_(halo),
+      time_window_(time_window) {
+  MSC_CHECK(!name_.empty()) << "tensor needs a name";
+  MSC_CHECK(!shape_.empty() && shape_.size() <= 3)
+      << "tensor " << name_ << ": only 1-D/2-D/3-D grids are supported";
+  for (auto e : shape_)
+    MSC_CHECK(e > 0) << "tensor " << name_ << ": extents must be positive";
+  MSC_CHECK(halo_ >= 0) << "tensor " << name_ << ": halo must be non-negative";
+  MSC_CHECK(kind_ != TensorKind::TeNode || halo_ == 0)
+      << "tensor " << name_ << ": TeNode cannot carry a halo";
+  MSC_CHECK(time_window_ >= 1) << "tensor " << name_ << ": time window must be >= 1";
+}
+
+std::int64_t TensorDecl::extent(int dim) const {
+  MSC_CHECK(dim >= 0 && dim < ndim()) << "tensor " << name_ << ": bad dim " << dim;
+  return shape_[static_cast<std::size_t>(dim)];
+}
+
+std::int64_t TensorDecl::interior_points() const {
+  std::int64_t n = 1;
+  for (auto e : shape_) n *= e;
+  return n;
+}
+
+std::int64_t TensorDecl::padded_points() const {
+  std::int64_t n = 1;
+  for (auto e : shape_) n *= e + 2 * halo_;
+  return n;
+}
+
+std::int64_t TensorDecl::allocation_bytes() const {
+  return padded_points() * static_cast<std::int64_t>(dtype_size(dtype_)) * time_window_;
+}
+
+Tensor make_sp_tensor(std::string name, DataType dtype, std::vector<std::int64_t> shape,
+                      std::int64_t halo, int time_window) {
+  return std::make_shared<TensorDecl>(std::move(name), TensorKind::SpNode, dtype,
+                                      std::move(shape), halo, time_window);
+}
+
+Tensor make_te_tensor(std::string name, const Tensor& like) {
+  MSC_CHECK(like != nullptr) << "make_te_tensor: null prototype";
+  return std::make_shared<TensorDecl>(std::move(name), TensorKind::TeNode, like->dtype(),
+                                      like->shape(), 0, 1);
+}
+
+}  // namespace msc::ir

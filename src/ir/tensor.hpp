@@ -1,0 +1,72 @@
+#pragma once
+
+// Tensor IR nodes (paper Table 2).
+//
+//  * SpNode — user-visible grid with a halo region and, for stencils with
+//    multiple time dependencies, a sliding time window of buffers.
+//  * TeNode — compiler-internal temporary holding one timestep's interior
+//    (no halo); created by the scheduler for cache_write staging.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+
+namespace msc::ir {
+
+enum class TensorKind {
+  SpNode,  ///< tensor with halo region (user-declared)
+  TeNode,  ///< tensor without halo region (compiler temporary)
+};
+
+/// Immutable tensor declaration; referenced via shared_ptr by expressions,
+/// kernels and stencils.
+class TensorDecl {
+ public:
+  TensorDecl(std::string name, TensorKind kind, DataType dtype,
+             std::vector<std::int64_t> shape, std::int64_t halo, int time_window);
+
+  const std::string& name() const { return name_; }
+  TensorKind kind() const { return kind_; }
+  DataType dtype() const { return dtype_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t extent(int dim) const;
+
+  /// Halo width per side in every spatial dimension (0 for TeNode).
+  std::int64_t halo() const { return halo_; }
+
+  /// Number of timestep buffers retained (>= 1); >1 only for SpNode grids
+  /// feeding stencils with multiple time dependencies (paper Fig. 5).
+  int time_window() const { return time_window_; }
+
+  /// Interior element count (halo excluded).
+  std::int64_t interior_points() const;
+
+  /// Allocation element count for one timestep buffer (halo included).
+  std::int64_t padded_points() const;
+
+  /// Total allocation in bytes across the whole time window.
+  std::int64_t allocation_bytes() const;
+
+ private:
+  std::string name_;
+  TensorKind kind_;
+  DataType dtype_;
+  std::vector<std::int64_t> shape_;
+  std::int64_t halo_;
+  int time_window_;
+};
+
+using Tensor = std::shared_ptr<const TensorDecl>;
+
+/// Factory for a user grid (SpNode).
+Tensor make_sp_tensor(std::string name, DataType dtype, std::vector<std::int64_t> shape,
+                      std::int64_t halo, int time_window = 1);
+
+/// Factory for a compiler temporary (TeNode) matching `like`'s interior.
+Tensor make_te_tensor(std::string name, const Tensor& like);
+
+}  // namespace msc::ir

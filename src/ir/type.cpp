@@ -1,0 +1,42 @@
+#include "ir/type.hpp"
+
+#include "support/error.hpp"
+
+namespace msc::ir {
+
+std::size_t dtype_size(DataType dt) {
+  switch (dt) {
+    case DataType::i32: return 4;
+    case DataType::f32: return 4;
+    case DataType::f64: return 8;
+  }
+  MSC_FAIL() << "unknown dtype";
+}
+
+std::string dtype_name(DataType dt) {
+  switch (dt) {
+    case DataType::i32: return "i32";
+    case DataType::f32: return "f32";
+    case DataType::f64: return "f64";
+  }
+  MSC_FAIL() << "unknown dtype";
+}
+
+std::string dtype_c_name(DataType dt) {
+  switch (dt) {
+    case DataType::i32: return "int32_t";
+    case DataType::f32: return "float";
+    case DataType::f64: return "double";
+  }
+  MSC_FAIL() << "unknown dtype";
+}
+
+bool dtype_is_float(DataType dt) { return dt == DataType::f32 || dt == DataType::f64; }
+
+DataType dtype_promote(DataType a, DataType b) {
+  if (a == DataType::f64 || b == DataType::f64) return DataType::f64;
+  if (a == DataType::f32 || b == DataType::f32) return DataType::f32;
+  return DataType::i32;
+}
+
+}  // namespace msc::ir

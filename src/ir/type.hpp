@@ -1,0 +1,31 @@
+#pragma once
+
+// Scalar data types supported by the MSC DSL (paper §4.2: i32, f32, f64).
+
+#include <cstddef>
+#include <string>
+
+namespace msc::ir {
+
+enum class DataType {
+  i32,  ///< 32-bit signed integer
+  f32,  ///< IEEE-754 single precision
+  f64,  ///< IEEE-754 double precision
+};
+
+/// Size of one element in bytes.
+std::size_t dtype_size(DataType dt);
+
+/// DSL-facing name ("i32", "f32", "f64").
+std::string dtype_name(DataType dt);
+
+/// C type name used by the AOT code generators ("int32_t", "float", "double").
+std::string dtype_c_name(DataType dt);
+
+/// True for f32/f64.
+bool dtype_is_float(DataType dt);
+
+/// Usual arithmetic conversion for a binary op mixing two types.
+DataType dtype_promote(DataType a, DataType b);
+
+}  // namespace msc::ir

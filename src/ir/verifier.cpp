@@ -1,0 +1,82 @@
+#include "ir/verifier.hpp"
+
+#include <set>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace msc::ir {
+
+std::vector<std::string> verify_kernel(const Kernel& k) {
+  std::vector<std::string> diags;
+
+  // Axis names must be unique and every access subscript must name an axis.
+  std::set<std::string> axis_names;
+  for (const auto& ax : k.axes()) {
+    if (!axis_names.insert(ax.id_var).second)
+      diags.push_back("duplicate axis '" + ax.id_var + "'");
+    if (ax.start >= ax.end)
+      diags.push_back("axis '" + ax.id_var + "' has empty range");
+    if (ax.stride <= 0)
+      diags.push_back("axis '" + ax.id_var + "' has non-positive stride");
+  }
+
+  for (const auto& acc : collect_accesses(k.rhs())) {
+    if (acc->tensor->ndim() != static_cast<int>(acc->indices.size())) {
+      diags.push_back("access of '" + acc->tensor->name() + "' has wrong arity");
+      continue;
+    }
+    for (std::size_t d = 0; d < acc->indices.size(); ++d) {
+      const auto& idx = acc->indices[d];
+      if (!axis_names.contains(idx.axis)) {
+        diags.push_back("access of '" + acc->tensor->name() + "' indexes unknown axis '" +
+                        idx.axis + "'");
+        continue;
+      }
+      // The subscript in dimension d must use the axis that scans d so the
+      // footprint analyses stay exact.
+      const int ai = find_axis(k.axes(), idx.axis);
+      if (ai >= 0 && k.axes()[static_cast<std::size_t>(ai)].dim != static_cast<int>(d))
+        diags.push_back("access of '" + acc->tensor->name() + "' dimension " +
+                        std::to_string(d) + " uses axis '" + idx.axis +
+                        "' which scans a different dimension");
+      if (std::abs(idx.offset) > acc->tensor->halo() && acc->tensor->kind() == TensorKind::SpNode)
+        diags.push_back("access of '" + acc->tensor->name() + "' offset " +
+                        std::to_string(idx.offset) + " exceeds halo " +
+                        std::to_string(acc->tensor->halo()));
+    }
+    if (acc->tensor->dtype() != k.output()->dtype())
+      diags.push_back("dtype mismatch: '" + acc->tensor->name() + "' is " +
+                      dtype_name(acc->tensor->dtype()) + " but output is " +
+                      dtype_name(k.output()->dtype()));
+  }
+  return diags;
+}
+
+std::vector<std::string> verify_stencil(const StencilDef& st) {
+  std::vector<std::string> diags;
+  for (const auto& term : st.terms()) {
+    for (auto& d : verify_kernel(*term.kernel))
+      diags.push_back("kernel '" + term.kernel->name() + "': " + d);
+    if (-term.time_offset > st.state()->time_window() - 1 + 1)
+      diags.push_back("term offset " + std::to_string(term.time_offset) +
+                      " deeper than state window");
+  }
+  if (st.result()->dtype() != st.state()->dtype())
+    diags.push_back("result dtype differs from state dtype");
+  return diags;
+}
+
+void verify_or_throw(const Kernel& k) {
+  auto diags = verify_kernel(k);
+  if (!diags.empty())
+    MSC_FAIL() << "kernel '" << k.name() << "' failed verification:\n  " << join(diags, "\n  ");
+}
+
+void verify_or_throw(const StencilDef& st) {
+  auto diags = verify_stencil(st);
+  if (!diags.empty())
+    MSC_FAIL() << "stencil '" << st.name() << "' failed verification:\n  " << join(diags, "\n  ");
+}
+
+}  // namespace msc::ir

@@ -1,0 +1,23 @@
+#pragma once
+
+// Structural IR validation beyond the constructor-level checks: axis/index
+// consistency, dtype agreement, and halo sufficiency for a whole stencil
+// program.  The DSL runs this before scheduling and code generation.
+
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "ir/stencil.hpp"
+
+namespace msc::ir {
+
+/// Returns a list of diagnostics (empty == valid).
+std::vector<std::string> verify_kernel(const Kernel& k);
+std::vector<std::string> verify_stencil(const StencilDef& st);
+
+/// Throws msc::Error listing every diagnostic if any check fails.
+void verify_or_throw(const Kernel& k);
+void verify_or_throw(const StencilDef& st);
+
+}  // namespace msc::ir

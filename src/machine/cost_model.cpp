@@ -1,0 +1,228 @@
+#include "machine/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/type.hpp"
+#include "support/error.hpp"
+
+namespace msc::machine {
+
+namespace {
+
+std::int64_t stencil_flops_per_point(const ir::StencilDef& st) {
+  std::int64_t flops = 0;
+  for (const auto& term : st.terms()) flops += term.kernel->stats().ops.plus_minus_times();
+  flops += static_cast<std::int64_t>(st.terms().size()) - 1;
+  return flops;
+}
+
+std::int64_t accesses_per_point(const ir::StencilDef& st) {
+  std::int64_t n = 0;
+  for (const auto& term : st.terms()) n += term.kernel->stats().points_read;
+  return n;
+}
+
+}  // namespace
+
+ImplProfile profile_msc_sunway() {
+  ImplProfile p;
+  p.name = "MSC (Sunway)";
+  p.traffic = TrafficModel::SpmPipeline;
+  p.compute_efficiency = 0.55;
+  p.bw_efficiency = 1.0;
+  return p;
+}
+
+ImplProfile profile_openacc_sunway() {
+  // The paper's baseline (§5.2.1): acc tile + acc parallel, but row-granular
+  // SPM staging without the cross-row reuse MSC's 2-D/3-D tiles achieve, and
+  // sub-stream DMA efficiency from many small transfers.
+  ImplProfile p;
+  p.name = "OpenACC (Sunway)";
+  p.traffic = TrafficModel::RowReuse;
+  p.compute_efficiency = 0.45;
+  p.bw_efficiency = 0.15;
+  p.overlap_compute_dma = false;
+  return p;
+}
+
+ImplProfile profile_msc_matrix() {
+  ImplProfile p;
+  p.name = "MSC (Matrix)";
+  p.traffic = TrafficModel::CacheTiled;
+  p.compute_efficiency = 0.55;
+  p.bw_efficiency = 0.95;
+  return p;
+}
+
+ImplProfile profile_manual_openmp_matrix() {
+  // Hand-optimized OpenMP with the same optimization set (paper: MSC is
+  // 1.05x / 1.03x on average): marginally worse blocking constants.
+  ImplProfile p = profile_msc_matrix();
+  p.name = "manual OpenMP (Matrix)";
+  p.traffic_factor = 1.05;
+  return p;
+}
+
+ImplProfile profile_msc_cpu() {
+  ImplProfile p;
+  p.name = "MSC (CPU)";
+  p.traffic = TrafficModel::CacheTiled;
+  p.compute_efficiency = 0.55;
+  p.bw_efficiency = 0.9;
+  return p;
+}
+
+ImplProfile profile_halide_aot_cpu() {
+  // Paper §5.5: Halide-AOT generates subscript-expression indexing whose
+  // evaluation cost grows with the stencil order; slightly tighter memory
+  // behavior than MSC on small kernels.
+  ImplProfile p;
+  p.name = "Halide-AOT (CPU)";
+  p.traffic = TrafficModel::CacheTiled;
+  p.compute_efficiency = 0.55;
+  p.bw_efficiency = 0.95;
+  p.index_ops_per_access = 1.5;
+  return p;
+}
+
+ImplProfile profile_halide_jit_cpu() {
+  ImplProfile p = profile_halide_aot_cpu();
+  p.name = "Halide-JIT (CPU)";
+  p.startup_seconds = 1.0;  // JIT pipeline compilation per benchmark
+  return p;
+}
+
+ImplProfile profile_patus_cpu() {
+  // Paper §5.5: Patus blocks competently but its aggressive SSE
+  // vectorization produces unaligned loads that waste bandwidth; wider
+  // stencils gather from more misaligned streams (see patus_seconds, which
+  // scales traffic_factor with the stencil radius).
+  ImplProfile p;
+  p.name = "Patus (CPU)";
+  p.traffic = TrafficModel::CacheTiled;
+  p.compute_efficiency = 0.5;
+  p.bw_efficiency = 0.45;
+  return p;
+}
+
+KernelCost estimate(const MachineModel& m, const ir::StencilDef& st,
+                    const schedule::Schedule& sched, const ImplProfile& impl,
+                    std::int64_t timesteps, bool fp64) {
+  std::array<std::int64_t, 3> extent{1, 1, 1};
+  for (int d = 0; d < st.state()->ndim(); ++d)
+    extent[static_cast<std::size_t>(d)] = st.state()->extent(d);
+  return estimate_subgrid(m, st, sched, impl, extent, timesteps, fp64);
+}
+
+KernelCost estimate_subgrid(const MachineModel& m, const ir::StencilDef& st,
+                            const schedule::Schedule& sched, const ImplProfile& impl,
+                            std::array<std::int64_t, 3> local_extent, std::int64_t timesteps,
+                            bool fp64) {
+  MSC_CHECK(timesteps >= 1) << "cost model needs at least one timestep";
+  const int nd = st.state()->ndim();
+  const auto esz = static_cast<std::int64_t>(fp64 ? 8 : 4);
+  const int n_terms = static_cast<int>(st.terms().size());
+  const std::int64_t radius = st.max_radius();
+
+  std::int64_t points = 1;
+  for (int d = 0; d < nd; ++d) points *= local_extent[static_cast<std::size_t>(d)];
+
+  KernelCost cost;
+  cost.flops_per_step = stencil_flops_per_point(st) * points;
+
+  // ---- compute time -------------------------------------------------
+  const double peak = m.peak_gflops(fp64) * 1e9;
+  const double index_flops =
+      impl.index_ops_per_access * static_cast<double>(accesses_per_point(st)) *
+      static_cast<double>(points);
+  cost.compute_seconds =
+      (static_cast<double>(cost.flops_per_step) + index_flops) / (peak * impl.compute_efficiency);
+
+  // ---- memory traffic -------------------------------------------------
+  double traffic = 0.0;       // main-memory bytes per sweep
+  double effective_bw = m.mem_bw_gbs * 1e9 * impl.bw_efficiency;
+  double dma_latency = 0.0;   // per sweep
+
+  switch (impl.traffic) {
+    case TrafficModel::SpmPipeline: {
+      // Tile + halo staged per input time-term, interior tile written back.
+      std::int64_t tile_interior = 1, tile_staged = 1;
+      for (int d = 0; d < nd; ++d) {
+        const std::int64_t te =
+            std::min(sched.tile_extent(d), local_extent[static_cast<std::size_t>(d)]);
+        tile_interior *= te;
+        tile_staged *= te + 2 * radius;
+      }
+      const double tiles = std::ceil(static_cast<double>(points) /
+                                     static_cast<double>(tile_interior));
+      traffic = tiles * static_cast<double>(tile_staged * esz) * n_terms +
+                static_cast<double>(points * esz);
+      // DMA engines stream well but are capped by the shared memory bus.
+      effective_bw = std::min(m.mem_bw_gbs * 1e9,
+                              m.dma_bw_gbs_per_core * 1e9 * m.cores) *
+                     impl.bw_efficiency;
+      dma_latency = tiles * (n_terms + 1) * m.dma_latency_us * 1e-6 /
+                    std::max(1, m.cores);  // CPEs issue DMA concurrently
+      // SPM accounting: one read buffer (reused across terms) + write buffer.
+      const double spm_used = static_cast<double>((tile_staged + tile_interior) * esz);
+      cost.spm_utilization = spm_used / static_cast<double>(m.spm_bytes_per_core);
+      const double spm_served =
+          static_cast<double>(accesses_per_point(st)) * static_cast<double>(points) * esz;
+      cost.reuse_factor = spm_served / traffic;
+      break;
+    }
+    case TrafficModel::CacheTiled: {
+      // Compulsory traffic (each input slot read once, output written once)
+      // while the tile working set fits in cache; when it spills, reuse
+      // degrades to the unit-stride dimension only (cross-row re-fetch),
+      // the same asymptote as RowReuse.  The working set is judged on the
+      // schedule's nominal tile (not clamped by the local sub-grid) so a
+      // benchmark's cache behavior is consistent across scaling sweeps.
+      std::int64_t tile_ws = esz;
+      for (int d = 0; d < nd; ++d) tile_ws *= sched.tile_extent(d) + 2 * radius;
+      if (tile_ws * (n_terms + 1) > m.cache_bytes_per_core) {
+        double cross = 1.0;
+        for (int d = 0; d < nd - 1; ++d) cross *= static_cast<double>(2 * radius + 1);
+        traffic = static_cast<double>(points * esz) * (cross * n_terms + 1.0);
+      } else {
+        traffic = static_cast<double>(points * esz) * (n_terms + 1);
+      }
+      break;
+    }
+    case TrafficModel::RowReuse: {
+      // Reuse only along the unit-stride dimension: each point pays the
+      // cross-row footprint (2r+1)^(nd-1) per time term, plus the write.
+      double cross = 1.0;
+      for (int d = 0; d < nd - 1; ++d) cross *= static_cast<double>(2 * radius + 1);
+      traffic = static_cast<double>(points * esz) * (cross * n_terms + 1.0);
+      break;
+    }
+    case TrafficModel::NoReuse: {
+      traffic = static_cast<double>(points * esz) *
+                (static_cast<double>(accesses_per_point(st)) + 1.0);
+      effective_bw *= m.strided_bw_factor;
+      break;
+    }
+  }
+  traffic *= impl.traffic_factor;
+  cost.traffic_bytes = static_cast<std::int64_t>(traffic);
+  cost.memory_seconds = traffic / effective_bw;
+  cost.dma_latency_seconds = dma_latency;
+
+  // ---- combine -----------------------------------------------------
+  double step;
+  if (impl.overlap_compute_dma) {
+    step = std::max(cost.compute_seconds, cost.memory_seconds + dma_latency);
+  } else {
+    step = cost.compute_seconds + cost.memory_seconds + dma_latency;
+  }
+  cost.memory_bound = cost.memory_seconds + dma_latency >= cost.compute_seconds;
+  cost.seconds_per_step = step;
+  cost.seconds = impl.startup_seconds + step * static_cast<double>(timesteps);
+  cost.gflops = static_cast<double>(cost.flops_per_step) / step / 1e9;
+  return cost;
+}
+
+}  // namespace msc::machine

@@ -1,0 +1,85 @@
+#pragma once
+
+// Analytical kernel cost model.
+//
+// Simulated execution time for one stencil sweep on a machine model, given
+// the schedule (tile shape, SPM staging) and an implementation profile
+// describing *how* the implementation moves data.  This replaces wall-clock
+// measurement on the paper's unobtainable hardware; the mechanisms the
+// paper credits for each system's performance are modelled explicitly:
+//
+//   SpmPipeline — MSC on Sunway: DMA-staged tiles with halo inflation,
+//                 compute/DMA overlap, per-tile DMA latency
+//   CacheTiled  — MSC/manual-OpenMP on cache-coherent machines: compulsory
+//                 traffic when the tile working set fits cache, neighbor
+//                 re-fetch when it spills
+//   RowReuse    — the paper's OpenACC Sunway baseline: row-granular
+//                 staging, reuse only along the unit-stride dimension
+//   NoReuse     — every neighbor access pays main-memory bandwidth
+//
+// Absolute times are indicative; ratios and boundedness classifications
+// are the reproduced quantities (see DESIGN.md).
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "ir/stencil.hpp"
+#include "machine/machine.hpp"
+#include "schedule/schedule.hpp"
+
+namespace msc::machine {
+
+enum class TrafficModel { SpmPipeline, CacheTiled, RowReuse, NoReuse };
+
+/// How an implementation uses the machine (set per system-under-test).
+struct ImplProfile {
+  std::string name = "msc";
+  TrafficModel traffic = TrafficModel::CacheTiled;
+  double compute_efficiency = 0.55;  ///< fraction of peak in the inner loop
+  double bw_efficiency = 1.0;        ///< fraction of stream bandwidth achieved
+  double traffic_factor = 1.0;       ///< multiplier on modelled traffic
+  double index_ops_per_access = 0.0; ///< extra scalar ops per tensor access
+  double startup_seconds = 0.0;      ///< one-time cost (e.g. JIT compilation)
+  bool overlap_compute_dma = true;   ///< double-buffered DMA pipeline
+};
+
+/// Canonical profiles used across the benches.
+ImplProfile profile_msc_sunway();
+ImplProfile profile_openacc_sunway();
+ImplProfile profile_msc_matrix();
+ImplProfile profile_manual_openmp_matrix();
+ImplProfile profile_msc_cpu();
+ImplProfile profile_halide_aot_cpu();
+ImplProfile profile_halide_jit_cpu();
+ImplProfile profile_patus_cpu();
+
+/// Cost breakdown of a whole run (timesteps sweeps).
+struct KernelCost {
+  double seconds = 0.0;           ///< total, including startup
+  double seconds_per_step = 0.0;  ///< steady-state per-sweep time
+  double compute_seconds = 0.0;   ///< per sweep
+  double memory_seconds = 0.0;    ///< per sweep
+  double dma_latency_seconds = 0.0;  ///< per sweep
+  double gflops = 0.0;            ///< achieved, steady-state
+  std::int64_t traffic_bytes = 0; ///< main-memory bytes per sweep
+  std::int64_t flops_per_step = 0;
+  double spm_utilization = 0.0;   ///< SPM bytes used / 64 KB (Sunway only)
+  double reuse_factor = 0.0;      ///< SPM-served bytes per DMA byte
+  bool memory_bound = true;
+};
+
+/// Estimates a run of `timesteps` sweeps over the stencil's own grid.
+KernelCost estimate(const MachineModel& m, const ir::StencilDef& st,
+                    const schedule::Schedule& sched, const ImplProfile& impl,
+                    std::int64_t timesteps, bool fp64);
+
+/// Variant with an explicit per-rank sub-grid (used by the scalability and
+/// auto-tuning benches where the local domain differs from the declared
+/// tensor shape).
+KernelCost estimate_subgrid(const MachineModel& m, const ir::StencilDef& st,
+                            const schedule::Schedule& sched, const ImplProfile& impl,
+                            std::array<std::int64_t, 3> local_extent, std::int64_t timesteps,
+                            bool fp64);
+
+}  // namespace msc::machine

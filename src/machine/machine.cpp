@@ -1,0 +1,63 @@
+#include "machine/machine.hpp"
+
+namespace msc::machine {
+
+MachineModel sunway_cg() {
+  MachineModel m;
+  m.name = "Sunway SW26010 (1 CG: 1 MPE + 64 CPEs)";
+  m.cores = 64;
+  m.freq_ghz = 1.45;
+  // 3.06 TFlops fp64 / 4 CGs = 765 GFlops -> 8.25 flops/cycle/CPE; the CPE
+  // vector unit has no extra fp32 rate, so fp32 gains come from bytes only.
+  m.flops_per_cycle_fp64 = 8.25;
+  m.fp32_flops_factor = 1.0;
+  // DDR3 bandwidth shared by the CG; ~34 GB/s sustainable (literature on
+  // TaihuLight stream measurements).
+  m.mem_bw_gbs = 34.0;
+  // Gather-style (non-DMA) access to main memory is notoriously slow on
+  // SW26010: discrete loads reach only a few percent of stream bandwidth.
+  m.strided_bw_factor = 0.04;
+  m.spm_bytes_per_core = 64 * 1024;
+  m.spm_bw_gbs_per_core = 46.4;  // "bandwidth and latency similar to L1"
+  m.dma_latency_us = 1.0;
+  m.dma_bw_gbs_per_core = 4.0;   // per-CPE DMA engine share
+  return m;
+}
+
+MachineModel matrix_sn() {
+  MachineModel m;
+  m.name = "Matrix MT2000+ (1 SN: 32 cores)";
+  m.cores = 32;
+  m.freq_ghz = 2.0;
+  m.flops_per_cycle_fp64 = 8.0;  // 2.048 TFlops / 128 cores / 2 GHz
+  m.fp32_flops_factor = 2.0;
+  // Eight DDR4-2400 channels ~153.6 GB/s for the full chip; one SN's
+  // effective share in the prototype allocation.
+  m.mem_bw_gbs = 38.4;
+  m.strided_bw_factor = 0.35;  // cache hierarchy absorbs some irregularity
+  m.cache_bytes_per_core = 512 * 1024;
+  return m;
+}
+
+MachineModel matrix_full() {
+  MachineModel m = matrix_sn();
+  m.name = "Matrix MT2000+ (128 cores)";
+  m.cores = 128;
+  m.mem_bw_gbs = 153.6;
+  return m;
+}
+
+MachineModel xeon_e5_2680v4_dual() {
+  MachineModel m;
+  m.name = "2 x Intel Xeon E5-2680 v4 (28 cores)";
+  m.cores = 28;
+  m.freq_ghz = 2.4;
+  m.flops_per_cycle_fp64 = 16.0;  // AVX2 FMA: 2 x 4 fp64 x 2
+  m.fp32_flops_factor = 2.0;
+  m.mem_bw_gbs = 140.0;  // 2 sockets x 4 ch DDR4-2400, stream-sustained
+  m.strided_bw_factor = 0.45;
+  m.cache_bytes_per_core = 2560 * 1024 / 2;  // L2 + L3 share
+  return m;
+}
+
+}  // namespace msc::machine

@@ -1,0 +1,68 @@
+#pragma once
+
+// Parameterized machine models of the paper's three platforms (§2.2 and
+// Table 3).  The physical hardware is unobtainable here, so simulated time
+// on these models replaces wall-clock measurements; parameters come from
+// the paper and the cited architecture literature.  All performance
+// *shapes* (who wins, memory- vs compute-bound classification, scaling
+// behavior) derive from these numbers; absolute values are indicative.
+
+#include <cstdint>
+#include <string>
+
+namespace msc::machine {
+
+/// One many-core processor (or a user-visible partition of one).
+struct MachineModel {
+  std::string name;
+
+  // Compute.
+  int cores = 1;                    ///< compute cores visible to the program
+  double freq_ghz = 1.0;
+  double flops_per_cycle_fp64 = 1;  ///< per core, FMA counted as 2
+  double fp32_flops_factor = 2.0;   ///< fp32 peak relative to fp64
+
+  // Memory system.
+  double mem_bw_gbs = 10.0;         ///< sustainable main-memory bandwidth
+  double strided_bw_factor = 1.0;   ///< efficiency of non-contiguous access
+
+  // Scratchpad (0 = cache-based machine).
+  std::int64_t spm_bytes_per_core = 0;
+  double spm_bw_gbs_per_core = 0.0;
+  double dma_latency_us = 0.0;      ///< fixed cost per DMA transaction
+  double dma_bw_gbs_per_core = 0.0; ///< per-core DMA streaming bandwidth
+
+  // Cache (for cache-based machines).
+  std::int64_t cache_bytes_per_core = 0;
+
+  bool cache_less() const { return spm_bytes_per_core > 0; }
+
+  /// Aggregate peak in GFlop/s for the given precision.
+  double peak_gflops(bool fp64 = true) const {
+    const double base = cores * freq_ghz * flops_per_cycle_fp64;
+    return fp64 ? base : base * fp32_flops_factor;
+  }
+
+  /// Machine balance (flop/byte) at the roofline ridge point.
+  double ridge_flop_per_byte(bool fp64 = true) const {
+    return peak_gflops(fp64) / mem_bw_gbs;
+  }
+};
+
+/// One core group of the Sunway SW26010: 64 CPEs + 1 MPE at 1.45 GHz,
+/// 64 KB SPM per CPE, DMA to main memory; 1/4 of the processor's
+/// 3.06 TFlops fp64 peak (paper §2.2).
+MachineModel sunway_cg();
+
+/// One supernode (32 cores) of the Matrix MT2000+ as allocated on the
+/// prototype Tianhe-3 (paper §5.1): 2.0 GHz, 8 fp64 flops/cycle/core,
+/// cache-coherent, share of eight DDR4-2400 channels.
+MachineModel matrix_sn();
+
+/// The whole 128-core MT2000+ processor (2.048 TFlops fp64 peak).
+MachineModel matrix_full();
+
+/// The paper's local CPU server: dual Xeon E5-2680v4 (2 x 14 cores).
+MachineModel xeon_e5_2680v4_dual();
+
+}  // namespace msc::machine

@@ -1,0 +1,47 @@
+#include "machine/roofline.hpp"
+
+#include <algorithm>
+
+#include "ir/type.hpp"
+
+namespace msc::machine {
+
+namespace {
+/// Flops of one output point: every kernel term's add/sub/mul census plus
+/// the adds combining the temporal terms.
+std::int64_t flops_per_point(const ir::StencilDef& st) {
+  std::int64_t flops = 0;
+  for (const auto& term : st.terms()) flops += term.kernel->stats().ops.plus_minus_times();
+  flops += static_cast<std::int64_t>(st.terms().size()) - 1;  // temporal combination adds
+  return flops;
+}
+
+std::int64_t bytes_per_point(const ir::StencilDef& st) {
+  std::int64_t bytes = 0;
+  for (const auto& term : st.terms()) bytes += term.kernel->stats().bytes_read;
+  bytes += static_cast<std::int64_t>(ir::dtype_size(st.state()->dtype()));  // the write
+  return bytes;
+}
+}  // namespace
+
+double operational_intensity(const ir::StencilDef& st) {
+  return static_cast<double>(flops_per_point(st)) / static_cast<double>(bytes_per_point(st));
+}
+
+double attainable_gflops(const MachineModel& m, double oi, bool fp64) {
+  return std::min(m.peak_gflops(fp64), oi * m.mem_bw_gbs);
+}
+
+bool memory_bound(const MachineModel& m, const ir::StencilDef& st, bool fp64) {
+  return operational_intensity(st) < m.ridge_flop_per_byte(fp64);
+}
+
+double achieved_gflops(const ir::StencilDef& st, std::int64_t interior_points,
+                       std::int64_t timesteps, double seconds) {
+  const double total_flops = static_cast<double>(flops_per_point(st)) *
+                             static_cast<double>(interior_points) *
+                             static_cast<double>(timesteps);
+  return total_flops / seconds / 1e9;
+}
+
+}  // namespace msc::machine

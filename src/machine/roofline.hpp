@@ -1,0 +1,25 @@
+#pragma once
+
+// Roofline analysis (paper §5.2.2, Fig. 9): operational intensity of a
+// stencil and attainable performance on a machine model.
+
+#include "ir/stencil.hpp"
+#include "machine/machine.hpp"
+
+namespace msc::machine {
+
+/// Operational intensity (flop/byte) of one stencil application, counting
+/// the paper's Table-4 quantities: ops over (bytes read + bytes written).
+double operational_intensity(const ir::StencilDef& st);
+
+/// Attainable GFlop/s at intensity `oi` under the classic roofline.
+double attainable_gflops(const MachineModel& m, double oi, bool fp64 = true);
+
+/// True when the stencil sits left of the ridge point (memory-bound).
+bool memory_bound(const MachineModel& m, const ir::StencilDef& st, bool fp64 = true);
+
+/// Performance (GFlop/s) implied by a simulated execution time.
+double achieved_gflops(const ir::StencilDef& st, std::int64_t interior_points,
+                       std::int64_t timesteps, double seconds);
+
+}  // namespace msc::machine

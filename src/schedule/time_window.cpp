@@ -1,0 +1,34 @@
+#include "schedule/time_window.hpp"
+
+#include "support/error.hpp"
+
+namespace msc::schedule {
+
+SlidingWindow::SlidingWindow(int slots) : slots_(slots) {
+  MSC_CHECK(slots >= 1) << "sliding window needs at least one slot, got " << slots;
+}
+
+int SlidingWindow::slot_of(std::int64_t current, std::int64_t t) const {
+  MSC_CHECK(t <= current && t > current - slots_)
+      << "timestep " << t << " is outside the window at " << current << " (width " << slots_
+      << ")";
+  // Slot = t mod W keeps a stable mapping as the window slides: when the
+  // window advances from `current` to `current+1`, every retained timestep
+  // keeps its slot and only the expired one is recycled.
+  return static_cast<int>(((t % slots_) + slots_) % slots_);
+}
+
+int SlidingWindow::output_slot(std::int64_t current) const {
+  return static_cast<int>(((current % slots_) + slots_) % slots_);
+}
+
+std::int64_t SlidingWindow::footprint_bytes(std::int64_t bytes_per_slot) const {
+  return bytes_per_slot * slots_;
+}
+
+std::int64_t SlidingWindow::unbounded_bytes(std::int64_t bytes_per_slot,
+                                            std::int64_t timesteps) {
+  return bytes_per_slot * (timesteps + 1);
+}
+
+}  // namespace msc::schedule

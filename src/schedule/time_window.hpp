@@ -1,0 +1,41 @@
+#pragma once
+
+// Sliding-time-window planner (paper Fig. 5).
+//
+// A stencil reading timesteps t-1..t-W+1 keeps W buffers alive.  The window
+// is a ring: at step t, the slot that held t-W+1's output is recycled for
+// t's output, so memory stays constant as the time loop advances
+// (Fig. 5c vs the unbounded Fig. 5b).
+
+#include <cstdint>
+#include <vector>
+
+namespace msc::schedule {
+
+class SlidingWindow {
+ public:
+  /// `slots` is the window width W (>= 2 for any time-iterated stencil).
+  explicit SlidingWindow(int slots);
+
+  int slots() const { return slots_; }
+
+  /// Ring slot holding the grid of absolute timestep `t` while the window
+  /// is positioned at current timestep `current` (t in (current-W, current]).
+  int slot_of(std::int64_t current, std::int64_t t) const;
+
+  /// Slot that will receive the output of timestep `current` — the slot
+  /// being recycled from timestep current - W.
+  int output_slot(std::int64_t current) const;
+
+  /// Total bytes of a window of `bytes_per_slot` grids.
+  std::int64_t footprint_bytes(std::int64_t bytes_per_slot) const;
+
+  /// Bytes that storing *every* timestep 0..t would need — the unbounded
+  /// growth of Fig. 5b, used by tests/benches to show the saving.
+  static std::int64_t unbounded_bytes(std::int64_t bytes_per_slot, std::int64_t timesteps);
+
+ private:
+  int slots_;
+};
+
+}  // namespace msc::schedule

@@ -1,0 +1,18 @@
+#include "sunway/cg_sim.hpp"
+
+namespace msc::sunway {
+
+// run_cg_sim is a header template (element type float/double); this
+// translation unit forces both instantiations so template errors surface
+// when the library builds, not when the first test includes the header.
+
+template CgSimResult run_cg_sim<float>(const ir::StencilDef&, const schedule::Schedule&,
+                                       exec::GridStorage<float>&, std::int64_t, std::int64_t,
+                                       exec::Boundary, const exec::Bindings&,
+                                       const machine::MachineModel&, bool);
+template CgSimResult run_cg_sim<double>(const ir::StencilDef&, const schedule::Schedule&,
+                                        exec::GridStorage<double>&, std::int64_t, std::int64_t,
+                                        exec::Boundary, const exec::Bindings&,
+                                        const machine::MachineModel&, bool);
+
+}  // namespace msc::sunway

@@ -1,0 +1,49 @@
+#pragma once
+
+// DMA engine of one simulated CPE: moves tile data between main memory and
+// SPM (athread_get/put equivalents) while accounting simulated time with a
+// latency + bandwidth model.  Transfers are real memcpys — the functional
+// simulator computes on staged SPM data only, so staging bugs surface as
+// numerical errors, not just timing noise.
+
+#include <cstdint>
+
+namespace msc::sunway {
+
+struct DmaConfig {
+  double latency_us = 1.0;       ///< fixed cost per DMA transaction
+  double bandwidth_gbs = 4.0;    ///< per-CPE streaming bandwidth
+  std::int64_t min_efficient_bytes = 256;  ///< smaller transfers waste the bus
+};
+
+struct DmaStats {
+  std::int64_t transactions = 0;
+  std::int64_t bytes = 0;
+  double seconds = 0.0;
+};
+
+class DmaEngine {
+ public:
+  explicit DmaEngine(DmaConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Main memory -> SPM ("athread_get").  `chunk_bytes` is the contiguous
+  /// run length; strided transfers issue one transaction per chunk.
+  void get(void* spm_dst, const void* mem_src, std::int64_t bytes, std::int64_t chunk_bytes);
+
+  /// SPM -> main memory ("athread_put").
+  void put(void* mem_dst, const void* spm_src, std::int64_t bytes, std::int64_t chunk_bytes);
+
+  /// Accounting-only transfer (caller already moved the data in place).
+  void charge(std::int64_t bytes, std::int64_t chunk_bytes) { account(bytes, chunk_bytes); }
+
+  const DmaStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  void account(std::int64_t bytes, std::int64_t chunk_bytes);
+
+  DmaConfig cfg_;
+  DmaStats stats_;
+};
+
+}  // namespace msc::sunway

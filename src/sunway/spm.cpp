@@ -1,0 +1,34 @@
+#include "sunway/spm.hpp"
+
+#include "support/error.hpp"
+
+namespace msc::sunway {
+
+SpmAllocator::SpmAllocator(std::int64_t budget_bytes) : budget_(budget_bytes) {
+  MSC_CHECK(budget_ > 0) << "SPM budget must be positive";
+}
+
+void SpmAllocator::allocate(const std::string& name, std::int64_t bytes) {
+  MSC_CHECK(bytes > 0) << "SPM allocation '" << name << "' must be positive";
+  MSC_CHECK(!buffers_.contains(name)) << "SPM buffer '" << name << "' already allocated";
+  MSC_CHECK(used_ + bytes <= budget_)
+      << "SPM budget exceeded: '" << name << "' needs " << bytes << " B but only "
+      << available() << " of " << budget_ << " B remain (shrink the tile)";
+  buffers_[name] = bytes;
+  used_ += bytes;
+}
+
+void SpmAllocator::release(const std::string& name) {
+  const auto it = buffers_.find(name);
+  MSC_CHECK(it != buffers_.end()) << "SPM buffer '" << name << "' was never allocated";
+  used_ -= it->second;
+  buffers_.erase(it);
+}
+
+std::int64_t SpmAllocator::buffer_size(const std::string& name) const {
+  const auto it = buffers_.find(name);
+  MSC_CHECK(it != buffers_.end()) << "SPM buffer '" << name << "' was never allocated";
+  return it->second;
+}
+
+}  // namespace msc::sunway

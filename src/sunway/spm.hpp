@@ -1,0 +1,40 @@
+#pragma once
+
+// Scratchpad-memory allocator of one simulated CPE (paper §2.2: 64 KB SPM
+// per CPE, no data cache, explicit management).  Every buffer the staged
+// pipeline uses must be carved from this budget; exceeding it throws, which
+// is exactly the failure a real Sunway kernel would hit at compile/run time
+// with oversized tiles.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace msc::sunway {
+
+class SpmAllocator {
+ public:
+  static constexpr std::int64_t kDefaultBudget = 64 * 1024;
+
+  explicit SpmAllocator(std::int64_t budget_bytes = kDefaultBudget);
+
+  /// Reserves `bytes` under `name`; throws msc::Error when the budget would
+  /// be exceeded or the name is already taken.
+  void allocate(const std::string& name, std::int64_t bytes);
+
+  /// Releases a named buffer.
+  void release(const std::string& name);
+
+  std::int64_t budget() const { return budget_; }
+  std::int64_t used() const { return used_; }
+  std::int64_t available() const { return budget_ - used_; }
+  double utilization() const { return static_cast<double>(used_) / static_cast<double>(budget_); }
+  std::int64_t buffer_size(const std::string& name) const;
+
+ private:
+  std::int64_t budget_;
+  std::int64_t used_ = 0;
+  std::map<std::string, std::int64_t> buffers_;
+};
+
+}  // namespace msc::sunway

@@ -1,0 +1,205 @@
+#pragma once
+
+// 2.5-D streaming execution on the Sunway core group (§2.1's 3.5-D
+// blocking / §2.3's Gordon-Bell atmospheric technique, and the
+// "streaming and pipelined" management §5.6 calls for).
+//
+// Instead of staging a full 3-D tile, each CPE owns a (j, i) plane tile
+// and *streams* along k: a rolling window of 2r+1 staged planes per input
+// time-slot lives in SPM; advancing k loads exactly one new plane per
+// slot, computes one output plane, and writes it back.  Compared with
+// 3-D tiles this eliminates the k-halo re-staging entirely (the planes
+// are reused 2r+1 times each) and shrinks the SPM footprint, allowing
+// larger plane tiles.
+//
+// Functional like run_cg_sim: compute reads only the staged planes, so
+// any window/rolling bug corrupts numerics against the reference.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "exec/grid.hpp"
+#include "machine/machine.hpp"
+#include "schedule/schedule.hpp"
+#include "sunway/cg_sim.hpp"
+#include "sunway/spm.hpp"
+#include "support/buffer.hpp"
+#include "support/error.hpp"
+
+namespace msc::sunway {
+
+/// Executes timesteps t_begin..t_end of a 3-D stencil by streaming the
+/// slowest dimension; plane-tile extents come from the schedule's
+/// dimensions 1 and 2.  Returns the same accounting as run_cg_sim.
+template <typename T>
+CgSimResult run_cg_sim_streamed(const ir::StencilDef& st, const schedule::Schedule& sched,
+                                exec::GridStorage<T>& state, std::int64_t t_begin,
+                                std::int64_t t_end, exec::Boundary bc,
+                                const exec::Bindings& bindings,
+                                const machine::MachineModel& m) {
+  MSC_CHECK(t_begin <= t_end) << "empty time range";
+  MSC_CHECK(state.ndim() == 3) << "2.5-D streaming applies to 3-D stencils";
+  MSC_CHECK(m.cache_less()) << "run_cg_sim_streamed expects a scratchpad machine model";
+  const auto lin = exec::linearize_stencil(st, bindings);
+  MSC_CHECK(lin.has_value()) << "streaming simulation requires an affine stencil";
+
+  const std::int64_t r = st.max_radius();
+  const auto esz = static_cast<std::int64_t>(sizeof(T));
+  const int cpes = m.cores;
+  const int W = st.time_window();
+  const std::int64_t depth = 2 * r + 1;  // rolling plane window per slot
+
+  const std::int64_t K = state.extent(0);
+  const std::int64_t tj = std::min(sched.tile_extent(1), state.extent(1));
+  const std::int64_t ti = std::min(sched.tile_extent(2), state.extent(2));
+  const std::int64_t pj = tj + 2 * r, pi = ti + 2 * r;  // staged plane extents
+  const std::int64_t plane_elems = pj * pi;
+
+  // SPM budget: (W-1) input slots x (2r+1) planes + one output plane.
+  SpmAllocator spm(m.spm_bytes_per_core);
+  spm.allocate("stream_in_planes", (W - 1) * depth * plane_elems * esz);
+  spm.allocate("stream_out_plane", tj * ti * esz);
+
+  // Staged plane ring: planes[input_slot_index][k mod depth].
+  std::vector<AlignedBuffer> planes(static_cast<std::size_t>((W - 1) * depth));
+  for (auto& p : planes)
+    p = AlignedBuffer(static_cast<std::size_t>(plane_elems) * sizeof(T));
+  AlignedBuffer out_plane(static_cast<std::size_t>(tj * ti) * sizeof(double));
+
+  // Map each distinct time offset to a contiguous input-slot index.
+  std::vector<int> offsets;
+  for (const auto& term : lin->terms) {
+    bool seen = false;
+    for (int o : offsets) seen |= o == term.time_offset;
+    if (!seen) offsets.push_back(term.time_offset);
+  }
+  MSC_CHECK(static_cast<int>(offsets.size()) <= W - 1) << "window bookkeeping mismatch";
+  const auto offset_index = [&](int toff) {
+    for (std::size_t n = 0; n < offsets.size(); ++n)
+      if (offsets[n] == toff) return static_cast<int>(n);
+    MSC_FAIL() << "unknown time offset";
+  };
+
+  DmaConfig dma_cfg;
+  dma_cfg.latency_us = m.dma_latency_us;
+  dma_cfg.bandwidth_gbs = m.dma_bw_gbs_per_core;
+
+  CgSimResult result;
+  result.spm_utilization = spm.utilization();
+
+  const double cpe_peak_flops = m.freq_ghz * 1e9 * m.flops_per_cycle_fp64;
+  const double compute_eff = 0.55;
+
+  for (int back = 1; back < W; ++back)
+    state.fill_halo(state.slot_for_time(t_begin - back), bc);
+
+  const std::int64_t ntj = (state.extent(1) + tj - 1) / tj;
+  const std::int64_t nti = (state.extent(2) + ti - 1) / ti;
+  result.tiles = ntj * nti;
+
+  for (std::int64_t t = t_begin; t <= t_end; ++t) {
+    std::vector<double> cpe_compute(static_cast<std::size_t>(cpes), 0.0);
+    std::vector<double> cpe_dma(static_cast<std::size_t>(cpes), 0.0);
+    T* out_slot = state.slot_data(state.slot_for_time(t));
+    std::int64_t step_dma_bytes = 0;
+
+    for (std::int64_t tidx = 0; tidx < result.tiles; ++tidx) {
+      const int cpe = static_cast<int>(tidx % cpes);
+      DmaEngine dma(dma_cfg);
+      const std::int64_t oj = (tidx / nti) * tj, oi = (tidx % nti) * ti;
+      const std::int64_t sj = std::min(tj, state.extent(1) - oj);
+      const std::int64_t si = std::min(ti, state.extent(2) - oi);
+      std::int64_t flops = 0;
+
+      // Loads plane k (interior coordinate; out-of-range planes zero) of
+      // the slot at `toff` into the ring.
+      const auto load_plane = [&](int toff, std::int64_t k) {
+        T* dst = planes[static_cast<std::size_t>(offset_index(toff) * depth +
+                                                 ((k % depth) + depth) % depth)]
+                     .template as<T>()
+                     .data();
+        if (k < -r || k >= K + r || k < -state.halo() || k >= K + state.halo()) {
+          std::fill(dst, dst + plane_elems, T{});
+          return;
+        }
+        const T* src = state.slot_data(state.slot_for_time(t + toff));
+        for (std::int64_t j = 0; j < sj + 2 * r; ++j) {
+          const std::int64_t row = si + 2 * r;
+          dma.get(dst + j * pi, src + state.index({k, oj + j - r, oi - r}), row * esz,
+                  row * esz);
+        }
+      };
+
+      // Prime the rolling window with planes -r .. r-1.
+      for (int toff : offsets)
+        for (std::int64_t k = -r; k < r; ++k) load_plane(toff, k);
+
+      for (std::int64_t k = 0; k < K; ++k) {
+        // Advance the stream: one new plane per input slot.
+        for (int toff : offsets) load_plane(toff, k + r);
+
+        auto* acc = out_plane.as<double>().data();
+        std::fill(acc, acc + sj * si, 0.0);
+        for (const auto& term : lin->terms) {
+          const T* plane =
+              planes[static_cast<std::size_t>(
+                         offset_index(term.time_offset) * depth +
+                         (((k + term.offset[0]) % depth) + depth) % depth)]
+                  .template as<T>()
+                  .data();
+          const std::int64_t delta = term.offset[1] * pi + term.offset[2];
+          for (std::int64_t j = 0; j < sj; ++j)
+            for (std::int64_t i = 0; i < si; ++i)
+              acc[j * si + i] += term.coeff *
+                                 static_cast<double>(plane[(j + r) * pi + (i + r) + delta]);
+          flops += 2 * sj * si;
+        }
+
+        // Write the output plane back (row-wise coalesced puts).
+        for (std::int64_t j = 0; j < sj; ++j) {
+          T* dst = out_slot + state.index({k, oj + j, oi});
+          for (std::int64_t i = 0; i < si; ++i) dst[i] = static_cast<T>(acc[j * si + i]);
+          dma.charge(si * esz, si * esz);
+        }
+      }
+
+      cpe_compute[static_cast<std::size_t>(cpe)] +=
+          static_cast<double>(flops) / (cpe_peak_flops * compute_eff);
+      cpe_dma[static_cast<std::size_t>(cpe)] += dma.stats().seconds;
+      step_dma_bytes += dma.stats().bytes;
+      result.dma.transactions += dma.stats().transactions;
+      result.dma.bytes += dma.stats().bytes;
+      result.dma.seconds += dma.stats().seconds;
+    }
+
+    double busiest = 0.0, busiest_c = 0.0, busiest_d = 0.0;
+    for (int c = 0; c < cpes; ++c) {
+      busiest = std::max(busiest, std::max(cpe_compute[static_cast<std::size_t>(c)],
+                                           cpe_dma[static_cast<std::size_t>(c)]));
+      busiest_c = std::max(busiest_c, cpe_compute[static_cast<std::size_t>(c)]);
+      busiest_d = std::max(busiest_d, cpe_dma[static_cast<std::size_t>(c)]);
+    }
+    const double bus_floor = static_cast<double>(step_dma_bytes) / (m.mem_bw_gbs * 1e9);
+    result.seconds += std::max(busiest, bus_floor);
+    result.compute_seconds += busiest_c;
+    result.dma_seconds += std::max(busiest_d, bus_floor);
+
+    state.fill_halo(state.slot_for_time(t), bc);
+    ++result.timesteps;
+  }
+
+  const double accessed = [&] {
+    std::int64_t acc_pts = 0;
+    for (const auto& term : st.terms()) acc_pts += term.kernel->stats().points_read;
+    return static_cast<double>(acc_pts) *
+           static_cast<double>(state.tensor()->interior_points()) * static_cast<double>(esz) *
+           static_cast<double>(result.timesteps);
+  }();
+  result.reuse_factor =
+      result.dma.bytes > 0 ? accessed / static_cast<double>(result.dma.bytes) : 0;
+  return result;
+}
+
+}  // namespace msc::sunway

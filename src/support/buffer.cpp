@@ -1,0 +1,50 @@
+#include "support/buffer.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace msc {
+
+AlignedBuffer::AlignedBuffer(std::size_t bytes) : size_(bytes) {
+  if (bytes == 0) return;
+  // Round the allocation up to a multiple of the alignment as required by
+  // std::aligned_alloc.
+  const std::size_t rounded = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  data_ = static_cast<std::byte*>(std::aligned_alloc(kAlignment, rounded));
+  if (data_ == nullptr) throw std::bad_alloc();
+  std::memset(data_, 0, rounded);
+}
+
+AlignedBuffer::AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_) {
+  if (size_ != 0) std::memcpy(data_, other.data_, size_);
+}
+
+AlignedBuffer& AlignedBuffer::operator=(const AlignedBuffer& other) {
+  if (this == &other) return *this;
+  AlignedBuffer copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  std::free(data_);
+  data_ = std::exchange(other.data_, nullptr);
+  size_ = std::exchange(other.size_, 0);
+  return *this;
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(data_); }
+
+void AlignedBuffer::fill_zero() {
+  if (size_ != 0) std::memset(data_, 0, size_);
+}
+
+}  // namespace msc

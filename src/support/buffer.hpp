@@ -1,0 +1,50 @@
+#pragma once
+
+// 64-byte aligned raw buffers used as grid storage by the executor,
+// simulators, and baselines.  Alignment matches the widest SIMD unit the
+// generated code may target and keeps tile starts cache-line aligned.
+
+#include <cstddef>
+#include <cstdint>
+
+#include <span>
+
+namespace msc {
+
+/// Owning, 64-byte aligned, zero-initialized byte buffer.
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t bytes);
+  AlignedBuffer(const AlignedBuffer& other);
+  AlignedBuffer& operator=(const AlignedBuffer& other);
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  ~AlignedBuffer();
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
+
+  /// Typed view over the whole buffer; size() must be a multiple of sizeof(T).
+  template <typename T>
+  std::span<T> as() {
+    return {reinterpret_cast<T*>(data_), size_ / sizeof(T)};
+  }
+  template <typename T>
+  std::span<const T> as() const {
+    return {reinterpret_cast<const T*>(data_), size_ / sizeof(T)};
+  }
+
+  void fill_zero();
+
+ private:
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace msc

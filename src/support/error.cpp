@@ -1,0 +1,11 @@
+#include "support/error.hpp"
+
+namespace msc::detail {
+
+[[noreturn]] void throw_error(const char* file, int line, const std::string& message) {
+  std::ostringstream out;
+  out << message << " (" << file << ":" << line << ")";
+  throw Error(out.str());
+}
+
+}  // namespace msc::detail

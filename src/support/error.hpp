@@ -1,0 +1,60 @@
+#pragma once
+
+// Error handling for the MSC library.
+//
+// All user-visible failures (malformed DSL programs, illegal schedules,
+// out-of-budget SPM allocations, ...) throw msc::Error with a formatted
+// message.  Internal invariant violations use MSC_ASSERT, which also throws
+// so that tests can exercise failure paths without aborting the process.
+
+#include <stdexcept>
+#include <sstream>
+#include <string>
+
+namespace msc {
+
+/// Exception type thrown by every MSC component on failure.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const std::string& message);
+
+class ErrorStream {
+ public:
+  ErrorStream(const char* file, int line) : file_(file), line_(line) {}
+  template <typename T>
+  ErrorStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  [[noreturn]] ~ErrorStream() noexcept(false) { throw_error(file_, line_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace msc
+
+/// Throw an msc::Error with a streamed message: MSC_FAIL() << "bad " << x;
+#define MSC_FAIL() ::msc::detail::ErrorStream(__FILE__, __LINE__)
+
+/// Check a user-facing precondition; on failure throws msc::Error with the
+/// streamed message appended: MSC_CHECK(n > 0) << "n must be positive";
+#define MSC_CHECK(cond)                                      \
+  if (cond) {                                                \
+  } else                                                     \
+    ::msc::detail::ErrorStream(__FILE__, __LINE__)           \
+        << "check failed: " #cond " — "
+
+/// Internal invariant; same mechanics as MSC_CHECK but flags a library bug.
+#define MSC_ASSERT(cond)                                     \
+  if (cond) {                                                \
+  } else                                                     \
+    ::msc::detail::ErrorStream(__FILE__, __LINE__)           \
+        << "internal invariant violated: " #cond " — "

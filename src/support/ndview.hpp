@@ -1,0 +1,106 @@
+#pragma once
+
+// Lightweight non-owning N-dimensional views over contiguous storage.
+//
+// Grids in MSC are stored in row-major order with the *last* index fastest
+// (for a 3-D grid indexed (k, j, i), i is contiguous).  Halo cells are part
+// of the allocation: a grid with interior shape (Z, Y, X) and halo h is
+// stored as (Z+2h, Y+2h, X+2h) and interior element (k, j, i) lives at
+// physical index (k+h, j+h, i+h).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace msc {
+
+/// Interior shape + halo width for a grid of RANK dimensions.
+template <int RANK>
+struct GridShape {
+  std::array<std::int64_t, RANK> extent{};  ///< interior extents, no halo
+  std::int64_t halo = 0;                    ///< symmetric halo width per side
+
+  std::int64_t padded(int d) const { return extent[d] + 2 * halo; }
+
+  std::int64_t interior_points() const {
+    std::int64_t n = 1;
+    for (int d = 0; d < RANK; ++d) n *= extent[d];
+    return n;
+  }
+  std::int64_t padded_points() const {
+    std::int64_t n = 1;
+    for (int d = 0; d < RANK; ++d) n *= padded(d);
+    return n;
+  }
+};
+
+/// Non-owning 2-D view with halo-aware indexing: operator()(j, i) addresses
+/// interior coordinates; halo cells are reached with negative / >=extent
+/// indices.
+template <typename T>
+class View2D {
+ public:
+  View2D() = default;
+  View2D(T* data, GridShape<2> shape) : data_(data), shape_(shape) {
+    stride_ = shape.padded(1);
+  }
+
+  T& operator()(std::int64_t j, std::int64_t i) const {
+    return data_[(j + shape_.halo) * stride_ + (i + shape_.halo)];
+  }
+  T& at(std::int64_t j, std::int64_t i) const {
+    MSC_CHECK(j >= -shape_.halo && j < shape_.extent[0] + shape_.halo)
+        << "j=" << j << " out of range";
+    MSC_CHECK(i >= -shape_.halo && i < shape_.extent[1] + shape_.halo)
+        << "i=" << i << " out of range";
+    return (*this)(j, i);
+  }
+
+  const GridShape<2>& shape() const { return shape_; }
+  T* raw() const { return data_; }
+
+ private:
+  T* data_ = nullptr;
+  GridShape<2> shape_{};
+  std::int64_t stride_ = 0;
+};
+
+/// Non-owning 3-D view with halo-aware indexing (k, j, i), i fastest.
+template <typename T>
+class View3D {
+ public:
+  View3D() = default;
+  View3D(T* data, GridShape<3> shape) : data_(data), shape_(shape) {
+    stride_i_ = 1;
+    stride_j_ = shape.padded(2);
+    stride_k_ = shape.padded(1) * shape.padded(2);
+  }
+
+  T& operator()(std::int64_t k, std::int64_t j, std::int64_t i) const {
+    return data_[(k + shape_.halo) * stride_k_ + (j + shape_.halo) * stride_j_ +
+                 (i + shape_.halo)];
+  }
+  T& at(std::int64_t k, std::int64_t j, std::int64_t i) const {
+    MSC_CHECK(k >= -shape_.halo && k < shape_.extent[0] + shape_.halo)
+        << "k=" << k << " out of range";
+    MSC_CHECK(j >= -shape_.halo && j < shape_.extent[1] + shape_.halo)
+        << "j=" << j << " out of range";
+    MSC_CHECK(i >= -shape_.halo && i < shape_.extent[2] + shape_.halo)
+        << "i=" << i << " out of range";
+    return (*this)(k, j, i);
+  }
+
+  const GridShape<3>& shape() const { return shape_; }
+  T* raw() const { return data_; }
+  std::int64_t stride_k() const { return stride_k_; }
+  std::int64_t stride_j() const { return stride_j_; }
+
+ private:
+  T* data_ = nullptr;
+  GridShape<3> shape_{};
+  std::int64_t stride_k_ = 0, stride_j_ = 0, stride_i_ = 0;
+};
+
+}  // namespace msc

@@ -1,0 +1,30 @@
+#include "support/rng.hpp"
+
+#include "support/error.hpp"
+
+namespace msc {
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::next_double() {
+  // 53 high bits → double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  MSC_CHECK(lo <= hi) << "invalid range [" << lo << ", " << hi << "]";
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+double Rng::next_real(double lo, double hi) {
+  MSC_CHECK(lo <= hi) << "invalid range [" << lo << ", " << hi << ")";
+  return lo + (hi - lo) * next_double();
+}
+
+}  // namespace msc

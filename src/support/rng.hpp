@@ -1,0 +1,34 @@
+#pragma once
+
+// Deterministic pseudo-random number generation.
+//
+// All synthetic workloads and the simulated-annealing tuner draw from this
+// generator so that every run of a test or bench reproduces bit-identical
+// inputs (a substitute for the paper's /data/rand.data input files).
+
+#include <cstdint>
+
+namespace msc {
+
+/// SplitMix64: tiny, fast, full-period 64-bit generator; good enough for
+/// workload synthesis and annealing proposals (not cryptographic).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double next_real(double lo, double hi);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace msc

@@ -1,0 +1,63 @@
+#include "support/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace msc {
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t n = 0; n < parts.size(); ++n) {
+    if (n != 0) out += sep;
+    out += parts[n];
+  }
+  return out;
+}
+
+std::string strprintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int len = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(static_cast<std::size_t>(len), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+int count_loc(const std::string& source) {
+  int loc = 0;
+  for (const auto& line : split(source, '\n')) {
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;                 // blank
+    if (line.compare(first, 2, "//") == 0) continue;          // C++ comment
+    if (line[first] == '#' && line.compare(first, 7, "#pragma") != 0 &&
+        line.compare(first, 8, "#include") != 0 && line.compare(first, 7, "#define") != 0)
+      continue;                                               // script comment
+    ++loc;
+  }
+  return loc;
+}
+
+}  // namespace msc

@@ -1,0 +1,28 @@
+#pragma once
+
+// Small string utilities shared by the IR printer, code generators and the
+// bench reporting helpers.
+
+#include <string>
+#include <vector>
+
+namespace msc {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Counts non-empty, non-comment-only lines — the LoC metric used for the
+/// paper's Table 6 comparison (blank lines and pure '//' or '#' comment
+/// lines are excluded).
+int count_loc(const std::string& source);
+
+}  // namespace msc

@@ -1,0 +1,41 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace msc {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  MSC_CHECK(!header_.empty()) << "table needs at least one column";
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  MSC_CHECK(row.size() == header_.size())
+      << "row arity " << row.size() << " != header arity " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = emit_row(header_);
+  std::string rule = "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) rule += std::string(width[c] + 2, '-') + "|";
+  out += rule + "\n";
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+}  // namespace msc

@@ -1,0 +1,27 @@
+#pragma once
+
+// Plain-text table renderer used by every bench harness to print rows in
+// the same layout as the paper's tables and figure data series.
+
+#include <string>
+#include <vector>
+
+namespace msc {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column widths fitted to content, '|' separators and a
+  /// header rule, e.g. for pasting into EXPERIMENTS.md.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace msc

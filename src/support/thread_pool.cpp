@@ -1,0 +1,124 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "support/error.hpp"
+
+namespace msc {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard lock(mutex_);
+    jobs_.push(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    job();
+  }
+}
+
+namespace {
+/// Latch-style completion tracker that also records the first exception.
+struct Completion {
+  std::mutex m;
+  std::condition_variable cv;
+  std::int64_t remaining;
+  std::exception_ptr error;
+
+  explicit Completion(std::int64_t n) : remaining(n) {}
+
+  void finish(std::exception_ptr e) {
+    std::lock_guard lock(m);
+    if (e && !error) error = e;
+    if (--remaining == 0) cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock lock(m);
+    cv.wait(lock, [this] { return remaining == 0; });
+    if (error) std::rethrow_exception(error);
+  }
+};
+}  // namespace
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
+                              const std::function<void(std::int64_t, std::int64_t)>& body) {
+  MSC_CHECK(begin <= end) << "invalid range [" << begin << ", " << end << ")";
+  const std::int64_t n = end - begin;
+  if (n == 0) return;
+  const std::int64_t chunks = std::min<std::int64_t>(size(), n);
+  if (chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+  Completion done(chunks);
+  const std::int64_t base = n / chunks, extra = n % chunks;
+  std::int64_t lo = begin;
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t hi = lo + base + (c < extra ? 1 : 0);
+    enqueue([&body, lo, hi, &done] {
+      std::exception_ptr err;
+      try {
+        body(lo, hi);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      done.finish(err);
+    });
+    lo = hi;
+  }
+  done.wait();
+}
+
+void ThreadPool::parallel_tasks(std::int64_t n, const std::function<void(std::int64_t)>& task) {
+  MSC_CHECK(n >= 0) << "task count must be non-negative";
+  if (n == 0) return;
+  Completion done(n);
+  for (std::int64_t idx = 0; idx < n; ++idx) {
+    enqueue([&task, idx, &done] {
+      std::exception_ptr err;
+      try {
+        task(idx);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      done.finish(err);
+    });
+  }
+  done.wait();
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace msc

@@ -1,0 +1,56 @@
+#pragma once
+
+// Fixed-size worker pool used by the host executor for the `parallel`
+// schedule primitive and by the simulated-MPI runtime for rank execution.
+//
+// parallel_for partitions an index range into contiguous chunks, one per
+// worker, mirroring the static scheduling the generated OpenMP / athread
+// code uses.  Exceptions thrown by body functions are captured and the
+// first one is rethrown on the caller thread.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace msc {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs body(begin..end) split statically across the pool and blocks until
+  /// every chunk finishes.  body receives a half-open subrange [lo, hi).
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  /// Runs one task per index in [0, n) with the index as argument; tasks are
+  /// distributed round-robin and the call blocks until all complete.
+  void parallel_tasks(std::int64_t n, const std::function<void(std::int64_t)>& task);
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool shared by the executor and simulators.
+ThreadPool& global_pool();
+
+}  // namespace msc

@@ -1,0 +1,4 @@
+#include "tune/anneal.hpp"
+
+// anneal() is a header template; nothing to compile here beyond anchoring
+// the translation unit in the build.

@@ -1,0 +1,72 @@
+#pragma once
+
+// Generic simulated annealing (paper §4.4: the search over tile sizes and
+// MPI-grid shapes runs on top of the regression performance model).
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace msc::tune {
+
+/// One accepted-improvement point of the annealing trace (what the paper's
+/// Fig. 11 plots against iteration count).
+struct TracePoint {
+  std::int64_t iteration = 0;
+  double objective = 0.0;
+};
+
+struct AnnealConfig {
+  std::int64_t iterations = 20000;
+  double initial_temperature = 1.0;   ///< relative to the initial objective
+  double cooling = 0.9995;            ///< geometric cooling per iteration
+  std::uint64_t seed = 1;
+};
+
+template <typename State>
+struct AnnealResult {
+  State best;
+  double best_objective = 0.0;
+  std::vector<TracePoint> trace;      ///< monotone best-so-far curve
+  std::int64_t converged_at = 0;      ///< iteration of the last improvement
+};
+
+/// Minimizes `objective` from `init`, proposing moves with `neighbor`.
+template <typename State>
+AnnealResult<State> anneal(const State& init,
+                           const std::function<double(const State&)>& objective,
+                           const std::function<State(const State&, Rng&)>& neighbor,
+                           const AnnealConfig& cfg = {}) {
+  Rng rng(cfg.seed);
+  State current = init;
+  double cur_obj = objective(current);
+  AnnealResult<State> result;
+  result.best = current;
+  result.best_objective = cur_obj;
+  result.trace.push_back({0, cur_obj});
+
+  double temperature = cfg.initial_temperature * cur_obj;
+  for (std::int64_t it = 1; it <= cfg.iterations; ++it) {
+    State cand = neighbor(current, rng);
+    const double cand_obj = objective(cand);
+    const double delta = cand_obj - cur_obj;
+    if (delta <= 0.0 ||
+        (temperature > 0.0 && rng.next_double() < std::exp(-delta / temperature))) {
+      current = std::move(cand);
+      cur_obj = cand_obj;
+      if (cur_obj < result.best_objective) {
+        result.best = current;
+        result.best_objective = cur_obj;
+        result.converged_at = it;
+        result.trace.push_back({it, cur_obj});
+      }
+    }
+    temperature *= cfg.cooling;
+  }
+  return result;
+}
+
+}  // namespace msc::tune

@@ -1,0 +1,170 @@
+#include "tune/inspector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace msc::tune {
+
+namespace {
+
+/// Builds a schedule over a sub-grid with the given tile (axes rebuilt to
+/// the local extent so splits stay legal).
+schedule::Schedule sub_schedule(const ir::StencilDef& st,
+                                const std::array<std::int64_t, 3>& tile,
+                                const std::array<std::int64_t, 3>& ext) {
+  const auto& kernel = st.terms().front().kernel;
+  ir::AxisList axes = kernel->axes();
+  for (auto& ax : axes) ax.end = ext[static_cast<std::size_t>(ax.dim)];
+  auto local = ir::make_kernel(kernel->name(), kernel->output(), axes, kernel->rhs());
+  schedule::Schedule sched(local);
+  std::vector<std::int64_t> taus;
+  for (int d = 0; d < st.state()->ndim(); ++d)
+    taus.push_back(std::min(tile[static_cast<std::size_t>(d)],
+                            ext[static_cast<std::size_t>(d)]));
+  sched.tile(taus);
+  return sched;
+}
+
+/// True when the staged tile (+ halo) and write tile fit the SPM budget.
+bool spm_feasible(const ir::StencilDef& st, const machine::MachineModel& m,
+                  const std::array<std::int64_t, 3>& tile, bool fp64) {
+  if (!m.cache_less()) return true;
+  const std::int64_t r = st.max_radius();
+  const auto esz = static_cast<std::int64_t>(fp64 ? 8 : 4);
+  std::int64_t staged = 1, interior = 1;
+  for (int d = 0; d < st.state()->ndim(); ++d) {
+    staged *= tile[static_cast<std::size_t>(d)] + 2 * r;
+    interior *= tile[static_cast<std::size_t>(d)];
+  }
+  return (staged + interior) * esz <= m.spm_bytes_per_core;
+}
+
+}  // namespace
+
+InspectedSchedule select_tiles(const ir::StencilDef& st, const machine::MachineModel& m,
+                               const machine::ImplProfile& impl, const Subgrid& sub,
+                               bool fp64) {
+  const int nd = st.state()->ndim();
+  InspectedSchedule best;
+  best.seconds_per_step = std::numeric_limits<double>::infinity();
+
+  // Exhaustive power-of-two sweep per dimension (the spaces are tiny:
+  // log2(extent)^ndim points).
+  std::array<std::vector<std::int64_t>, 3> candidates;
+  for (int d = 0; d < nd; ++d) {
+    for (std::int64_t t = 1; t <= sub.extent[static_cast<std::size_t>(d)]; t *= 2)
+      candidates[static_cast<std::size_t>(d)].push_back(t);
+  }
+  for (int d = nd; d < 3; ++d) candidates[static_cast<std::size_t>(d)] = {1};
+
+  for (std::int64_t t0 : candidates[0])
+    for (std::int64_t t1 : candidates[1])
+      for (std::int64_t t2 : candidates[2]) {
+        const std::array<std::int64_t, 3> tile{t0, t1, t2};
+        if (!spm_feasible(st, m, tile, fp64)) continue;
+        auto sched = sub_schedule(st, tile, sub.extent);
+        const auto kc = machine::estimate_subgrid(m, st, sched, impl, sub.extent, 1, fp64);
+        if (kc.seconds_per_step < best.seconds_per_step) {
+          best.tile = tile;
+          best.seconds_per_step = kc.seconds_per_step;
+        }
+      }
+  MSC_CHECK(std::isfinite(best.seconds_per_step))
+      << "no feasible tile found for sub-grid (" << sub.extent[0] << "," << sub.extent[1]
+      << "," << sub.extent[2] << ")";
+  return best;
+}
+
+InspectorPlan plan(const ir::StencilDef& st, const machine::MachineModel& m,
+                   const machine::ImplProfile& impl, const std::vector<Subgrid>& subgrids,
+                   bool fp64) {
+  MSC_CHECK(!subgrids.empty()) << "inspector needs at least one sub-grid";
+  InspectorPlan result;
+  std::map<std::array<std::int64_t, 3>, InspectedSchedule> cache;
+  for (const auto& sub : subgrids) {
+    auto it = cache.find(sub.extent);
+    if (it == cache.end()) {
+      it = cache.emplace(sub.extent, select_tiles(st, m, impl, sub, fp64)).first;
+      ++result.distinct_shapes_inspected;
+      // Inspection cost: the sweep evaluates the analytic model, not the
+      // kernel; charge a microsecond per candidate point as a stand-in for
+      // the paper's inspector phase.
+      double points = 1.0;
+      for (int d = 0; d < st.state()->ndim(); ++d)
+        points *= std::floor(std::log2(static_cast<double>(
+                      std::max<std::int64_t>(2, sub.extent[static_cast<std::size_t>(d)])))) +
+                  1.0;
+      result.inspection_seconds += points * 1e-6;
+    }
+    result.per_rank.push_back(it->second);
+  }
+  return result;
+}
+
+double step_time(const InspectorPlan& plan, const std::vector<Subgrid>& subgrids) {
+  MSC_CHECK(plan.per_rank.size() == subgrids.size()) << "plan/sub-grid arity mismatch";
+  double worst = 0.0;
+  for (std::size_t r = 0; r < subgrids.size(); ++r)
+    worst = std::max(worst, plan.per_rank[r].seconds_per_step * subgrids[r].work_factor);
+  return worst;
+}
+
+double uniform_step_time(const ir::StencilDef& st, const machine::MachineModel& m,
+                         const machine::ImplProfile& impl, const std::vector<Subgrid>& subgrids,
+                         bool fp64) {
+  MSC_CHECK(!subgrids.empty()) << "need at least one sub-grid";
+  // One schedule, AOT-compiled once for the first rank's shape.  Ranks
+  // whose sub-grids do not match run the *same binary*: their domains are
+  // padded up to tile multiples (the generated loop nests have hard-coded
+  // tile extents), so mismatched shapes pay the padding as wasted work —
+  // the cost the inspector's per-shape recompilation removes (§5.6).
+  const auto uniform = select_tiles(st, m, impl, subgrids.front(), fp64);
+  double worst = 0.0;
+  for (const auto& sub : subgrids) {
+    std::array<std::int64_t, 3> padded = sub.extent;
+    for (int d = 0; d < st.state()->ndim(); ++d) {
+      const auto tile = uniform.tile[static_cast<std::size_t>(d)];
+      auto& e = padded[static_cast<std::size_t>(d)];
+      e = (e + tile - 1) / tile * tile;
+    }
+    auto sched = sub_schedule(st, uniform.tile, padded);
+    const auto kc = machine::estimate_subgrid(m, st, sched, impl, padded, 1, fp64);
+    worst = std::max(worst, kc.seconds_per_step * sub.work_factor);
+  }
+  return worst;
+}
+
+std::vector<Subgrid> synthetic_imbalance(std::array<std::int64_t, 3> base, int ndim, int ranks,
+                                         double skew, double skew_fraction,
+                                         std::uint64_t seed) {
+  MSC_CHECK(ranks >= 1 && skew >= 1.0 && skew_fraction >= 0.0 && skew_fraction <= 1.0)
+      << "bad imbalance parameters";
+  Rng rng(seed);
+  std::vector<Subgrid> out;
+  out.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    Subgrid sub;
+    sub.extent = base;
+    if (skew > 1.0 && rng.next_double() < skew_fraction) {
+      // Aspect imbalance with ragged extents (decomposition remainders,
+      // terrain-following columns): the slowest dimension deepens while
+      // the unit-stride dimension thins, and neither stays a multiple of
+      // typical tile sizes — the shape divergence §5.6 anticipates.
+      sub.extent[0] =
+          static_cast<std::int64_t>(static_cast<double>(base[0]) * skew) + 13;
+      sub.extent[static_cast<std::size_t>(ndim - 1)] =
+          std::max<std::int64_t>(
+              8, static_cast<std::int64_t>(
+                     static_cast<double>(base[static_cast<std::size_t>(ndim - 1)]) / skew)) +
+          11;
+    }
+    out.push_back(sub);
+  }
+  return out;
+}
+
+}  // namespace msc::tune

@@ -1,0 +1,72 @@
+#pragma once
+
+// Inspector-executor scheduling (paper §5.6): large-scale weather/ocean
+// codes (WRF, POP2) suffer load imbalance, so "the subgrids assigned to
+// different processors may require diverging compilation optimizations".
+// The inspector analyzes every rank's sub-grid and derives a per-shape
+// schedule (tile sizes today; the schedule cache keys on the shape so
+// inspection cost is amortized across ranks with equal sub-grids); the
+// executor phase then runs each rank under its own schedule.
+//
+// select_tiles performs the per-shape search against the machine cost
+// model; plan() maps a whole (possibly imbalanced) sub-grid set; and
+// step_time estimates the resulting bulk-synchronous step time (max over
+// ranks), which the ablation bench compares against a uniform schedule.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ir/stencil.hpp"
+#include "machine/cost_model.hpp"
+
+namespace msc::tune {
+
+/// One rank's work assignment.
+struct Subgrid {
+  std::array<std::int64_t, 3> extent{1, 1, 1};
+  double work_factor = 1.0;  ///< relative per-point cost (e.g. land vs ocean)
+};
+
+/// The inspector's decision for one sub-grid shape.
+struct InspectedSchedule {
+  std::array<std::int64_t, 3> tile{1, 1, 1};
+  double seconds_per_step = 0.0;  ///< modelled kernel time under that tile
+};
+
+/// Per-rank plan plus bookkeeping about inspection reuse.
+struct InspectorPlan {
+  std::vector<InspectedSchedule> per_rank;
+  int distinct_shapes_inspected = 0;  ///< schedule-cache misses
+  double inspection_seconds = 0.0;    ///< modelled cost of the inspector phase
+};
+
+/// Searches power-of-two tiles (respecting the machine's SPM budget on
+/// cache-less targets) for one sub-grid shape and returns the best.
+InspectedSchedule select_tiles(const ir::StencilDef& st, const machine::MachineModel& m,
+                               const machine::ImplProfile& impl, const Subgrid& sub, bool fp64);
+
+/// Inspector phase over all ranks; equal shapes share one inspection.
+InspectorPlan plan(const ir::StencilDef& st, const machine::MachineModel& m,
+                   const machine::ImplProfile& impl, const std::vector<Subgrid>& subgrids,
+                   bool fp64);
+
+/// Bulk-synchronous step time of a plan: max over ranks of kernel time
+/// scaled by the rank's work factor.
+double step_time(const InspectorPlan& plan, const std::vector<Subgrid>& subgrids);
+
+/// Step time when every rank runs one uniform tile (the non-inspected
+/// baseline): the tile selected for the *first* rank's shape.
+double uniform_step_time(const ir::StencilDef& st, const machine::MachineModel& m,
+                         const machine::ImplProfile& impl, const std::vector<Subgrid>& subgrids,
+                         bool fp64);
+
+/// Synthetic imbalanced assignment: `ranks` sub-grids of `base` extent
+/// where a fraction of ranks get `skew`-times deeper k-extents (WRF-style
+/// column imbalance).  Deterministic for a given seed.
+std::vector<Subgrid> synthetic_imbalance(std::array<std::int64_t, 3> base, int ndim, int ranks,
+                                         double skew, double skew_fraction,
+                                         std::uint64_t seed);
+
+}  // namespace msc::tune

@@ -1,0 +1,77 @@
+#include "tune/regression.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace msc::tune {
+
+void LinearRegression::fit(const std::vector<std::vector<double>>& X,
+                           const std::vector<double>& y) {
+  MSC_CHECK(!X.empty() && X.size() == y.size()) << "regression needs matching X/y samples";
+  const std::size_t k = X.front().size();
+  MSC_CHECK(k > 0) << "regression needs at least one feature";
+  MSC_CHECK(X.size() >= k) << "regression needs at least as many samples as features";
+  for (const auto& row : X)
+    MSC_CHECK(row.size() == k) << "inconsistent feature arity";
+
+  // Column scaling: configuration features span many orders of magnitude
+  // (a constant 1 next to byte counts ~1e9), which would make X'X
+  // catastrophically ill-conditioned in double precision.
+  std::vector<double> scale(k, 0.0);
+  for (const auto& row : X)
+    for (std::size_t i = 0; i < k; ++i) scale[i] = std::max(scale[i], std::fabs(row[i]));
+  for (auto& s : scale)
+    if (s == 0.0) s = 1.0;
+
+  // Normal equations on the scaled system: (X'X) w = X'y.
+  std::vector<std::vector<double>> a(k, std::vector<double>(k + 1, 0.0));
+  for (std::size_t s = 0; s < X.size(); ++s) {
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) a[i][j] += X[s][i] / scale[i] * (X[s][j] / scale[j]);
+      a[i][k] += X[s][i] / scale[i] * y[s];
+    }
+  }
+
+  // Gaussian elimination with partial pivoting; small ridge term guards
+  // against the near-collinear features real configuration sweeps produce.
+  for (std::size_t i = 0; i < k; ++i) a[i][i] += 1e-9;
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < k; ++r)
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    std::swap(a[col], a[pivot]);
+    MSC_CHECK(std::fabs(a[col][col]) > 1e-12) << "singular regression system";
+    for (std::size_t r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c <= k; ++c) a[r][c] -= f * a[col][c];
+    }
+  }
+  weights_.assign(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) weights_[i] = a[i][k] / a[i][i] / scale[i];
+}
+
+double LinearRegression::predict(const std::vector<double>& x) const {
+  MSC_CHECK(x.size() == weights_.size()) << "feature arity mismatch";
+  double y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) y += weights_[i] * x[i];
+  return y;
+}
+
+double LinearRegression::r_squared(const std::vector<std::vector<double>>& X,
+                                   const std::vector<double>& y) const {
+  MSC_CHECK(X.size() == y.size() && !y.empty()) << "shape mismatch";
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t s = 0; s < y.size(); ++s) {
+    const double r = y[s] - predict(X[s]);
+    ss_res += r * r;
+    ss_tot += (y[s] - mean) * (y[s] - mean);
+  }
+  return ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace msc::tune

@@ -1,0 +1,32 @@
+#pragma once
+
+// Multivariable linear regression (paper §4.4, "performance auto-tuning"):
+// the analytical performance model predicting stencil kernel time is a
+// least-squares fit over run-configuration features.  Solved via normal
+// equations with Gaussian elimination — feature counts are tiny (< 10).
+
+#include <cstdint>
+#include <vector>
+
+namespace msc::tune {
+
+class LinearRegression {
+ public:
+  /// Fits y ~ X * w (X rows are feature vectors, first feature typically a
+  /// constant 1).  Throws on singular systems or shape mismatch.
+  void fit(const std::vector<std::vector<double>>& X, const std::vector<double>& y);
+
+  /// Prediction for one feature vector.
+  double predict(const std::vector<double>& x) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Coefficient of determination on a dataset (1 = perfect fit).
+  double r_squared(const std::vector<std::vector<double>>& X,
+                   const std::vector<double>& y) const;
+
+ private:
+  std::vector<double> weights_;
+};
+
+}  // namespace msc::tune

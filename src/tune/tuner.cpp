@@ -1,0 +1,219 @@
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comm/decompose.hpp"
+#include "ir/type.hpp"
+#include "schedule/schedule.hpp"
+#include "support/error.hpp"
+
+namespace msc::tune {
+
+namespace {
+
+/// Local sub-grid of rank 0 under a decomposition.
+std::array<std::int64_t, 3> local_extent(const ir::StencilDef& st, const TuneConfig& cfg,
+                                         const std::vector<int>& mpi_dims) {
+  const int nd = st.state()->ndim();
+  std::vector<std::int64_t> global(static_cast<std::size_t>(nd));
+  for (int d = 0; d < nd; ++d) global[static_cast<std::size_t>(d)] =
+      cfg.global[static_cast<std::size_t>(d)];
+  comm::CartDecomp dec(mpi_dims, global);
+  std::array<std::int64_t, 3> ext{1, 1, 1};
+  for (int d = 0; d < nd; ++d) ext[static_cast<std::size_t>(d)] = dec.local_extent(0, d);
+  return ext;
+}
+
+/// Clamps tile sizes into [1, local extent] and, on scratchpad machines,
+/// shrinks the tile until the staged working set (read tile + halo, plus
+/// the write tile) fits the SPM budget — infeasible tiles would not build
+/// on the real hardware.
+TuneParams clamp(const ir::StencilDef& st, const machine::MachineModel& m,
+                 const TuneConfig& cfg, TuneParams p) {
+  const auto ext = local_extent(st, cfg, p.mpi_dims);
+  const int nd = st.state()->ndim();
+  for (int d = 0; d < nd; ++d) {
+    auto& t = p.tile[static_cast<std::size_t>(d)];
+    t = std::clamp<std::int64_t>(t, 1, ext[static_cast<std::size_t>(d)]);
+  }
+  if (m.cache_less()) {
+    const std::int64_t r = st.max_radius();
+    const auto esz = static_cast<std::int64_t>(cfg.fp64 ? 8 : 4);
+    auto spm_bytes = [&] {
+      std::int64_t staged = 1, interior = 1;
+      for (int d = 0; d < nd; ++d) {
+        staged *= p.tile[static_cast<std::size_t>(d)] + 2 * r;
+        interior *= p.tile[static_cast<std::size_t>(d)];
+      }
+      return (staged + interior) * esz;
+    };
+    while (spm_bytes() > m.spm_bytes_per_core) {
+      // Halve the largest tile dimension until the pipeline fits.
+      int biggest = 0;
+      for (int d = 1; d < nd; ++d)
+        if (p.tile[static_cast<std::size_t>(d)] > p.tile[static_cast<std::size_t>(biggest)])
+          biggest = d;
+      auto& t = p.tile[static_cast<std::size_t>(biggest)];
+      MSC_CHECK(t > 1) << "no SPM-feasible tile exists for this stencil";
+      t /= 2;
+    }
+  }
+  return p;
+}
+
+/// Builds a throwaway schedule with the given tile for cost estimation.
+schedule::Schedule make_sched(const ir::StencilDef& st,
+                              const std::array<std::int64_t, 3>& tile,
+                              const std::array<std::int64_t, 3>& ext) {
+  // The schedule tiles the kernel's declared iteration space; rebuild the
+  // kernel axes to the local extent so splits stay legal.
+  const auto& kernel = st.terms().front().kernel;
+  ir::AxisList axes = kernel->axes();
+  for (auto& ax : axes) {
+    ax.end = ext[static_cast<std::size_t>(ax.dim)];
+  }
+  auto local_kernel = ir::make_kernel(kernel->name(), kernel->output(), axes, kernel->rhs());
+  schedule::Schedule sched(local_kernel);
+  std::vector<std::int64_t> taus;
+  for (int d = 0; d < st.state()->ndim(); ++d)
+    taus.push_back(std::min(tile[static_cast<std::size_t>(d)],
+                            ext[static_cast<std::size_t>(d)]));
+  sched.tile(taus);
+  return sched;
+}
+
+/// Feature vector of a configuration for the regression model: constant,
+/// local points, modelled traffic, tile count, busiest-rank halo bytes,
+/// message count (the paper's kernel/pack/transfer/init terms).
+std::vector<double> features(const ir::StencilDef& st, const machine::MachineModel& m,
+                             const machine::ImplProfile& impl, const comm::NetworkModel& net,
+                             const TuneConfig& cfg, const TuneParams& p) {
+  const auto ext = local_extent(st, cfg, p.mpi_dims);
+  auto sched = make_sched(st, p.tile, ext);
+  const auto kc = machine::estimate_subgrid(m, st, sched, impl, ext, 1, cfg.fp64);
+
+  const int nd = st.state()->ndim();
+  std::vector<std::int64_t> global(static_cast<std::size_t>(nd));
+  for (int d = 0; d < nd; ++d) global[static_cast<std::size_t>(d)] =
+      cfg.global[static_cast<std::size_t>(d)];
+  comm::CartDecomp dec(p.mpi_dims, global);
+  const auto cc = comm::halo_exchange_cost(
+      net, dec, st.max_radius(), static_cast<std::int64_t>(cfg.fp64 ? 8 : 4));
+
+  std::int64_t points = 1;
+  for (int d = 0; d < nd; ++d) points *= ext[static_cast<std::size_t>(d)];
+  return {1.0,
+          static_cast<double>(points),
+          static_cast<double>(kc.traffic_bytes),
+          kc.dma_latency_seconds,
+          static_cast<double>(cc.bytes_per_rank),
+          static_cast<double>(cc.messages_per_rank)};
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> factorizations(int n, int ndim) {
+  MSC_CHECK(n >= 1 && ndim >= 1) << "bad factorization request";
+  if (ndim == 1) return {{n}};
+  std::vector<std::vector<int>> out;
+  for (int f = 1; f <= n; ++f) {
+    if (n % f != 0) continue;
+    for (auto rest : factorizations(n / f, ndim - 1)) {
+      rest.insert(rest.begin(), f);
+      out.push_back(std::move(rest));
+    }
+  }
+  return out;
+}
+
+double measure_config(const ir::StencilDef& st, const machine::MachineModel& m,
+                      const machine::ImplProfile& impl, const comm::NetworkModel& net,
+                      const TuneConfig& cfg, const TuneParams& params) {
+  const auto ext = local_extent(st, cfg, params.mpi_dims);
+  auto sched = make_sched(st, params.tile, ext);
+  const auto kc = machine::estimate_subgrid(m, st, sched, impl, ext, cfg.timesteps, cfg.fp64);
+
+  const int nd = st.state()->ndim();
+  std::vector<std::int64_t> global(static_cast<std::size_t>(nd));
+  for (int d = 0; d < nd; ++d) global[static_cast<std::size_t>(d)] =
+      cfg.global[static_cast<std::size_t>(d)];
+  comm::CartDecomp dec(params.mpi_dims, global);
+  const auto cc = comm::halo_exchange_cost(
+      net, dec, st.max_radius(), static_cast<std::int64_t>(cfg.fp64 ? 8 : 4));
+  return kc.seconds + cc.seconds * static_cast<double>(cfg.timesteps);
+}
+
+TuneResult tune(const ir::StencilDef& st, const machine::MachineModel& m,
+                const machine::ImplProfile& impl, const comm::NetworkModel& net,
+                const TuneConfig& cfg) {
+  const int nd = st.state()->ndim();
+  const auto factor_list = factorizations(static_cast<int>(cfg.processes), nd);
+  MSC_CHECK(!factor_list.empty()) << "no MPI factorization found";
+
+  // Untuned-but-sensible starting point (what a user would write before
+  // tuning, cf. §5.4): a 1-D process slab along the slowest dimension and
+  // unit-stride row tiles.
+  TuneResult result;
+  result.initial.mpi_dims = factor_list.back();  // (P, 1, ..., 1)
+  for (int d = 0; d < nd; ++d) result.initial.tile[static_cast<std::size_t>(d)] = 1;
+  result.initial.tile[static_cast<std::size_t>(nd - 1)] =
+      local_extent(st, cfg, result.initial.mpi_dims)[static_cast<std::size_t>(nd - 1)];
+  result.initial = clamp(st, m, cfg, result.initial);
+  result.initial_seconds = measure_config(st, m, impl, net, cfg, result.initial);
+
+  // ---- 1/2: sample configurations and fit the regression model -------
+  Rng rng(cfg.seed);
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  std::vector<TuneParams> samples;
+  for (std::int64_t s = 0; s < cfg.train_samples; ++s) {
+    TuneParams p;
+    p.mpi_dims = factor_list[static_cast<std::size_t>(
+        rng.next_int(0, static_cast<std::int64_t>(factor_list.size()) - 1))];
+    const auto ext = local_extent(st, cfg, p.mpi_dims);
+    for (int d = 0; d < nd; ++d) {
+      const std::int64_t e = ext[static_cast<std::size_t>(d)];
+      const std::int64_t max_pow = static_cast<std::int64_t>(std::floor(std::log2(e)));
+      p.tile[static_cast<std::size_t>(d)] = std::int64_t{1} << rng.next_int(0, max_pow);
+    }
+    p = clamp(st, m, cfg, p);
+    X.push_back(features(st, m, impl, net, cfg, p));
+    y.push_back(measure_config(st, m, impl, net, cfg, p));
+    samples.push_back(p);
+  }
+  LinearRegression model;
+  model.fit(X, y);
+  result.model_r2 = model.r_squared(X, y);
+
+  // ---- 3: simulated annealing on the fitted model --------------------
+  const auto objective = [&](const TuneParams& p) {
+    return model.predict(features(st, m, impl, net, cfg, p));
+  };
+  const auto neighbor = [&](const TuneParams& p, Rng& r) {
+    TuneParams q = p;
+    if (r.next_double() < 0.3) {
+      q.mpi_dims = factor_list[static_cast<std::size_t>(
+          r.next_int(0, static_cast<std::int64_t>(factor_list.size()) - 1))];
+    } else {
+      const int d = static_cast<int>(r.next_int(0, nd - 1));
+      auto& t = q.tile[static_cast<std::size_t>(d)];
+      t = r.next_double() < 0.5 ? std::max<std::int64_t>(1, t / 2) : t * 2;
+    }
+    return clamp(st, m, cfg, q);
+  };
+
+  AnnealConfig acfg;
+  acfg.iterations = cfg.sa_iterations;
+  acfg.seed = cfg.seed + 101;
+  const auto sa = anneal<TuneParams>(result.initial, objective, neighbor, acfg);
+
+  // ---- 4: re-measure the winner ------------------------------------
+  result.best = sa.best;
+  result.best_seconds = measure_config(st, m, impl, net, cfg, sa.best);
+  result.trace = sa.trace;
+  result.converged_at = sa.converged_at;
+  return result;
+}
+
+}  // namespace msc::tune

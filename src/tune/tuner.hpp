@@ -1,0 +1,66 @@
+#pragma once
+
+// The MSC auto-tuner (paper §4.4 + §5.4): searches tile sizes and the MPI
+// process-grid shape for a large-scale stencil run.
+//
+// Pipeline (mirroring the paper):
+//   1. sample run configurations and "measure" them — here against the
+//      machine/network cost models that substitute for the hardware;
+//   2. fit the multivariable linear-regression performance model to the
+//      samples (kernel time + pack/unpack + transfer + startup features);
+//   3. run simulated annealing on the fitted model;
+//   4. re-"measure" the winner and report the improvement and the trace.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "comm/network_model.hpp"
+#include "ir/stencil.hpp"
+#include "machine/cost_model.hpp"
+#include "tune/anneal.hpp"
+#include "tune/regression.hpp"
+
+namespace msc::tune {
+
+/// Search point: one tile size per dimension + the MPI grid shape.
+struct TuneParams {
+  std::array<std::int64_t, 3> tile{1, 1, 1};
+  std::vector<int> mpi_dims;
+};
+
+struct TuneResult {
+  TuneParams initial, best;
+  double initial_seconds = 0.0;  ///< cost-model time of the naive config
+  double best_seconds = 0.0;     ///< cost-model time of the tuned config
+  double model_r2 = 0.0;         ///< regression fit quality
+  std::vector<TracePoint> trace; ///< best-so-far predicted time per iteration
+  std::int64_t converged_at = 0;
+  double speedup() const { return initial_seconds / best_seconds; }
+};
+
+struct TuneConfig {
+  std::int64_t processes = 128;
+  std::array<std::int64_t, 3> global{1, 1, 1};
+  std::int64_t timesteps = 100;
+  std::int64_t train_samples = 48;
+  std::int64_t sa_iterations = 20000;
+  std::uint64_t seed = 7;
+  bool fp64 = true;
+};
+
+/// All factorizations of `n` into `ndim` ordered positive factors.
+std::vector<std::vector<int>> factorizations(int n, int ndim);
+
+/// End-to-end time of one configuration under the cost models (the tuner's
+/// ground truth; also used to validate the regression fit).
+double measure_config(const ir::StencilDef& st, const machine::MachineModel& m,
+                      const machine::ImplProfile& impl, const comm::NetworkModel& net,
+                      const TuneConfig& cfg, const TuneParams& params);
+
+/// Runs the full tuning pipeline.
+TuneResult tune(const ir::StencilDef& st, const machine::MachineModel& m,
+                const machine::ImplProfile& impl, const comm::NetworkModel& net,
+                const TuneConfig& cfg);
+
+}  // namespace msc::tune

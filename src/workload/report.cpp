@@ -1,0 +1,42 @@
+#include "workload/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/strings.hpp"
+
+namespace msc::workload {
+
+std::string fmt_seconds(double s) {
+  if (s < 1e-6) return strprintf("%.3g ns", s * 1e9);
+  if (s < 1e-3) return strprintf("%.3g us", s * 1e6);
+  if (s < 1.0) return strprintf("%.3g ms", s * 1e3);
+  return strprintf("%.3g s", s);
+}
+
+std::string fmt_bytes(double bytes) {
+  if (bytes < 1024.0) return strprintf("%.0f B", bytes);
+  if (bytes < 1024.0 * 1024) return strprintf("%.1f KiB", bytes / 1024);
+  if (bytes < 1024.0 * 1024 * 1024) return strprintf("%.1f MiB", bytes / 1024 / 1024);
+  return strprintf("%.2f GiB", bytes / 1024 / 1024 / 1024);
+}
+
+std::string fmt_ratio(double r) { return strprintf("%.2fx", r); }
+
+std::string fmt_gflops(double g) { return strprintf("%.1f", g); }
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void print_banner(const std::string& experiment, const std::string& paper_claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace msc::workload

@@ -1,0 +1,23 @@
+#pragma once
+
+// Shared reporting helpers for the bench harnesses: consistent headers,
+// number formatting, and geometric means across the benchmark suite.
+
+#include <string>
+#include <vector>
+
+namespace msc::workload {
+
+/// "%.3g"-style compact number, with unit scaling for seconds/bytes.
+std::string fmt_seconds(double s);
+std::string fmt_bytes(double bytes);
+std::string fmt_ratio(double r);
+std::string fmt_gflops(double g);
+
+/// Geometric mean; empty input returns 0.
+double geomean(const std::vector<double>& values);
+
+/// Prints a bench banner: experiment id + paper reference line.
+void print_banner(const std::string& experiment, const std::string& paper_claim);
+
+}  // namespace msc::workload

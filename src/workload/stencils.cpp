@@ -1,0 +1,289 @@
+#include "workload/stencils.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace msc::workload {
+
+namespace {
+
+/// Deterministic, stability-friendly coefficient series: alternating signs,
+/// magnitudes summing below 1 so iterated runs stay bounded.
+double coeff(std::int64_t n, std::int64_t total) {
+  const double base = 0.9 / static_cast<double>(total);
+  return (n % 2 == 0 ? base : -base) * (1.0 + 0.5 * static_cast<double>(n) /
+                                                  static_cast<double>(total));
+}
+
+/// Neighbor offsets of a stencil pattern, center first.
+std::vector<std::array<std::int64_t, 3>> offsets_of(const BenchmarkInfo& info) {
+  std::vector<std::array<std::int64_t, 3>> out;
+  out.push_back({0, 0, 0});
+  if (info.box) {
+    const std::int64_t r = info.radius;
+    if (info.ndim == 2) {
+      for (std::int64_t j = -r; j <= r; ++j)
+        for (std::int64_t i = -r; i <= r; ++i)
+          if (j != 0 || i != 0) out.push_back({j, i, 0});
+    } else {
+      for (std::int64_t k = -r; k <= r; ++k)
+        for (std::int64_t j = -r; j <= r; ++j)
+          for (std::int64_t i = -r; i <= r; ++i)
+            if (k != 0 || j != 0 || i != 0) out.push_back({k, j, i});
+    }
+  } else {
+    for (std::int64_t d = 0; d < info.ndim; ++d)
+      for (std::int64_t r = 1; r <= info.radius; ++r)
+        for (int sign : {-1, +1}) {
+          std::array<std::int64_t, 3> off{0, 0, 0};
+          off[static_cast<std::size_t>(d)] = sign * r;
+          out.push_back(off);
+        }
+  }
+  return out;
+}
+
+BenchmarkInfo make_info(std::string name, int ndim, bool box, std::int64_t radius,
+                        std::int64_t paper_ops, std::array<std::int64_t, 3> sunway_tile,
+                        std::array<std::int64_t, 3> matrix_tile) {
+  BenchmarkInfo info;
+  info.name = std::move(name);
+  info.ndim = ndim;
+  info.box = box;
+  info.radius = radius;
+  if (box) {
+    std::int64_t side = 2 * radius + 1;
+    info.points = ndim == 2 ? side * side : side * side * side;
+  } else {
+    info.points = 2 * ndim * radius + 1;
+  }
+  info.paper_read_bytes = info.points * 8;
+  info.paper_ops = paper_ops;
+  info.grid = ndim == 2 ? std::array<std::int64_t, 3>{4096, 4096, 1}
+                        : std::array<std::int64_t, 3>{256, 256, 256};
+  info.sunway_tile = sunway_tile;
+  info.matrix_tile = matrix_tile;
+  return info;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkInfo>& all_benchmarks() {
+  // Table 4 rows + Table 5 parameter settings (Sunway tile | Matrix tile).
+  static const std::vector<BenchmarkInfo> benchmarks = {
+      make_info("2d9pt_star", 2, false, 2, 17, {32, 64, 1}, {2, 2048, 1}),
+      make_info("2d9pt_box", 2, true, 1, 17, {32, 64, 1}, {2, 2048, 1}),
+      make_info("2d121pt_box", 2, true, 5, 231, {16, 32, 1}, {2, 2048, 1}),
+      make_info("2d169pt_box", 2, true, 6, 325, {16, 32, 1}, {2, 2048, 1}),
+      make_info("3d7pt_star", 3, false, 1, 13, {2, 8, 64}, {2, 8, 256}),
+      make_info("3d13pt_star", 3, false, 2, 17, {2, 8, 64}, {2, 8, 256}),
+      make_info("3d25pt_star", 3, false, 4, 41, {2, 4, 32}, {2, 8, 256}),
+      make_info("3d31pt_star", 3, false, 5, 50, {2, 4, 32}, {2, 8, 256}),
+  };
+  return benchmarks;
+}
+
+const BenchmarkInfo& benchmark(const std::string& name) {
+  for (const auto& b : all_benchmarks())
+    if (b.name == name) return b;
+  MSC_FAIL() << "unknown benchmark '" << name << "'";
+}
+
+std::unique_ptr<dsl::Program> make_program(const BenchmarkInfo& info, ir::DataType dt,
+                                           std::array<std::int64_t, 3> grid_override) {
+  auto grid = info.grid;
+  for (int d = 0; d < info.ndim; ++d)
+    if (grid_override[static_cast<std::size_t>(d)] > 0)
+      grid[static_cast<std::size_t>(d)] = grid_override[static_cast<std::size_t>(d)];
+
+  auto prog = std::make_unique<dsl::Program>(info.name);
+  const auto offs = offsets_of(info);
+
+  dsl::ExprH rhs;
+  if (info.ndim == 2) {
+    dsl::Var j = prog->var("j"), i = prog->var("i");
+    dsl::GridRef B = prog->def_tensor_2d_timewin("B", info.time_deps, info.radius, dt,
+                                                 grid[0], grid[1]);
+    for (std::size_t n = 0; n < offs.size(); ++n) {
+      dsl::ExprH term = dsl::ExprH(coeff(static_cast<std::int64_t>(n),
+                                         static_cast<std::int64_t>(offs.size()))) *
+                        B(j + offs[n][0], i + offs[n][1]);
+      rhs = n == 0 ? term : rhs + term;
+    }
+    auto& k = prog->kernel("S_" + info.name, {j, i}, rhs);
+    prog->def_stencil("st_" + info.name, B,
+                      0.6 * k[prog->t() - 1] + 0.4 * k[prog->t() - 2]);
+  } else {
+    dsl::Var k = prog->var("k"), j = prog->var("j"), i = prog->var("i");
+    dsl::GridRef B = prog->def_tensor_3d_timewin("B", info.time_deps, info.radius, dt,
+                                                 grid[0], grid[1], grid[2]);
+    for (std::size_t n = 0; n < offs.size(); ++n) {
+      dsl::ExprH term = dsl::ExprH(coeff(static_cast<std::int64_t>(n),
+                                         static_cast<std::int64_t>(offs.size()))) *
+                        B(k + offs[n][0], j + offs[n][1], i + offs[n][2]);
+      rhs = n == 0 ? term : rhs + term;
+    }
+    auto& kn = prog->kernel("S_" + info.name, {k, j, i}, rhs);
+    prog->def_stencil("st_" + info.name, B,
+                      0.6 * kn[prog->t() - 1] + 0.4 * kn[prog->t() - 2]);
+  }
+  return prog;
+}
+
+void apply_msc_schedule(dsl::Program& prog, const BenchmarkInfo& info,
+                        const std::string& target,
+                        std::array<std::int64_t, 3> tile_override) {
+  auto tile = target == "sunway" ? info.sunway_tile : info.matrix_tile;
+  if (target == "cpu" && info.ndim == 3 && info.radius >= 4) {
+    // On the Xeon server the (2,8,256) Matrix tile of the wide 3-D stars
+    // overflows the per-core cache share; shrink the unit-stride tile.
+    tile = {2, 8, 64};
+  }
+  for (int d = 0; d < info.ndim; ++d)
+    if (tile_override[static_cast<std::size_t>(d)] > 0)
+      tile[static_cast<std::size_t>(d)] = tile_override[static_cast<std::size_t>(d)];
+
+  const int threads = target == "sunway" ? 64 : (target == "matrix" ? 32 : 28);
+  auto& sched = prog.primary_kernel().sched();
+
+  std::vector<std::int64_t> taus;
+  std::vector<std::string> outer_order, inner_order;
+  const std::vector<std::string> vars3 = {"k", "j", "i"};
+  const std::vector<std::string> vars2 = {"j", "i"};
+  const auto& vars = info.ndim == 2 ? vars2 : vars3;
+  for (int d = 0; d < info.ndim; ++d) {
+    taus.push_back(std::min(tile[static_cast<std::size_t>(d)],
+                            prog.stencil().state()->extent(d)));
+    outer_order.push_back(vars[static_cast<std::size_t>(d)] + "_outer");
+    inner_order.push_back(vars[static_cast<std::size_t>(d)] + "_inner");
+  }
+  sched.tile(taus);
+  std::vector<std::string> order = outer_order;
+  order.insert(order.end(), inner_order.begin(), inner_order.end());
+  sched.reorder(order);  // Table 5: (xo, yo, [zo,] xi, yi [,zi])
+
+  if (target == "sunway") {
+    // Listing 2: SPM read/write buffers staged at the innermost outer loop.
+    sched.cache_read("B", "buffer_read", "global");
+    sched.cache_write("buffer_write", "global");
+    sched.compute_at("buffer_read", outer_order.back());
+    sched.compute_at("buffer_write", outer_order.back());
+  } else {
+    sched.vectorize(inner_order.back());
+  }
+  sched.parallel(outer_order.front(), threads);
+}
+
+std::string dsl_listing(const BenchmarkInfo& info) {
+  // The paper-style listing a user writes (Listing 1 + Listing 2); its LoC
+  // feeds the Table-6 comparison.
+  std::string s;
+  s += "const int halo_width = " + std::to_string(info.radius) + ";\n";
+  s += "const int time_window_size = " + std::to_string(info.time_deps) + ";\n";
+  if (info.ndim == 2) {
+    s += "DefVar(j, i32); DefVar(i, i32);\n";
+    s += strprintf("DefTensor2D_TimeWin(B, time_window_size, halo_width, f64, %ld, %ld);\n",
+                   static_cast<long>(info.grid[0]), static_cast<long>(info.grid[1]));
+  } else {
+    s += "DefVar(k, i32); DefVar(j, i32); DefVar(i, i32);\n";
+    s += strprintf(
+        "DefTensor3D_TimeWin(B, time_window_size, halo_width, f64, %ld, %ld, %ld);\n",
+        static_cast<long>(info.grid[0]), static_cast<long>(info.grid[1]),
+        static_cast<long>(info.grid[2]));
+  }
+  // Kernel definition: one line per three coefficient terms, as a user
+  // would plausibly wrap the expression.
+  const auto offs = offsets_of(info);
+  s += strprintf("Kernel S_%s((%s),\n", info.name.c_str(), info.ndim == 2 ? "j,i" : "k,j,i");
+  std::string expr_line = "  ";
+  for (std::size_t n = 0; n < offs.size(); ++n) {
+    expr_line += strprintf("c%zu*B[%s]", n,
+                           info.ndim == 2
+                               ? strprintf("j%+ld,i%+ld", static_cast<long>(offs[n][0]),
+                                           static_cast<long>(offs[n][1]))
+                                     .c_str()
+                               : strprintf("k%+ld,j%+ld,i%+ld", static_cast<long>(offs[n][0]),
+                                           static_cast<long>(offs[n][1]),
+                                           static_cast<long>(offs[n][2]))
+                                     .c_str());
+    if (n + 1 != offs.size()) expr_line += " + ";
+    if (expr_line.size() > 70 || n + 1 == offs.size()) {
+      s += expr_line + "\n";
+      expr_line = "  ";
+    }
+  }
+  s += ");\n";
+  s += strprintf("const int tile = {%ld, %ld, %ld};\n", static_cast<long>(info.sunway_tile[0]),
+                 static_cast<long>(info.sunway_tile[1]),
+                 static_cast<long>(info.sunway_tile[2]));
+  s += "Axis xo, yo, zo, xi, yi, zi;\n";
+  s += "CacheRead buffer_read; CacheWrite buffer_write;\n";
+  s += strprintf("S_%s.tile(tile, xo, xi, yo, yi, zo, zi);\n", info.name.c_str());
+  s += strprintf("S_%s.reorder(xo, yo, zo, xi, yi, zi);\n", info.name.c_str());
+  s += strprintf("S_%s.cache_read(B, buffer_read, \"global\");\n", info.name.c_str());
+  s += strprintf("S_%s.cache_write(buffer_write, \"global\");\n", info.name.c_str());
+  s += strprintf("S_%s.compute_at(buffer_read, zo);\n", info.name.c_str());
+  s += strprintf("S_%s.compute_at(buffer_write, zo);\n", info.name.c_str());
+  s += strprintf("S_%s.parallel(xo, 64);\n", info.name.c_str());
+  s += "auto t = Stencil::t;\n";
+  s += strprintf("Result Res((%s), B[%s]);\n", info.ndim == 2 ? "i,j" : "i,j,k",
+                 info.ndim == 2 ? "i,j" : "i,j,k");
+  s += strprintf("Stencil st((%s), Res[t] << S_%s[t-1] + S_%s[t-2]);\n",
+                 info.ndim == 2 ? "i,j" : "i,j,k", info.name.c_str(), info.name.c_str());
+  s += "st.input(shape_mpi, B, \"/data/rand.data\");\n";
+  s += "st.run(1, 10);\n";
+  s += strprintf("st.compile_to_source_code(\"%s\");\n", info.name.c_str());
+  return s;
+}
+
+std::string manual_openacc_listing(const BenchmarkInfo& info) {
+  const auto offs = offsets_of(info);
+  std::string s;
+  // ~36 lines of fixed boilerplate a hand-written implementation carries:
+  // allocation, window rotation, halo zeroing, timing, teardown.
+  s += "#include <stdio.h>\n#include <stdlib.h>\n";
+  s += "static double *g[3];\n";
+  s += "static void alloc_grids(void) {\n  for (int w = 0; w < 3; ++w)\n"
+       "    g[w] = calloc(PADDED, sizeof(double));\n}\n";
+  s += "static void rotate_window(long t) {\n  /* slot = t mod 3 */\n}\n";
+  s += "static void zero_halo(double *grid) {\n";
+  for (int d = 0; d < info.ndim; ++d)
+    s += strprintf("  /* face pair %d */\n  clear_lo(grid, %d);\n  clear_hi(grid, %d);\n", d, d,
+                   d);
+  s += "}\n";
+  // Halo/data clauses scale with the stencil radius (wider copyin bounds
+  // per dimension).
+  for (std::int64_t r = 0; r < info.radius; ++r)
+    s += strprintf("#pragma acc declare copyin(bounds_r%ld)\n", static_cast<long>(r));
+  s += "static void sweep(const double *in1, const double *in2, double *out, long t) {\n";
+  s += "#pragma acc data copyin(in1[0:PADDED], in2[0:PADDED]) copyout(out[0:PADDED])\n";
+  s += "#pragma acc parallel loop tile(*)\n";
+  if (info.ndim == 2) {
+    s += "  for (long j = 0; j < NJ; ++j)\n  for (long i = 0; i < NI; ++i)\n";
+  } else {
+    s += "  for (long k = 0; k < NK; ++k)\n  for (long j = 0; j < NJ; ++j)\n"
+         "  for (long i = 0; i < NI; ++i)\n";
+  }
+  // Hand-written kernels pack many terms per line (~8).
+  s += "    out[IDX] = w1 * (\n";
+  std::string line = "      ";
+  for (std::size_t n = 0; n < offs.size(); ++n) {
+    line += strprintf("c%zu*in1[IDX%zu]", n, n);
+    if (n + 1 != offs.size()) line += " + ";
+    if ((n + 1) % 8 == 0 || n + 1 == offs.size()) {
+      s += line + "\n";
+      line = "      ";
+    }
+  }
+  s += "    ) + w2 * ( /* same terms against in2 */ );\n";
+  s += "}\n";
+  s += "int main(int argc, char **argv) {\n  alloc_grids();\n"
+       "  for (long t = 1; t <= T; ++t) {\n    rotate_window(t);\n"
+       "    zero_halo(g[t % 3]);\n    sweep(g[(t+2)%3], g[(t+1)%3], g[t%3], t);\n  }\n"
+       "  printf(\"%f\\n\", checksum());\n  return 0;\n}\n";
+  return s;
+}
+
+}  // namespace msc::workload

@@ -1,0 +1,120 @@
+// Baseline-comparator tests: the qualitative orderings the paper's
+// evaluation reports must hold across the modelled systems.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "workload/report.hpp"
+
+namespace msc::baselines {
+namespace {
+
+constexpr std::int64_t kSteps = 100;
+
+TEST(SunwayComparison, MscBeatsOpenAccOnEveryBenchmark) {
+  for (const auto& info : workload::all_benchmarks()) {
+    const double msc = msc_seconds(info, "sunway", kSteps, true);
+    const double acc = openacc_sunway_seconds(info, kSteps, true);
+    EXPECT_GT(acc / msc, 2.0) << info.name;
+  }
+}
+
+TEST(SunwayComparison, AverageSpeedupInPaperBand) {
+  // Paper Fig. 7: average 24.4x (fp64) / 20.7x (fp32).  The shape target:
+  // a clearly order-of-magnitude average gap, larger on high-order
+  // stencils than on the 2d9pt pair.
+  std::vector<double> speedups;
+  for (const auto& info : workload::all_benchmarks())
+    speedups.push_back(openacc_sunway_seconds(info, kSteps, true) /
+                       msc_seconds(info, "sunway", kSteps, true));
+  const double avg = workload::geomean(speedups);
+  EXPECT_GT(avg, 8.0);
+  EXPECT_LT(avg, 80.0);
+  const double low_order = openacc_sunway_seconds(workload::benchmark("2d9pt_star"), kSteps, true) /
+                           msc_seconds(workload::benchmark("2d9pt_star"), "sunway", kSteps, true);
+  const double high_order =
+      openacc_sunway_seconds(workload::benchmark("2d121pt_box"), kSteps, true) /
+      msc_seconds(workload::benchmark("2d121pt_box"), "sunway", kSteps, true);
+  EXPECT_GT(high_order, low_order);  // "especially on high-order stencils"
+}
+
+TEST(MatrixComparison, MscWithinFivePercentOfManualOpenMp) {
+  // Paper Fig. 8: MSC ~1.05x of hand-tuned OpenMP on average.
+  std::vector<double> ratios;
+  for (const auto& info : workload::all_benchmarks())
+    ratios.push_back(manual_openmp_matrix_seconds(info, kSteps, true) /
+                     msc_seconds(info, "matrix", kSteps, true));
+  const double avg = workload::geomean(ratios);
+  EXPECT_GT(avg, 1.0);
+  EXPECT_LT(avg, 1.10);
+}
+
+TEST(HalideComparison, JitSlowestAotMiddleOrdering) {
+  // Paper Fig. 12: vs Halide-JIT, AOT ~2.92x and MSC ~3.33x on average.
+  std::vector<double> aot_speedup, msc_speedup;
+  for (const auto& info : workload::all_benchmarks()) {
+    const double jit = halide_seconds(info, true, kSteps, true);
+    aot_speedup.push_back(jit / halide_seconds(info, false, kSteps, true));
+    msc_speedup.push_back(jit / msc_seconds(info, "cpu", kSteps, true));
+  }
+  EXPECT_GT(workload::geomean(aot_speedup), 1.3);
+  EXPECT_GT(workload::geomean(msc_speedup), workload::geomean(aot_speedup));
+}
+
+TEST(HalideComparison, AotWinsSmallLosesLarge) {
+  const auto& small = workload::benchmark("3d7pt_star");
+  const auto& large = workload::benchmark("2d121pt_box");
+  EXPECT_LE(halide_seconds(small, false, kSteps, true),
+            msc_seconds(small, "cpu", kSteps, true) * 1.1);
+  EXPECT_GT(halide_seconds(large, false, kSteps, true), msc_seconds(large, "cpu", kSteps, true));
+}
+
+TEST(PatusComparison, MscFasterEverywhere) {
+  // Paper Fig. 13: 5.94x average; require >2x everywhere and the worst
+  // degradation on high-order 3-D stars (discrete unaligned accesses).
+  std::vector<double> speedups;
+  for (const auto& info : workload::all_benchmarks())
+    speedups.push_back(patus_seconds(info, kSteps, true) /
+                       msc_seconds(info, "cpu", kSteps, true));
+  for (std::size_t n = 0; n < speedups.size(); ++n) EXPECT_GT(speedups[n], 2.0);
+  const double avg = workload::geomean(speedups);
+  EXPECT_GT(avg, 3.0);
+  EXPECT_LT(avg, 15.0);
+}
+
+TEST(PhysisComparison, MscFasterAndGapGrowsWithOrder) {
+  // Paper Fig. 14 (Table 8 config): 9.88x average, worst for high-order
+  // stencils whose halo volume floods the centralized runtime.
+  const std::array<std::int64_t, 3> grid2d{512, 896, 0};  // scaled Table-8 domain
+  const std::array<std::int64_t, 3> grid3d{128, 128, 448};
+  const auto& low = workload::benchmark("3d7pt_star");
+  const auto& high = workload::benchmark("3d25pt_star");
+  const double low_gap =
+      physis_seconds(low, grid3d, {2, 2, 7}, kSteps, true) /
+      msc_distributed_cpu_seconds(low, grid3d, {2, 2, 7}, 1, kSteps, true);
+  const double high_gap =
+      physis_seconds(high, grid3d, {2, 2, 7}, kSteps, true) /
+      msc_distributed_cpu_seconds(high, grid3d, {2, 2, 7}, 1, kSteps, true);
+  EXPECT_GT(low_gap, 1.0);
+  EXPECT_GT(high_gap, low_gap);
+
+  const auto& low2d = workload::benchmark("2d9pt_star");
+  const double gap2d = physis_seconds(low2d, grid2d, {4, 7}, kSteps, true) /
+                       msc_distributed_cpu_seconds(low2d, grid2d, {4, 7}, 1, kSteps, true);
+  EXPECT_GT(gap2d, 1.0);
+}
+
+TEST(Baselines, Fp32NeverSlowerAndFasterWhenMemoryBound) {
+  // Sunway CPEs have no extra fp32 rate, so fp32 gains come from halved
+  // traffic — compute-bound 2d169pt stays flat, everything else speeds up.
+  for (const auto& info : workload::all_benchmarks()) {
+    const double f32 = msc_seconds(info, "sunway", kSteps, false);
+    const double f64 = msc_seconds(info, "sunway", kSteps, true);
+    EXPECT_LE(f32, f64) << info.name;
+  }
+  EXPECT_LT(msc_seconds(workload::benchmark("3d7pt_star"), "sunway", kSteps, false),
+            msc_seconds(workload::benchmark("3d7pt_star"), "sunway", kSteps, true));
+}
+
+}  // namespace
+}  // namespace msc::baselines

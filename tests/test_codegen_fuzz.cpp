@@ -1,0 +1,108 @@
+// Differential fuzzing of the code generator: random affine 2-D stencils
+// (random radius, neighbor subset, coefficients, tile sizes, 2 time deps)
+// are AOT-generated as serial C, compiled with the host compiler, executed,
+// and their checksums compared against the in-process host executor.
+// Any divergence in index math, window rotation, remainder clamping or
+// coefficient emission fails the bit-comparison.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "dsl/program.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace msc {
+namespace {
+
+struct FuzzCase {
+  std::unique_ptr<dsl::Program> prog;
+  std::int64_t n;
+
+  explicit FuzzCase(std::uint64_t seed) {
+    Rng rng(seed);
+    n = rng.next_int(12, 28);
+    const std::int64_t radius = rng.next_int(1, 3);
+    prog = std::make_unique<dsl::Program>("fuzz" + std::to_string(seed));
+    dsl::Var j = prog->var("j"), i = prog->var("i");
+    dsl::GridRef B = prog->def_tensor_2d_timewin("B", 2, radius, ir::DataType::f64, n, n);
+
+    dsl::ExprH rhs = dsl::ExprH(rng.next_real(0.1, 0.4)) * B(j, i);
+    for (std::int64_t dj = -radius; dj <= radius; ++dj)
+      for (std::int64_t di = -radius; di <= radius; ++di) {
+        if ((dj == 0 && di == 0) || rng.next_double() < 0.6) continue;
+        rhs = rhs + dsl::ExprH(rng.next_real(-0.08, 0.08)) * B(j + dj, i + di);
+      }
+    auto& k = prog->kernel("k", {j, i}, rhs);
+    k.tile({rng.next_int(2, n), rng.next_int(2, n)})
+        .reorder({"j_outer", "i_outer", "j_inner", "i_inner"});
+    prog->def_stencil("st", B,
+                      rng.next_real(0.4, 0.7) * k[prog->t() - 1] +
+                          rng.next_real(0.2, 0.4) * k[prog->t() - 2]);
+  }
+};
+
+/// Host-executor checksum with the generated code's seeding scheme.
+double host_checksum(dsl::Program& prog, std::int64_t n, std::int64_t timesteps) {
+  prog.input(dsl::GridRef(prog.stencil().state()), 42);
+  prog.run(1, timesteps);
+  double sum = 0.0;
+  for (std::int64_t a = 0; a < n; ++a)
+    for (std::int64_t b = 0; b < n; ++b) sum += prog.value_at(timesteps, {a, b, 0});
+  return sum;
+}
+
+class CodegenDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodegenDifferential, GeneratedCMatchesHostBitwise) {
+  FuzzCase fc(GetParam());
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("msc_fuzz_" + std::to_string(GetParam()));
+  std::filesystem::create_directories(dir);
+  fc.prog->compile_to_source_code("c", dir.string());
+
+  const std::string exe = (dir / "prog").string();
+  const std::string cmd = "cc -O2 -std=c99 -o " + exe + " " +
+                          (dir / (fc.prog->name() + ".c")).string() + " -lm 2>&1 && " + exe +
+                          " 5";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  char buf[256];
+  std::string out;
+  while (fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+  ASSERT_EQ(pclose(pipe), 0) << out;
+
+  double generated = 0.0;
+  ASSERT_EQ(std::sscanf(out.c_str(), "checksum %lf", &generated), 1) << out;
+  const double host = host_checksum(*fc.prog, fc.n, 5);
+  EXPECT_NEAR(generated, host, std::abs(host) * 1e-12 + 1e-12)
+      << "seed " << GetParam() << "\n"
+      << fc.prog->dump();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodegenDifferential, ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(OpenAccListing, CompilesAsSerialC) {
+  // The OpenACC baseline file must be valid C: unknown pragmas warn, the
+  // program still runs and prints a checksum.
+  FuzzCase fc(99);
+  const auto dir = std::filesystem::temp_directory_path() / "msc_acc_compile";
+  std::filesystem::create_directories(dir);
+  fc.prog->compile_to_source_code("openacc", dir.string());
+  const std::string exe = (dir / "prog").string();
+  const std::string cmd = "cc -O2 -std=c99 -Wno-unknown-pragmas -o " + exe + " " +
+                          (dir / (fc.prog->name() + "_acc.c")).string() + " -lm 2>&1 && " +
+                          exe + " 3";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  char buf[256];
+  std::string out;
+  while (fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+  ASSERT_EQ(pclose(pipe), 0) << out;
+  EXPECT_NE(out.find("checksum"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msc

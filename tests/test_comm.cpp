@@ -1,0 +1,387 @@
+// Communication-library tests: the simulated MPI runtime, cartesian
+// decomposition, halo exchange correctness, distributed-vs-single-node
+// equivalence, and the analytic network model.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "comm/decompose.hpp"
+#include "comm/halo_exchange.hpp"
+#include "comm/network_model.hpp"
+#include "comm/simmpi.hpp"
+#include "exec/executor.hpp"
+#include "support/error.hpp"
+#include "workload/stencils.hpp"
+
+namespace msc::comm {
+namespace {
+
+TEST(SimMpi, PingPong) {
+  SimWorld world(2);
+  world.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      const int payload = 41;
+      auto s = ctx.isend(1, 0, &payload, sizeof payload);
+      int back = 0;
+      auto r = ctx.irecv(1, 1, &back, sizeof back);
+      ctx.wait(s);
+      ctx.wait(r);
+      EXPECT_EQ(back, 42);
+    } else {
+      int got = 0;
+      auto r = ctx.irecv(0, 0, &got, sizeof got);
+      ctx.wait(r);
+      const int reply = got + 1;
+      auto s = ctx.isend(0, 1, &reply, sizeof reply);
+      ctx.wait(s);
+    }
+  });
+}
+
+TEST(SimMpi, TagsAreMatched) {
+  SimWorld world(2);
+  world.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      const int a = 1, b = 2;
+      ctx.isend(1, /*tag=*/7, &a, sizeof a);
+      ctx.isend(1, /*tag=*/9, &b, sizeof b);
+    } else {
+      int nine = 0, seven = 0;
+      // Receive in the opposite order of the sends.
+      auto r9 = ctx.irecv(0, 9, &nine, sizeof nine);
+      auto r7 = ctx.irecv(0, 7, &seven, sizeof seven);
+      ctx.wait(r9);
+      ctx.wait(r7);
+      EXPECT_EQ(nine, 2);
+      EXPECT_EQ(seven, 1);
+    }
+  });
+}
+
+TEST(SimMpi, BarrierSynchronizes) {
+  SimWorld world(4);
+  std::atomic<int> before{0};
+  world.run([&](RankCtx& ctx) {
+    before++;
+    ctx.barrier();
+    EXPECT_EQ(before.load(), 4);  // nobody passes until all arrived
+  });
+}
+
+TEST(SimMpi, RankExceptionPropagates) {
+  SimWorld world(3);
+  EXPECT_THROW(world.run([](RankCtx& ctx) {
+    if (ctx.rank() == 1) throw Error("rank 1 exploded");
+  }),
+               Error);
+}
+
+TEST(CartDecomp, CoordsRoundTrip) {
+  CartDecomp dec({2, 3, 4}, {16, 18, 20});
+  EXPECT_EQ(dec.size(), 24);
+  for (int r = 0; r < dec.size(); ++r) EXPECT_EQ(dec.rank_of(dec.coords_of(r)), r);
+}
+
+TEST(CartDecomp, NeighborsRespectBoundaries) {
+  CartDecomp dec({2, 2}, {8, 8});
+  EXPECT_EQ(dec.neighbor(0, 0, -1), -1);       // low edge
+  EXPECT_EQ(dec.neighbor(0, 0, +1), dec.rank_of({1, 0}));
+  EXPECT_EQ(dec.neighbor(3, 1, +1), -1);       // high edge
+}
+
+TEST(CartDecomp, RemainderGoesToLowRanks) {
+  CartDecomp dec({3}, {10});
+  EXPECT_EQ(dec.local_extent(0, 0), 4);  // 10 = 4 + 3 + 3
+  EXPECT_EQ(dec.local_extent(1, 0), 3);
+  EXPECT_EQ(dec.local_extent(2, 0), 3);
+  EXPECT_EQ(dec.local_offset(0, 0), 0);
+  EXPECT_EQ(dec.local_offset(1, 0), 4);
+  EXPECT_EQ(dec.local_offset(2, 0), 7);
+  // Extents tile the domain exactly.
+  std::int64_t total = 0;
+  for (int r = 0; r < 3; ++r) total += dec.local_extent(r, 0);
+  EXPECT_EQ(total, 10);
+}
+
+TEST(CartDecomp, RejectsOversplit) {
+  EXPECT_THROW(CartDecomp({8}, {4}), Error);
+  EXPECT_THROW(CartDecomp({2, 2}, {8}), Error);
+}
+
+TEST(HaloExchange, NeighborValuesArriveBothWays) {
+  // 1-D domain of 8 points over 2 ranks; after the exchange, each rank's
+  // outer halo must hold the neighbor's edge value.
+  auto tensor = ir::make_sp_tensor("B", ir::DataType::f64, {4}, 1, 1);
+  CartDecomp dec({2}, {8});
+  SimWorld world(2);
+  world.run([&](RankCtx& ctx) {
+    exec::GridStorage<double> g(tensor);
+    for (std::int64_t i = 0; i < 4; ++i)
+      g.at(0, {i, 0, 0}) = static_cast<double>(ctx.rank() * 100 + i);
+    g.fill_halo(0, exec::Boundary::ZeroHalo);
+    exchange_halo(ctx, dec, g, 0);
+    if (ctx.rank() == 0) {
+      EXPECT_DOUBLE_EQ(g.at(0, {4, 0, 0}), 100.0);  // rank 1's first point
+      EXPECT_DOUBLE_EQ(g.at(0, {-1, 0, 0}), 0.0);   // global edge stays zero
+    } else {
+      EXPECT_DOUBLE_EQ(g.at(0, {-1, 0, 0}), 3.0);   // rank 0's last point
+      EXPECT_DOUBLE_EQ(g.at(0, {4, 0, 0}), 0.0);
+    }
+  });
+}
+
+TEST(HaloExchange, CornersPropagateFor2dBoxStencils) {
+  // Dimension-sequential exchange must deliver diagonal-neighbor values
+  // into the halo corners (needed by box stencils).
+  auto tensor = ir::make_sp_tensor("B", ir::DataType::f64, {3, 3}, 1, 1);
+  CartDecomp dec({2, 2}, {6, 6});
+  SimWorld world(4);
+  world.run([&](RankCtx& ctx) {
+    exec::GridStorage<double> g(tensor);
+    g.for_each_interior([&](std::array<std::int64_t, 3> c) {
+      g.at(0, c) = static_cast<double>(ctx.rank());
+    });
+    g.fill_halo(0, exec::Boundary::ZeroHalo);
+    exchange_halo(ctx, dec, g, 0);
+    if (ctx.rank() == 0) {
+      // Rank 0's bottom-right halo corner holds rank 3's value.
+      EXPECT_DOUBLE_EQ(g.at(0, {3, 3, 0}), 3.0);
+    }
+  });
+}
+
+/// Distributed run vs single-node run: partition a 2-D stencil over a 2x2
+/// rank grid, step both, and compare the gathered interior point-for-point.
+TEST(DistributedRun, MatchesSingleNodeExecution) {
+  const auto& info = workload::benchmark("2d9pt_box");
+  const std::array<std::int64_t, 3> grid{12, 12, 0};
+  auto prog = workload::make_program(info, ir::DataType::f64, grid);
+  const auto& st = prog->stencil();
+
+  // Single-node ground truth.
+  exec::GridStorage<double> global(st.state());
+  // Seed by *global coordinate* so rank sub-grids can reproduce it.
+  auto seed_value = [](std::int64_t t, std::int64_t j, std::int64_t i) {
+    return 0.001 * static_cast<double>(t + 1) * static_cast<double>(j * 100 + i + 1);
+  };
+  for (int back = 0; back < st.time_window() - 1; ++back) {
+    const int slot = global.slot_for_time(-back);
+    global.for_each_interior([&](std::array<std::int64_t, 3> c) {
+      global.at(slot, c) = seed_value(-back, c[0], c[1]);
+    });
+  }
+  exec::run_reference(st, global, 1, 5, exec::Boundary::ZeroHalo);
+
+  // Distributed run over 2x2 ranks.
+  CartDecomp dec({2, 2}, {12, 12});
+  SimWorld world(4);
+  std::array<std::vector<double>, 4> gathered;  // rank -> flat local interior
+  world.run([&](RankCtx& ctx) {
+    const int r = ctx.rank();
+    auto local_tensor = ir::make_sp_tensor("B", ir::DataType::f64,
+                                           {dec.local_extent(r, 0), dec.local_extent(r, 1)},
+                                           st.state()->halo(), st.state()->time_window());
+    exec::GridStorage<double> local(local_tensor);
+    const std::int64_t oj = dec.local_offset(r, 0), oi = dec.local_offset(r, 1);
+    for (int back = 0; back < st.time_window() - 1; ++back) {
+      const int slot = local.slot_for_time(-back);
+      local.for_each_interior([&](std::array<std::int64_t, 3> c) {
+        local.at(slot, c) = seed_value(-back, oj + c[0], oi + c[1]);
+      });
+    }
+    run_distributed(ctx, dec, st, local, 1, 5);
+    auto& out = gathered[static_cast<std::size_t>(r)];
+    const int slot = local.slot_for_time(5);
+    local.for_each_interior(
+        [&](std::array<std::int64_t, 3> c) { out.push_back(local.at(slot, c)); });
+  });
+
+  // Compare every rank's interior against the global grid.
+  for (int r = 0; r < 4; ++r) {
+    const std::int64_t oj = dec.local_offset(r, 0), oi = dec.local_offset(r, 1);
+    std::size_t n = 0;
+    const int slot = global.slot_for_time(5);
+    for (std::int64_t j = 0; j < dec.local_extent(r, 0); ++j)
+      for (std::int64_t i = 0; i < dec.local_extent(r, 1); ++i, ++n) {
+        const double want = global.at(slot, {oj + j, oi + i, 0});
+        const double got = gathered[static_cast<std::size_t>(r)][n];
+        EXPECT_NEAR(got, want, std::abs(want) * 1e-12 + 1e-15)
+            << "rank " << r << " point (" << j << "," << i << ")";
+      }
+  }
+}
+
+TEST(DistributedRun, ThreeDimensionalDecompositionMatches) {
+  // 3-D stencil over a 2x1x2 rank grid with uneven splits.
+  const auto& info = workload::benchmark("3d7pt_star");
+  auto prog = workload::make_program(info, ir::DataType::f64, {10, 7, 9});
+  const auto& st = prog->stencil();
+
+  auto seed_value = [](std::int64_t t, std::int64_t k, std::int64_t j, std::int64_t i) {
+    return 0.001 * static_cast<double>((k * 61 + j * 13 + i * 3 + t) % 211);
+  };
+  exec::GridStorage<double> global(st.state());
+  for (int back = 0; back < st.time_window() - 1; ++back) {
+    const int slot = global.slot_for_time(-back);
+    global.for_each_interior([&](std::array<std::int64_t, 3> c) {
+      global.at(slot, c) = seed_value(-back, c[0], c[1], c[2]);
+    });
+  }
+  exec::run_reference(st, global, 1, 4, exec::Boundary::ZeroHalo);
+
+  CartDecomp dec({2, 1, 2}, {10, 7, 9});
+  SimWorld world(4);
+  std::vector<double> worst(4, 0.0);
+  world.run([&](RankCtx& ctx) {
+    const int r = ctx.rank();
+    auto local_tensor = ir::make_sp_tensor(
+        "B", ir::DataType::f64,
+        {dec.local_extent(r, 0), dec.local_extent(r, 1), dec.local_extent(r, 2)},
+        st.state()->halo(), st.state()->time_window());
+    exec::GridStorage<double> local(local_tensor);
+    const std::int64_t ok = dec.local_offset(r, 0), oj = dec.local_offset(r, 1),
+                       oi = dec.local_offset(r, 2);
+    for (int back = 0; back < st.time_window() - 1; ++back) {
+      const int slot = local.slot_for_time(-back);
+      local.for_each_interior([&](std::array<std::int64_t, 3> c) {
+        local.at(slot, c) = seed_value(-back, ok + c[0], oj + c[1], oi + c[2]);
+      });
+    }
+    run_distributed(ctx, dec, st, local, 1, 4);
+    const int slot = local.slot_for_time(4);
+    local.for_each_interior([&](std::array<std::int64_t, 3> c) {
+      const double want =
+          global.at(global.slot_for_time(4), {ok + c[0], oj + c[1], oi + c[2]});
+      worst[static_cast<std::size_t>(r)] =
+          std::max(worst[static_cast<std::size_t>(r)], std::abs(local.at(slot, c) - want));
+    });
+  });
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(worst[static_cast<std::size_t>(r)], 0.0) << r;
+}
+
+TEST(OverlappedRun, MatchesPlainDistributedAndSingleNode) {
+  // Star stencil: the comm/compute-overlapped runtime must agree exactly
+  // with the corner-propagating plain runtime and the single-node run.
+  const auto& info = workload::benchmark("2d9pt_star");  // radius-2 star
+  auto prog = workload::make_program(info, ir::DataType::f64, {16, 16, 0});
+  const auto& st = prog->stencil();
+
+  auto seed_value = [](std::int64_t t, std::int64_t gj, std::int64_t gi) {
+    return 0.01 * static_cast<double>((gj * 31 + gi * 7 + t) % 97);
+  };
+
+  exec::GridStorage<double> global(st.state());
+  for (int back = 0; back < st.time_window() - 1; ++back) {
+    const int slot = global.slot_for_time(-back);
+    global.for_each_interior([&](std::array<std::int64_t, 3> c) {
+      global.at(slot, c) = seed_value(-back, c[0], c[1]);
+    });
+  }
+  exec::run_reference(st, global, 1, 5, exec::Boundary::ZeroHalo);
+
+  CartDecomp dec({2, 2}, {16, 16});
+  SimWorld world(4);
+  std::vector<double> worst(4, 0.0);
+  std::vector<std::int64_t> overlapped_points(4, 0);
+  world.run([&](RankCtx& ctx) {
+    const int r = ctx.rank();
+    auto local_tensor = ir::make_sp_tensor("B", ir::DataType::f64,
+                                           {dec.local_extent(r, 0), dec.local_extent(r, 1)},
+                                           st.state()->halo(), st.state()->time_window());
+    exec::GridStorage<double> local(local_tensor);
+    const std::int64_t oj = dec.local_offset(r, 0), oi = dec.local_offset(r, 1);
+    for (int back = 0; back < st.time_window() - 1; ++back) {
+      const int slot = local.slot_for_time(-back);
+      local.for_each_interior([&](std::array<std::int64_t, 3> c) {
+        local.at(slot, c) = seed_value(-back, oj + c[0], oi + c[1]);
+      });
+    }
+    const auto stats = run_distributed_overlapped(ctx, dec, st, local, 1, 5);
+    overlapped_points[static_cast<std::size_t>(r)] = stats.interior_points_overlapped;
+    const int slot = local.slot_for_time(5);
+    local.for_each_interior([&](std::array<std::int64_t, 3> c) {
+      const double want = global.at(global.slot_for_time(5), {oj + c[0], oi + c[1], 0});
+      worst[static_cast<std::size_t>(r)] =
+          std::max(worst[static_cast<std::size_t>(r)], std::abs(local.at(slot, c) - want));
+    });
+  });
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(worst[static_cast<std::size_t>(r)], 0.0) << "rank " << r;
+    // 8x8 sub-grid, radius 2: (8-4)^2 = 16 interior cells per step x 5.
+    EXPECT_EQ(overlapped_points[static_cast<std::size_t>(r)], 16 * 5);
+  }
+}
+
+TEST(OverlappedRun, RejectsBoxStencils) {
+  const auto& info = workload::benchmark("2d9pt_box");
+  auto prog = workload::make_program(info, ir::DataType::f64, {8, 8, 0});
+  const auto& st = prog->stencil();
+  CartDecomp dec({2, 1}, {8, 8});
+  SimWorld world(2);
+  EXPECT_THROW(world.run([&](RankCtx& ctx) {
+    auto local_tensor = ir::make_sp_tensor("B", ir::DataType::f64,
+                                           {dec.local_extent(ctx.rank(), 0),
+                                            dec.local_extent(ctx.rank(), 1)},
+                                           st.state()->halo(), st.state()->time_window());
+    exec::GridStorage<double> local(local_tensor);
+    run_distributed_overlapped(ctx, dec, st, local, 1, 2);
+  }),
+               Error);
+}
+
+TEST(SinglePhaseExchange, InteriorFacesOnly) {
+  // begin/finish exchange must deliver face values without touching halo
+  // corners (those stay at their previous contents).
+  auto tensor = ir::make_sp_tensor("B", ir::DataType::f64, {4, 4}, 1, 1);
+  CartDecomp dec({2, 2}, {8, 8});
+  SimWorld world(4);
+  world.run([&](RankCtx& ctx) {
+    exec::GridStorage<double> g(tensor);
+    g.for_each_interior([&](std::array<std::int64_t, 3> c) {
+      g.at(0, c) = static_cast<double>(ctx.rank() * 100 + c[0] * 10 + c[1]);
+    });
+    g.fill_halo(0, exec::Boundary::ZeroHalo);
+    auto pending = begin_exchange_async(ctx, dec, g, 0);
+    finish_exchange_async(ctx, pending, g, 0);
+    if (ctx.rank() == 0) {
+      EXPECT_DOUBLE_EQ(g.at(0, {0, 4, 0}), 100.0);  // rank 1's (0,0)
+      EXPECT_DOUBLE_EQ(g.at(0, {4, 0, 0}), 200.0);  // rank 2's (0,0)
+      EXPECT_DOUBLE_EQ(g.at(0, {4, 4, 0}), 0.0);    // corner untouched
+    }
+  });
+}
+
+TEST(NetworkModel, AsyncBeatsCentralized) {
+  CartDecomp dec({4, 4}, {1024, 1024});
+  const auto net = tianhe3_network();
+  const auto async = halo_exchange_cost(net, dec, 1, 8, /*centralized=*/false);
+  const auto central = halo_exchange_cost(net, dec, 1, 8, /*centralized=*/true);
+  EXPECT_LT(async.seconds, central.seconds);
+}
+
+TEST(NetworkModel, CentralizedGapGrowsWithRankCount) {
+  const auto net = tianhe3_network();
+  CartDecomp small({2, 2}, {1024, 1024});
+  CartDecomp large({8, 8}, {1024, 1024});
+  const double gap_small = halo_exchange_cost(net, small, 1, 8, true).seconds /
+                           halo_exchange_cost(net, small, 1, 8, false).seconds;
+  const double gap_large = halo_exchange_cost(net, large, 1, 8, true).seconds /
+                           halo_exchange_cost(net, large, 1, 8, false).seconds;
+  // Physis's master bottleneck worsens with scale (paper §5.5).
+  EXPECT_GT(gap_large, gap_small);
+}
+
+TEST(NetworkModel, HaloVolumeScalesWithRadius) {
+  CartDecomp dec({4, 4}, {1024, 1024});
+  const auto net = sunway_network();
+  const auto r1 = halo_exchange_cost(net, dec, 1, 8);
+  const auto r5 = halo_exchange_cost(net, dec, 5, 8);
+  EXPECT_NEAR(static_cast<double>(r5.bytes_per_rank) /
+                  static_cast<double>(r1.bytes_per_rank),
+              5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace msc::comm

@@ -1,0 +1,196 @@
+// Unit tests of the DSL frontend: expression sugar, program building,
+// stencil composition, error reporting and host execution plumbing.
+
+#include <gtest/gtest.h>
+
+#include "dsl/expr.hpp"
+#include "dsl/program.hpp"
+#include "ir/printer.hpp"
+#include "support/error.hpp"
+
+namespace msc::dsl {
+namespace {
+
+TEST(DslExpr, VarArithmeticFormsIdx) {
+  Var i("i");
+  Idx a = i + 2;
+  EXPECT_EQ(a.axis, "i");
+  EXPECT_EQ(a.offset, 2);
+  Idx b = i - 3;
+  EXPECT_EQ(b.offset, -3);
+  Idx c = i;  // implicit zero offset
+  EXPECT_EQ(c.offset, 0);
+}
+
+TEST(DslExpr, GridAccessBuildsIr) {
+  Program prog("p");
+  Var j = prog.var("j"), i = prog.var("i");
+  GridRef B = prog.def_tensor_2d("B", 1, ir::DataType::f64, 8, 8);
+  ExprH e = B(j, i - 1);
+  ASSERT_TRUE(e.valid());
+  EXPECT_EQ(e.ir()->kind, ir::ExprKind::TensorAccess);
+  EXPECT_EQ(ir::to_string(e.ir()), "B[j,i-1]");
+}
+
+TEST(DslExpr, AccessArityChecked) {
+  Program prog("p");
+  Var j = prog.var("j"), i = prog.var("i");
+  GridRef B = prog.def_tensor_2d("B", 1, ir::DataType::f64, 8, 8);
+  EXPECT_THROW(B(j), Error);           // 2-D grid, 1 subscript
+  EXPECT_THROW(B(j, i, i), Error);     // 2-D grid, 3 subscripts
+}
+
+TEST(DslExpr, ArithmeticOnEmptyExprThrows) {
+  ExprH empty;
+  EXPECT_THROW(empty + ExprH(1.0), Error);
+  EXPECT_THROW(-empty, Error);
+}
+
+TEST(DslExpr, MinMaxCall) {
+  Program prog("p");
+  Var i = prog.var("i");
+  GridRef B = prog.def_tensor_2d("B", 1, ir::DataType::f64, 8, 8);
+  Var j = prog.var("j");
+  auto e = max(min(B(j, i), ExprH(1.0)), call("sqrt", B(j, i)));
+  EXPECT_TRUE(e.valid());
+}
+
+TEST(Program, DuplicateTensorRejected) {
+  Program prog("p");
+  prog.def_tensor_2d("B", 1, ir::DataType::f64, 8, 8);
+  EXPECT_THROW(prog.def_tensor_2d("B", 1, ir::DataType::f64, 8, 8), Error);
+}
+
+TEST(Program, KernelAxisCountMustMatchGrid) {
+  Program prog("p");
+  Var j = prog.var("j"), i = prog.var("i");
+  GridRef B = prog.def_tensor_2d("B", 1, ir::DataType::f64, 8, 8);
+  EXPECT_THROW(prog.kernel("k", {i}, ExprH(0.5) * B(j, i)), Error);
+}
+
+TEST(Program, StencilNeedsPastTimestep) {
+  Program prog("p");
+  Var j = prog.var("j"), i = prog.var("i");
+  GridRef B = prog.def_tensor_2d_timewin("B", 2, 1, ir::DataType::f64, 8, 8);
+  auto& k = prog.kernel("k", {j, i}, ExprH(0.5) * B(j, i));
+  EXPECT_THROW(k[prog.t() - 0], Error);
+}
+
+TEST(Program, TimeWindowTooShallowRejected) {
+  Program prog("p");
+  Var j = prog.var("j"), i = prog.var("i");
+  // One time dep declared, but stencil reaches t-2.
+  GridRef B = prog.def_tensor_2d_timewin("B", 1, 1, ir::DataType::f64, 8, 8);
+  auto& k = prog.kernel("k", {j, i}, ExprH(0.5) * B(j, i));
+  EXPECT_THROW(prog.def_stencil("st", B, k[prog.t() - 1] + k[prog.t() - 2]), Error);
+}
+
+TEST(Program, WeightedTermSum) {
+  Program prog("p");
+  Var j = prog.var("j"), i = prog.var("i");
+  GridRef B = prog.def_tensor_2d_timewin("B", 2, 1, ir::DataType::f64, 8, 8);
+  auto& k = prog.kernel("k", {j, i}, ExprH(0.25) * (B(j, i - 1) + B(j, i + 1)));
+  prog.def_stencil("st", B, 2.0 * k[prog.t() - 1] + 0.5 * k[prog.t() - 2]);
+  const auto& st = prog.stencil();
+  ASSERT_EQ(st.terms().size(), 2u);
+  EXPECT_DOUBLE_EQ(st.terms()[0].weight, 2.0);
+  EXPECT_DOUBLE_EQ(st.terms()[1].weight, 0.5);
+}
+
+TEST(Program, RunProducesExpectedLaplacianStep) {
+  // One smoothing step with hand-checkable coefficients on a tiny grid.
+  Program prog("tiny");
+  Var j = prog.var("j"), i = prog.var("i");
+  GridRef B = prog.def_tensor_2d_timewin("B", 1, 1, ir::DataType::f64, 4, 4);
+  auto& k = prog.kernel(
+      "avg", {j, i},
+      ExprH(0.25) * (B(j, i - 1) + B(j, i + 1) + B(j - 1, i) + B(j + 1, i)));
+  prog.def_stencil("st", B, k[prog.t() - 1]);
+  prog.set_initial([](std::int64_t, std::array<std::int64_t, 3>) { return 1.0; });
+  prog.run(1, 1);
+  // Interior point (1,1): all four neighbors are interior 1.0 -> 1.0.
+  EXPECT_DOUBLE_EQ(prog.value_at(1, {1, 1, 0}), 1.0);
+  // Corner (0,0): two neighbors in zero halo -> 0.25 * (1 + 1) = 0.5.
+  EXPECT_DOUBLE_EQ(prog.value_at(1, {0, 0, 0}), 0.5);
+}
+
+TEST(Program, SchedulePrimitivesChain) {
+  Program prog("sched");
+  Var j = prog.var("j"), i = prog.var("i");
+  GridRef B = prog.def_tensor_2d_timewin("B", 2, 1, ir::DataType::f64, 32, 32);
+  auto& k = prog.kernel("k", {j, i}, ExprH(0.5) * B(j, i - 1) + ExprH(0.5) * B(j, i + 1));
+  k.tile({8, 8})
+      .reorder({"j_outer", "i_outer", "j_inner", "i_inner"})
+      .cache_read("B", "rbuf")
+      .cache_write("wbuf")
+      .compute_at("rbuf", "i_outer")
+      .compute_at("wbuf", "i_outer")
+      .parallel("j_outer", 4);
+  prog.def_stencil("st", B, k[prog.t() - 1] + k[prog.t() - 2]);
+  EXPECT_TRUE(prog.primary_schedule().has_spm_pipeline());
+  EXPECT_EQ(prog.primary_schedule().parallel_threads(), 4);
+}
+
+TEST(Program, RelativeErrorAgainstReferenceIsTiny) {
+  Program prog("val");
+  Var j = prog.var("j"), i = prog.var("i");
+  GridRef B = prog.def_tensor_2d_timewin("B", 2, 1, ir::DataType::f64, 24, 24);
+  auto& k = prog.kernel("k", {j, i},
+                        ExprH(0.2) * B(j, i) + ExprH(0.2) * B(j, i - 1) +
+                            ExprH(0.2) * B(j, i + 1) + ExprH(0.2) * B(j - 1, i) +
+                            ExprH(0.2) * B(j + 1, i));
+  k.tile({8, 8}).reorder({"j_outer", "i_outer", "j_inner", "i_inner"}).parallel("j_outer", 2);
+  prog.def_stencil("st", B, 0.6 * k[prog.t() - 1] + 0.4 * k[prog.t() - 2]);
+  prog.input(B, 7);
+  // Paper §5.1: fp64 relative error < 1e-10.
+  EXPECT_LT(prog.relative_error_vs_reference(1, 5), 1e-10);
+}
+
+TEST(Program, MpiShapeValidated) {
+  Program prog("mpi");
+  EXPECT_THROW(prog.def_shape_mpi({}), Error);
+  EXPECT_THROW(prog.def_shape_mpi({2, 0}), Error);
+  prog.def_shape_mpi({2, 2, 2});
+  EXPECT_EQ(prog.mpi_shape().processes(), 8);
+}
+
+TEST(Program, DumpMentionsAllParts) {
+  Program prog("dump");
+  Var j = prog.var("j"), i = prog.var("i");
+  GridRef B = prog.def_tensor_2d_timewin("B", 2, 1, ir::DataType::f64, 8, 8);
+  auto& k = prog.kernel("lap", {j, i}, ExprH(0.5) * B(j, i));
+  prog.def_stencil("st", B, k[prog.t() - 1] + k[prog.t() - 2]);
+  prog.def_shape_mpi({2, 2});
+  const auto d = prog.dump();
+  EXPECT_NE(d.find("tensor B"), std::string::npos);
+  EXPECT_NE(d.find("lap"), std::string::npos);
+  EXPECT_NE(d.find("st"), std::string::npos);
+  EXPECT_NE(d.find("mpi grid"), std::string::npos);
+}
+
+TEST(Program, BindingsEnableSymbolicCoefficients) {
+  Program prog("sym");
+  Var j = prog.var("j"), i = prog.var("i");
+  GridRef B = prog.def_tensor_2d_timewin("B", 1, 1, ir::DataType::f64, 8, 8);
+  ExprH c0(ir::make_var("c0", ir::DataType::f64));
+  auto& k = prog.kernel("k", {j, i}, c0 * B(j, i));
+  prog.def_stencil("st", B, k[prog.t() - 1]);
+  prog.bind("c0", 2.0);
+  prog.set_initial([](std::int64_t, std::array<std::int64_t, 3>) { return 3.0; });
+  prog.run(1, 1);
+  EXPECT_DOUBLE_EQ(prog.value_at(1, {2, 2, 0}), 6.0);
+}
+
+TEST(Program, Fp32StorageWorks) {
+  Program prog("f32");
+  Var j = prog.var("j"), i = prog.var("i");
+  GridRef B = prog.def_tensor_2d_timewin("B", 2, 1, ir::DataType::f32, 16, 16);
+  auto& k = prog.kernel("k", {j, i}, ExprH(0.5) * B(j, i - 1) + ExprH(0.5) * B(j, i + 1));
+  prog.def_stencil("st", B, 0.5 * k[prog.t() - 1] + 0.5 * k[prog.t() - 2]);
+  prog.input(B, 3);
+  // Paper §5.1: fp32 relative error < 1e-5.
+  EXPECT_LT(prog.relative_error_vs_reference(1, 4), 1e-5);
+}
+
+}  // namespace
+}  // namespace msc::dsl

@@ -1,0 +1,167 @@
+// Edge cases across the stack: 1-D stencils end to end, degenerate grid
+// sizes, halo wider than the stencil radius, zero-weight terms, error
+// paths for misuse, and an fp32 codegen round trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "dsl/program.hpp"
+#include "exec/executor.hpp"
+#include "machine/cost_model.hpp"
+#include "sunway/cg_sim.hpp"
+#include "support/error.hpp"
+#include "workload/stencils.hpp"
+
+namespace msc {
+namespace {
+
+TEST(OneD, StencilEndToEnd) {
+  // 1-D three-point smoother with 2 time deps through every stage.
+  auto B = ir::make_sp_tensor("B", ir::DataType::f64, {64}, 1, 3);
+  auto acc = [&](std::int64_t di) { return ir::make_access(B, {{"i", di}}); };
+  auto rhs = ir::make_binary(
+      ir::BinaryOp::Add,
+      ir::make_binary(ir::BinaryOp::Mul, ir::make_float(0.5), acc(0)),
+      ir::make_binary(ir::BinaryOp::Mul, ir::make_float(0.25),
+                      ir::make_binary(ir::BinaryOp::Add, acc(-1), acc(1))));
+  auto k = ir::make_kernel("k1d", ir::make_te_tensor("o", B), ir::default_axes(B), rhs);
+  auto st = ir::make_stencil("st1d", B, {{k, -1, 0.7}, {k, -2, 0.3}});
+
+  exec::GridStorage<double> a(B), b(B), c(B);
+  for (int s = 0; s < 3; ++s) {
+    a.fill_random(s, 3 + static_cast<std::uint64_t>(s));
+    b.fill_random(s, 3 + static_cast<std::uint64_t>(s));
+    c.fill_random(s, 3 + static_cast<std::uint64_t>(s));
+  }
+  schedule::Schedule sched(k);
+  sched.tile({8});
+  exec::run_scheduled(*st, sched, a, 1, 5, exec::Boundary::ZeroHalo);
+  exec::run_reference(*st, b, 1, 5, exec::Boundary::ZeroHalo);
+  EXPECT_EQ(exec::max_relative_error(a, a.slot_for_time(5), b, b.slot_for_time(5)), 0.0);
+
+  // 1-D path of the Sunway functional simulator.
+  schedule::Schedule sim_sched(k);
+  sim_sched.tile({16});
+  const auto sim = sunway::run_cg_sim(*st, sim_sched, c, 1, 5, exec::Boundary::ZeroHalo, {},
+                                      machine::sunway_cg());
+  EXPECT_LT(exec::max_relative_error(c, c.slot_for_time(5), b, b.slot_for_time(5)), 1e-12);
+  EXPECT_GT(sim.dma.bytes, 0);
+}
+
+TEST(Degenerate, OnePointInterior) {
+  dsl::Program prog("tiny");
+  dsl::Var j = prog.var("j"), i = prog.var("i");
+  auto B = prog.def_tensor_2d_timewin("B", 1, 1, ir::DataType::f64, 1, 1);
+  auto& k = prog.kernel("k", {j, i},
+                        dsl::ExprH(0.5) * B(j, i) + dsl::ExprH(0.25) * (B(j, i - 1) + B(j, i + 1)));
+  prog.def_stencil("st", B, k[prog.t() - 1]);
+  prog.set_initial([](std::int64_t, std::array<std::int64_t, 3>) { return 4.0; });
+  prog.run(1, 2);
+  // Neighbors are all zero halo: value halves each step.
+  EXPECT_DOUBLE_EQ(prog.value_at(2, {0, 0, 0}), 1.0);
+}
+
+TEST(Degenerate, HaloWiderThanRadius) {
+  // Declaring halo 3 for a radius-1 stencil is legal and must not change
+  // results relative to halo 1.
+  auto run_with_halo = [](std::int64_t halo) {
+    dsl::Program prog("halo" + std::to_string(halo));
+    dsl::Var j = prog.var("j"), i = prog.var("i");
+    auto B = prog.def_tensor_2d_timewin("B", 1, halo, ir::DataType::f64, 12, 12);
+    auto& k = prog.kernel("k", {j, i},
+                          dsl::ExprH(0.25) * (B(j, i - 1) + B(j, i + 1) + B(j - 1, i) +
+                                              B(j + 1, i)));
+    prog.def_stencil("st", B, k[prog.t() - 1]);
+    prog.set_initial([](std::int64_t, std::array<std::int64_t, 3> c) {
+      return static_cast<double>(c[0] * 17 + c[1]);
+    });
+    prog.run(1, 4);
+    return prog.value_at(4, {5, 7, 0});
+  };
+  EXPECT_DOUBLE_EQ(run_with_halo(1), run_with_halo(3));
+}
+
+TEST(Degenerate, ZeroWeightTermDropsOut) {
+  dsl::Program prog("zw");
+  dsl::Var j = prog.var("j"), i = prog.var("i");
+  auto B = prog.def_tensor_2d_timewin("B", 2, 1, ir::DataType::f64, 8, 8);
+  auto& k = prog.kernel("k", {j, i}, dsl::ExprH(0.5) * B(j, i));
+  prog.def_stencil("st", B, 1.0 * k[prog.t() - 1] + 0.0 * k[prog.t() - 2]);
+  prog.set_initial([](std::int64_t ts, std::array<std::int64_t, 3>) {
+    return ts == 0 ? 8.0 : 123456.0;  // t-2 value must not matter
+  });
+  prog.run(1, 1);
+  EXPECT_DOUBLE_EQ(prog.value_at(1, {3, 3, 0}), 4.0);
+}
+
+TEST(Misuse, RunWithoutStencilThrows) {
+  dsl::Program prog("empty");
+  EXPECT_THROW(prog.run(1, 2), Error);
+}
+
+TEST(Misuse, ValueAtBeforeAllocationThrows) {
+  dsl::Program prog("noalloc");
+  dsl::Var j = prog.var("j"), i = prog.var("i");
+  auto B = prog.def_tensor_2d_timewin("B", 1, 1, ir::DataType::f64, 8, 8);
+  auto& k = prog.kernel("k", {j, i}, dsl::ExprH(0.5) * B(j, i));
+  prog.def_stencil("st", B, k[prog.t() - 1]);
+  EXPECT_THROW(prog.value_at(0, {0, 0, 0}), Error);
+}
+
+TEST(Misuse, InputOnNonStateGridThrows) {
+  dsl::Program prog("wronginput");
+  dsl::Var j = prog.var("j"), i = prog.var("i");
+  auto B = prog.def_tensor_2d_timewin("B", 1, 1, ir::DataType::f64, 8, 8);
+  auto C = prog.def_tensor_2d("C", 1, ir::DataType::f64, 8, 8);
+  auto& k = prog.kernel("k", {j, i}, dsl::ExprH(0.5) * B(j, i));
+  prog.def_stencil("st", B, k[prog.t() - 1]);
+  EXPECT_THROW(prog.input(C, 1), Error);
+}
+
+TEST(Misuse, SecondStencilRejected) {
+  dsl::Program prog("two");
+  dsl::Var j = prog.var("j"), i = prog.var("i");
+  auto B = prog.def_tensor_2d_timewin("B", 1, 1, ir::DataType::f64, 8, 8);
+  auto& k = prog.kernel("k", {j, i}, dsl::ExprH(0.5) * B(j, i));
+  prog.def_stencil("st", B, k[prog.t() - 1]);
+  EXPECT_THROW(prog.def_stencil("st2", B, k[prog.t() - 1]), Error);
+}
+
+TEST(Fp32Codegen, CompilesRunsAndUsesFloat) {
+  const auto& info = workload::benchmark("2d9pt_star");
+  auto prog = workload::make_program(info, ir::DataType::f32, {24, 24, 0});
+  workload::apply_msc_schedule(*prog, info, "matrix", {8, 8, 0});
+  const auto dir = std::filesystem::temp_directory_path() / "msc_fp32_codegen";
+  std::filesystem::create_directories(dir);
+  const auto src = prog->compile_to_source_code("c", dir.string());
+  EXPECT_NE(src.find("float *restrict out"), std::string::npos);
+  EXPECT_EQ(src.find("double *restrict out"), std::string::npos);
+
+  const std::string cmd = "cc -O2 -std=c99 -o " + (dir / "prog").string() + " " +
+                          (dir / "2d9pt_star.c").string() + " -lm && " +
+                          (dir / "prog").string() + " 3";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  char buf[256];
+  std::string out;
+  while (fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+  ASSERT_EQ(pclose(pipe), 0) << out;
+  EXPECT_NE(out.find("checksum"), std::string::npos);
+}
+
+TEST(CostModel, DegenerateOneDimensionalSubgrid) {
+  const auto& info = workload::benchmark("3d7pt_star");
+  auto prog = workload::make_program(info, ir::DataType::f64);
+  workload::apply_msc_schedule(*prog, info, "sunway");
+  // A pencil-shaped sub-grid (1 x 1 x 256) must still produce finite costs.
+  const auto kc = machine::estimate_subgrid(machine::sunway_cg(), prog->stencil(),
+                                            prog->primary_schedule(),
+                                            machine::profile_msc_sunway(), {1, 1, 256}, 1, true);
+  EXPECT_GT(kc.seconds_per_step, 0.0);
+  EXPECT_TRUE(std::isfinite(kc.seconds_per_step));
+}
+
+}  // namespace
+}  // namespace msc

@@ -1,0 +1,124 @@
+// Inspector-executor tests (§5.6 extension): per-shape tile selection,
+// schedule caching, the never-loses property vs a uniform padded plan,
+// and the synthetic imbalance generator.
+
+#include <gtest/gtest.h>
+
+#include "machine/cost_model.hpp"
+#include "support/error.hpp"
+#include "tune/inspector.hpp"
+#include "workload/stencils.hpp"
+
+namespace msc::tune {
+namespace {
+
+class InspectorFixture : public ::testing::Test {
+ protected:
+  InspectorFixture()
+      : prog(workload::make_program(workload::benchmark("3d7pt_star"), ir::DataType::f64,
+                                    {64, 64, 64})),
+        m(machine::sunway_cg()),
+        impl(machine::profile_msc_sunway()) {}
+
+  std::unique_ptr<dsl::Program> prog;
+  machine::MachineModel m;
+  machine::ImplProfile impl;
+};
+
+TEST_F(InspectorFixture, SelectedTileIsSpmFeasible) {
+  Subgrid sub;
+  sub.extent = {64, 64, 64};
+  const auto sel = select_tiles(prog->stencil(), m, impl, sub, true);
+  const std::int64_t r = prog->stencil().max_radius();
+  std::int64_t staged = 1, interior = 1;
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_GE(sel.tile[static_cast<std::size_t>(d)], 1);
+    EXPECT_LE(sel.tile[static_cast<std::size_t>(d)], 64);
+    staged *= sel.tile[static_cast<std::size_t>(d)] + 2 * r;
+    interior *= sel.tile[static_cast<std::size_t>(d)];
+  }
+  EXPECT_LE((staged + interior) * 8, m.spm_bytes_per_core);
+  EXPECT_GT(sel.seconds_per_step, 0.0);
+}
+
+TEST_F(InspectorFixture, SelectedTileBeatsDegenerateTiles) {
+  Subgrid sub;
+  sub.extent = {64, 64, 64};
+  const auto best = select_tiles(prog->stencil(), m, impl, sub, true);
+  // A unit tile is in the candidate set, so the winner can't be worse.
+  machine::ImplProfile p = impl;
+  (void)p;
+  Subgrid unit = sub;
+  const auto any = select_tiles(prog->stencil(), m, impl, unit, true);
+  EXPECT_LE(best.seconds_per_step, any.seconds_per_step * 1.0 + 1e-12);
+}
+
+TEST_F(InspectorFixture, PlanCachesEqualShapes) {
+  std::vector<Subgrid> subs(8);
+  for (auto& s : subs) s.extent = {64, 64, 64};
+  subs[3].extent = {32, 64, 64};
+  subs[6].extent = {32, 64, 64};
+  const auto result = plan(prog->stencil(), m, impl, subs, true);
+  EXPECT_EQ(result.per_rank.size(), 8u);
+  EXPECT_EQ(result.distinct_shapes_inspected, 2);  // two distinct shapes only
+  EXPECT_GT(result.inspection_seconds, 0.0);
+  // Equal shapes share identical schedules.
+  EXPECT_EQ(result.per_rank[3].tile, result.per_rank[6].tile);
+  EXPECT_EQ(result.per_rank[0].tile, result.per_rank[1].tile);
+}
+
+TEST_F(InspectorFixture, InspectorNeverLosesToUniform) {
+  for (double skew : {1.0, 2.0, 4.0}) {
+    const auto subs = synthetic_imbalance({64, 64, 64}, 3, 16, skew, 0.3, 5);
+    const double uniform = uniform_step_time(prog->stencil(), m, impl, subs, true);
+    const auto p = plan(prog->stencil(), m, impl, subs, true);
+    EXPECT_LE(step_time(p, subs), uniform * (1.0 + 1e-9)) << "skew " << skew;
+  }
+}
+
+TEST_F(InspectorFixture, BalancedWorkloadNeedsOneInspection) {
+  const auto subs = synthetic_imbalance({64, 64, 64}, 3, 32, /*skew=*/1.0, 0.5, 7);
+  const auto p = plan(prog->stencil(), m, impl, subs, true);
+  EXPECT_EQ(p.distinct_shapes_inspected, 1);
+  EXPECT_DOUBLE_EQ(step_time(p, subs),
+                   uniform_step_time(prog->stencil(), m, impl, subs, true));
+}
+
+TEST_F(InspectorFixture, ImbalanceGainGrowsThenInspectionStaysAmortized) {
+  const auto balanced = synthetic_imbalance({64, 64, 64}, 3, 32, 1.0, 0.3, 5);
+  const auto skewed = synthetic_imbalance({64, 64, 64}, 3, 32, 4.0, 0.3, 5);
+  const auto p_bal = plan(prog->stencil(), m, impl, balanced, true);
+  const auto p_skew = plan(prog->stencil(), m, impl, skewed, true);
+  // The skewed workload needs more inspections but still far fewer than
+  // the rank count (cache amortization).
+  EXPECT_GE(p_skew.distinct_shapes_inspected, p_bal.distinct_shapes_inspected);
+  EXPECT_LT(p_skew.distinct_shapes_inspected, 32);
+}
+
+TEST(SyntheticImbalance, DeterministicAndShaped) {
+  const auto a = synthetic_imbalance({64, 64, 64}, 3, 16, 2.0, 0.5, 11);
+  const auto b = synthetic_imbalance({64, 64, 64}, 3, 16, 2.0, 0.5, 11);
+  ASSERT_EQ(a.size(), 16u);
+  for (std::size_t n = 0; n < a.size(); ++n) EXPECT_EQ(a[n].extent, b[n].extent);
+  bool any_skewed = false, any_base = false;
+  for (const auto& s : a) {
+    if (s.extent[0] != 64) {
+      any_skewed = true;
+      EXPECT_GT(s.extent[0], 64);
+      EXPECT_LT(s.extent[2], 64 + 12);
+    } else {
+      any_base = true;
+    }
+  }
+  EXPECT_TRUE(any_skewed);
+  EXPECT_TRUE(any_base);
+}
+
+TEST(SyntheticImbalance, RejectsBadParameters) {
+  EXPECT_THROW(synthetic_imbalance({8, 8, 8}, 3, 0, 1.0, 0.5, 1), Error);
+  EXPECT_THROW(synthetic_imbalance({8, 8, 8}, 3, 4, 0.5, 0.5, 1), Error);
+  EXPECT_THROW(synthetic_imbalance({8, 8, 8}, 3, 4, 1.0, 1.5, 1), Error);
+}
+
+}  // namespace
+}  // namespace msc::tune

@@ -1,0 +1,185 @@
+// End-to-end integration tests crossing module boundaries: DSL -> schedule
+// -> executor -> Sunway simulator -> codegen on one program, the paper's
+// §5.1 correctness criterion across precisions, and scalability-shape
+// checks combining the cost and network models.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "comm/network_model.hpp"
+#include "exec/executor.hpp"
+#include "machine/cost_model.hpp"
+#include "machine/roofline.hpp"
+#include "sunway/cg_sim.hpp"
+#include "tune/tuner.hpp"
+#include "workload/stencils.hpp"
+
+namespace msc {
+namespace {
+
+TEST(EndToEnd, OneProgramThroughEveryStage) {
+  // Listing-1 equivalent: build, schedule, run on host, run on the Sunway
+  // simulator, and AOT-generate all targets — all from one Program.
+  const auto& info = workload::benchmark("3d7pt_star");
+  auto prog = workload::make_program(info, ir::DataType::f64, {16, 16, 16});
+  workload::apply_msc_schedule(*prog, info, "sunway", {4, 8, 8});
+
+  // Host execution with §5.1 validation.
+  prog->input(dsl::GridRef(prog->stencil().state()), 42);
+  const auto run = prog->run(1, 10);
+  EXPECT_EQ(run.stats.timesteps, 10);
+  EXPECT_LT(prog->relative_error_vs_reference(1, 10), 1e-10);
+
+  // Sunway functional simulation agrees with the reference.
+  exec::GridStorage<double> sim(prog->stencil().state());
+  exec::GridStorage<double> ref(prog->stencil().state());
+  for (int s = 0; s < sim.slots(); ++s) {
+    sim.fill_random(s, 1 + static_cast<std::uint64_t>(s));
+    ref.fill_random(s, 1 + static_cast<std::uint64_t>(s));
+  }
+  const auto sw = sunway::run_cg_sim(prog->stencil(), prog->primary_schedule(), sim, 1, 5,
+                                     exec::Boundary::ZeroHalo, {}, machine::sunway_cg());
+  exec::run_reference(prog->stencil(), ref, 1, 5, exec::Boundary::ZeroHalo);
+  EXPECT_LT(exec::max_relative_error(sim, sim.slot_for_time(5), ref, ref.slot_for_time(5)),
+            1e-10);
+  EXPECT_GT(sw.spm_utilization, 0.1);
+
+  // All four codegen targets produce sources.
+  for (const auto* target : {"c", "openmp", "sunway", "openacc"})
+    EXPECT_FALSE(prog->compile_to_source_code(target).empty()) << target;
+}
+
+TEST(Correctness, PaperCriterionAcrossPrecisionsAndBenchmarks) {
+  // §5.1: relative error < 1e-10 (fp64) and < 1e-5 (fp32) for all
+  // generated codes vs the serial codes.
+  for (const auto* name : {"2d9pt_box", "3d13pt_star"}) {
+    const auto& info = workload::benchmark(name);
+    const auto grid = info.ndim == 2 ? std::array<std::int64_t, 3>{40, 40, 0}
+                                     : std::array<std::int64_t, 3>{16, 16, 16};
+    {
+      auto prog = workload::make_program(info, ir::DataType::f64, grid);
+      workload::apply_msc_schedule(*prog, info, "matrix",
+                                   info.ndim == 2 ? std::array<std::int64_t, 3>{8, 8, 0}
+                                                  : std::array<std::int64_t, 3>{4, 4, 8});
+      prog->input(dsl::GridRef(prog->stencil().state()), 3);
+      EXPECT_LT(prog->relative_error_vs_reference(1, 6), 1e-10) << name << " fp64";
+    }
+    {
+      auto prog = workload::make_program(info, ir::DataType::f32, grid);
+      workload::apply_msc_schedule(*prog, info, "matrix",
+                                   info.ndim == 2 ? std::array<std::int64_t, 3>{8, 8, 0}
+                                                  : std::array<std::int64_t, 3>{4, 4, 8});
+      prog->input(dsl::GridRef(prog->stencil().state()), 3);
+      EXPECT_LT(prog->relative_error_vs_reference(1, 6), 1e-5) << name << " fp32";
+    }
+  }
+}
+
+TEST(ScalabilityShape, WeakScalingNearIdeal) {
+  // Paper Fig. 10(b): fixed sub-grid per process, GFlops grows ~linearly.
+  const auto& info = workload::benchmark("3d7pt_star");
+  const auto m = machine::sunway_cg();
+  const auto net = comm::sunway_network();
+  auto prog = workload::make_program(info, ir::DataType::f64);
+  workload::apply_msc_schedule(*prog, info, "sunway");
+
+  double prev_gflops_per_rank = 0.0;
+  for (int ranks : {8, 16, 32, 64}) {
+    const auto kc = machine::estimate_subgrid(m, prog->stencil(), prog->primary_schedule(),
+                                              machine::profile_msc_sunway(), {256, 256, 256},
+                                              1, true);
+    // Weak scaling: every rank keeps a 256^3 block; global = ranks x block.
+    std::vector<int> dims = {ranks, 1, 1};
+    comm::CartDecomp dec(dims, {256LL * ranks, 256, 256});
+    const auto cc = comm::halo_exchange_cost(net, dec, 1, 8);
+    const double step = kc.seconds_per_step + cc.seconds;
+    const double gflops_per_rank =
+        static_cast<double>(kc.flops_per_step) / step / 1e9;
+    if (prev_gflops_per_rank > 0.0) {
+      EXPECT_GT(gflops_per_rank, prev_gflops_per_rank * 0.9);  // <=10% efficiency loss/step
+    }
+    prev_gflops_per_rank = gflops_per_rank;
+  }
+}
+
+TEST(ScalabilityShape, TwoDStrongScalingDegradesOnTianhe3) {
+  // Paper Fig. 10(a): 2-D stencils deviate from ideal on Tianhe-3 as core
+  // counts grow (halo exchange congestion), while 3-D stays near ideal.
+  const auto net = comm::tianhe3_network();
+  const auto m = machine::matrix_sn();
+
+  auto efficiency = [&](const workload::BenchmarkInfo& info,
+                        const std::vector<int>& dims_small,
+                        const std::vector<int>& dims_large,
+                        std::array<std::int64_t, 3> global) {
+    auto prog = workload::make_program(info, ir::DataType::f64, global);
+    workload::apply_msc_schedule(*prog, info, "matrix");
+    auto time_at = [&](const std::vector<int>& dims) {
+      std::vector<std::int64_t> g;
+      for (int d = 0; d < info.ndim; ++d) g.push_back(global[static_cast<std::size_t>(d)]);
+      comm::CartDecomp dec(dims, g);
+      std::array<std::int64_t, 3> local{1, 1, 1};
+      for (int d = 0; d < info.ndim; ++d)
+        local[static_cast<std::size_t>(d)] = dec.local_extent(0, d);
+      const auto kc = machine::estimate_subgrid(m, prog->stencil(), prog->primary_schedule(),
+                                                machine::profile_msc_matrix(), local, 1, true);
+      const auto cc = comm::halo_exchange_cost(net, dec, info.radius, 8);
+      return kc.seconds_per_step + cc.seconds;
+    };
+    const double t_small = time_at(dims_small);
+    const double t_large = time_at(dims_large);
+    int p_small = 1, p_large = 1;
+    for (int d : dims_small) p_small *= d;
+    for (int d : dims_large) p_large *= d;
+    // Parallel efficiency of the larger run relative to the smaller.
+    return (t_small / t_large) / (static_cast<double>(p_large) / p_small);
+  };
+
+  // Paper Table 7 configurations: global domains sized so the per-rank
+  // sub-grids match the listed 4096x4096 -> 2048x1024 (2-D) and
+  // 256^3 -> 128^3 (3-D) progressions.
+  const double eff2d = efficiency(workload::benchmark("2d9pt_star"), {8, 4}, {16, 16},
+                                  {32768, 16384, 0});
+  const double eff3d = efficiency(workload::benchmark("3d7pt_star"), {4, 4, 2}, {8, 8, 4},
+                                  {1024, 1024, 512});
+  EXPECT_LT(eff2d, eff3d);   // 2-D congests first
+  EXPECT_GT(eff3d, 0.8);     // 3-D stays near ideal
+  EXPECT_LT(eff2d, 0.8);     // the 2-D deviation is visible
+}
+
+TEST(Autotune, Fig11ShapeHolds) {
+  // Paper Fig. 11: the trace decreases rapidly, converges, and the tuned
+  // configuration beats the starting one by a multiple.
+  const auto& info = workload::benchmark("3d7pt_star");
+  auto prog = workload::make_program(info, ir::DataType::f64, {512, 128, 128});
+  tune::TuneConfig cfg;
+  cfg.processes = 16;
+  cfg.global = {512, 128, 128};
+  cfg.timesteps = 100;
+  cfg.train_samples = 32;
+  cfg.sa_iterations = 4000;
+  cfg.seed = 19;
+  const auto a = tune::tune(prog->stencil(), machine::sunway_cg(),
+                            machine::profile_msc_sunway(), comm::sunway_network(), cfg);
+  cfg.seed = 20;
+  const auto b = tune::tune(prog->stencil(), machine::sunway_cg(),
+                            machine::profile_msc_sunway(), comm::sunway_network(), cfg);
+  // Two runs converge to similar quality (the paper's stability argument).
+  EXPECT_GT(a.speedup(), 1.5);
+  EXPECT_GT(b.speedup(), 1.5);
+  EXPECT_NEAR(a.best_seconds / b.best_seconds, 1.0, 0.35);
+}
+
+TEST(Roofline, AchievedNeverExceedsAttainable) {
+  const auto m = machine::sunway_cg();
+  for (const auto& info : workload::all_benchmarks()) {
+    auto prog = workload::make_program(info, ir::DataType::f64);
+    workload::apply_msc_schedule(*prog, info, "sunway");
+    const auto kc = machine::estimate(m, prog->stencil(), prog->primary_schedule(),
+                                      machine::profile_msc_sunway(), 1, true);
+    EXPECT_LE(kc.gflops, m.peak_gflops(true) * 1.0001) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace msc

@@ -1,0 +1,254 @@
+// Unit tests of the IR layer: dtypes, tensors, axes, expressions and their
+// analyses, kernels, stencils, printer and verifier.
+
+#include <gtest/gtest.h>
+
+#include "ir/axis.hpp"
+#include "ir/expr.hpp"
+#include "ir/kernel.hpp"
+#include "ir/printer.hpp"
+#include "ir/stencil.hpp"
+#include "ir/tensor.hpp"
+#include "ir/type.hpp"
+#include "ir/verifier.hpp"
+#include "support/error.hpp"
+
+namespace msc::ir {
+namespace {
+
+TEST(DataType, SizesAndNames) {
+  EXPECT_EQ(dtype_size(DataType::i32), 4u);
+  EXPECT_EQ(dtype_size(DataType::f32), 4u);
+  EXPECT_EQ(dtype_size(DataType::f64), 8u);
+  EXPECT_EQ(dtype_name(DataType::f64), "f64");
+  EXPECT_EQ(dtype_c_name(DataType::f32), "float");
+  EXPECT_TRUE(dtype_is_float(DataType::f32));
+  EXPECT_FALSE(dtype_is_float(DataType::i32));
+}
+
+TEST(DataType, Promotion) {
+  EXPECT_EQ(dtype_promote(DataType::i32, DataType::f32), DataType::f32);
+  EXPECT_EQ(dtype_promote(DataType::f32, DataType::f64), DataType::f64);
+  EXPECT_EQ(dtype_promote(DataType::i32, DataType::i32), DataType::i32);
+}
+
+TEST(Tensor, SpNodeGeometry) {
+  auto t = make_sp_tensor("B", DataType::f64, {16, 32}, 2, 3);
+  EXPECT_EQ(t->ndim(), 2);
+  EXPECT_EQ(t->interior_points(), 16 * 32);
+  EXPECT_EQ(t->padded_points(), 20 * 36);
+  EXPECT_EQ(t->allocation_bytes(), 20 * 36 * 8 * 3);
+  EXPECT_EQ(t->kind(), TensorKind::SpNode);
+}
+
+TEST(Tensor, TeNodeHasNoHalo) {
+  auto sp = make_sp_tensor("B", DataType::f32, {8, 8, 8}, 1);
+  auto te = make_te_tensor("tmp", sp);
+  EXPECT_EQ(te->halo(), 0);
+  EXPECT_EQ(te->kind(), TensorKind::TeNode);
+  EXPECT_EQ(te->shape(), sp->shape());
+  EXPECT_EQ(te->dtype(), DataType::f32);
+}
+
+TEST(Tensor, RejectsBadShapes) {
+  EXPECT_THROW(make_sp_tensor("B", DataType::f64, {}, 0), Error);
+  EXPECT_THROW(make_sp_tensor("B", DataType::f64, {4, 4, 4, 4}, 0), Error);
+  EXPECT_THROW(make_sp_tensor("B", DataType::f64, {0, 4}, 0), Error);
+  EXPECT_THROW(make_sp_tensor("B", DataType::f64, {4, 4}, -1), Error);
+  EXPECT_THROW(make_sp_tensor("", DataType::f64, {4}, 0), Error);
+}
+
+TEST(Axis, TripCountWithStride) {
+  Axis ax;
+  ax.start = 0;
+  ax.end = 10;
+  ax.stride = 3;
+  EXPECT_EQ(ax.trip_count(), 4);  // 0, 3, 6, 9
+}
+
+TEST(Axis, FindAndRenumber) {
+  AxisList axes(3);
+  axes[0].id_var = "k";
+  axes[1].id_var = "j";
+  axes[2].id_var = "i";
+  EXPECT_EQ(find_axis(axes, "j"), 1);
+  EXPECT_EQ(find_axis(axes, "zz"), -1);
+  std::swap(axes[0], axes[2]);
+  renumber(axes);
+  EXPECT_EQ(axes[0].order, 0);
+  EXPECT_EQ(axes[2].order, 2);
+}
+
+class ExprFixture : public ::testing::Test {
+ protected:
+  Tensor B = make_sp_tensor("B", DataType::f64, {8, 8}, 1, 3);
+  Expr access(std::int64_t dj, std::int64_t di, int toff = 0) {
+    return make_access(B, {{"j", dj}, {"i", di}}, toff);
+  }
+};
+
+TEST_F(ExprFixture, OpCountCensus) {
+  // 0.5*B[j,i] + 0.25*B[j,i-1] - B[j,i+1]
+  auto e = make_binary(
+      BinaryOp::Sub,
+      make_binary(BinaryOp::Add, make_binary(BinaryOp::Mul, make_float(0.5), access(0, 0)),
+                  make_binary(BinaryOp::Mul, make_float(0.25), access(0, -1))),
+      access(0, 1));
+  const auto ops = count_ops(e);
+  EXPECT_EQ(ops.add_sub, 2);
+  EXPECT_EQ(ops.mul, 2);
+  EXPECT_EQ(ops.plus_minus_times(), 4);
+}
+
+TEST_F(ExprFixture, DistinctReads) {
+  auto dup = make_binary(BinaryOp::Add, access(0, 1), access(0, 1));
+  EXPECT_EQ(count_distinct_reads(dup), 1);
+  auto two = make_binary(BinaryOp::Add, access(0, 1), access(1, 0));
+  EXPECT_EQ(count_distinct_reads(two), 2);
+  // Same spatial offset at another timestep is a distinct read.
+  auto timed = make_binary(BinaryOp::Add, access(0, 1), access(0, 1, -1));
+  EXPECT_EQ(count_distinct_reads(timed), 2);
+}
+
+TEST_F(ExprFixture, AccessRadius) {
+  auto e = make_binary(BinaryOp::Add, access(-1, 0), access(0, 1));
+  const auto r = access_radius(e, "B", 2);
+  EXPECT_EQ(r[0], 1);
+  EXPECT_EQ(r[1], 1);
+}
+
+TEST_F(ExprFixture, MinTimeOffset) {
+  auto e = make_binary(BinaryOp::Add, access(0, 0, -2), access(0, 0, -1));
+  EXPECT_EQ(min_time_offset(e), -2);
+  EXPECT_EQ(min_time_offset(access(0, 0)), 0);
+}
+
+TEST_F(ExprFixture, AccessRejectsWrongArity) {
+  EXPECT_THROW(make_access(B, {{"i", 0}}), Error);
+}
+
+TEST_F(ExprFixture, AccessRejectsFutureReads) {
+  EXPECT_THROW(make_access(B, {{"j", 0}, {"i", 0}}, +1), Error);
+}
+
+TEST_F(ExprFixture, AccessRejectsOffsetBeyondHalo) {
+  // Halo is 1; offset 2 must fail at kernel construction.
+  auto rhs = access(0, 2);
+  EXPECT_THROW(make_kernel("k", make_te_tensor("o", B), default_axes(B), rhs), Error);
+}
+
+TEST_F(ExprFixture, AssignRequiresZeroOffsets) {
+  auto out = make_te_tensor("o", B);
+  auto lhs = make_access(out, {{"j", 0}, {"i", 1}});
+  EXPECT_THROW(make_assign(lhs, access(0, 0)), Error);
+}
+
+TEST_F(ExprFixture, PrinterRoundTripContainsStructure) {
+  auto e = make_binary(BinaryOp::Mul, make_float(2.0), access(0, -1));
+  const auto s = to_string(e);
+  EXPECT_NE(s.find("B[j,i-1]"), std::string::npos);
+  EXPECT_NE(s.find("*"), std::string::npos);
+}
+
+TEST(Kernel, StatsMatchHandConstructed3d7pt) {
+  auto B = make_sp_tensor("B", DataType::f64, {8, 8, 8}, 1, 3);
+  auto acc = [&](std::int64_t dk, std::int64_t dj, std::int64_t di) {
+    return make_access(B, {{"k", dk}, {"j", dj}, {"i", di}});
+  };
+  Expr rhs;
+  const std::array<std::array<std::int64_t, 3>, 7> offs = {
+      {{0, 0, 0}, {0, 0, -1}, {0, 0, 1}, {0, -1, 0}, {0, 1, 0}, {-1, 0, 0}, {1, 0, 0}}};
+  for (std::size_t n = 0; n < offs.size(); ++n) {
+    auto term = make_binary(BinaryOp::Mul, make_float(0.1 * static_cast<double>(n + 1)),
+                            acc(offs[n][0], offs[n][1], offs[n][2]));
+    rhs = n == 0 ? term : make_binary(BinaryOp::Add, rhs, term);
+  }
+  auto k = make_kernel("s3d7pt", make_te_tensor("o", B), default_axes(B), rhs);
+  EXPECT_EQ(k->stats().points_read, 7);
+  EXPECT_EQ(k->stats().bytes_read, 56);   // Table 4 row 3d7pt_star
+  EXPECT_EQ(k->stats().bytes_written, 8);
+  EXPECT_EQ(k->stats().ops.plus_minus_times(), 13);  // 7 muls + 6 adds
+  EXPECT_EQ(k->stats().max_radius, 1);
+  EXPECT_EQ(k->required_time_window(), 1);  // no self time refs inside the kernel
+  ASSERT_EQ(k->inputs().size(), 1u);
+  EXPECT_EQ(k->inputs()[0]->name(), "B");
+}
+
+TEST(Kernel, DefaultAxesMatchTensor) {
+  auto B = make_sp_tensor("B", DataType::f32, {4, 6}, 1);
+  auto axes = default_axes(B);
+  ASSERT_EQ(axes.size(), 2u);
+  EXPECT_EQ(axes[0].id_var, "j");
+  EXPECT_EQ(axes[1].id_var, "i");
+  EXPECT_EQ(axes[0].end, 4);
+  EXPECT_EQ(axes[1].end, 6);
+}
+
+class StencilFixture : public ::testing::Test {
+ protected:
+  Tensor B = make_sp_tensor("B", DataType::f64, {8, 8}, 1, 3);
+  KernelPtr k = [this] {
+    auto rhs = make_binary(
+        BinaryOp::Add, make_binary(BinaryOp::Mul, make_float(0.5), make_access(B, {{"j", 0}, {"i", 0}})),
+        make_binary(BinaryOp::Mul, make_float(0.1), make_access(B, {{"j", 0}, {"i", 1}})));
+    return make_kernel("lap", make_te_tensor("o", B), default_axes(B), rhs);
+  }();
+};
+
+TEST_F(StencilFixture, WindowFromDeepestOffset) {
+  auto st = make_stencil("st", B, {{k, -1, 0.6}, {k, -2, 0.4}});
+  EXPECT_EQ(st->time_window(), 3);
+  EXPECT_EQ(st->min_time_offset(), -2);
+  EXPECT_EQ(st->time_dependencies(), 2);
+  EXPECT_EQ(st->max_radius(), 1);
+  EXPECT_EQ(st->state()->name(), "B");
+}
+
+TEST_F(StencilFixture, RejectsDuplicateOffsets) {
+  EXPECT_THROW(make_stencil("st", B, {{k, -1, 1.0}, {k, -1, 1.0}}), Error);
+}
+
+TEST_F(StencilFixture, RejectsNonNegativeOffsets) {
+  EXPECT_THROW(make_stencil("st", B, {{k, 0, 1.0}}), Error);
+}
+
+TEST_F(StencilFixture, RejectsWindowDeeperThanTensor) {
+  // B declares window 3 (deps up to t-2); a t-3 term must fail.
+  EXPECT_THROW(make_stencil("st", B, {{k, -3, 1.0}}), Error);
+}
+
+TEST_F(StencilFixture, PrinterShowsTerms) {
+  auto st = make_stencil("st", B, {{k, -1, 1.0}, {k, -2, 0.5}});
+  const auto s = to_string(*st);
+  EXPECT_NE(s.find("lap[t-1]"), std::string::npos);
+  EXPECT_NE(s.find("0.5*lap[t-2]"), std::string::npos);
+}
+
+TEST_F(StencilFixture, VerifierAcceptsValid) {
+  auto st = make_stencil("st", B, {{k, -1, 1.0}});
+  EXPECT_TRUE(verify_stencil(*st).empty());
+  EXPECT_NO_THROW(verify_or_throw(*st));
+}
+
+TEST(Verifier, FlagsAxisDimensionMisuse) {
+  // Access uses axis i in dimension 0 and j in dimension 1 — transposed.
+  auto B = make_sp_tensor("B", DataType::f64, {8, 8}, 1);
+  auto rhs = make_access(B, {{"i", 0}, {"j", 0}});
+  auto k = make_kernel("bad", make_te_tensor("o", B), default_axes(B), rhs);
+  const auto diags = verify_kernel(*k);
+  EXPECT_FALSE(diags.empty());
+}
+
+TEST(Verifier, FlagsDtypeMismatch) {
+  auto B = make_sp_tensor("B", DataType::f64, {8}, 1);
+  auto C = make_sp_tensor("C", DataType::f32, {8}, 1);
+  auto rhs = make_binary(BinaryOp::Add, make_access(B, {{"i", 0}}), make_access(C, {{"i", 0}}));
+  auto k = make_kernel("mix", make_te_tensor("o", B), default_axes(B), rhs);
+  const auto diags = verify_kernel(*k);
+  bool found = false;
+  for (const auto& d : diags) found |= d.find("dtype") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace msc::ir

@@ -1,0 +1,167 @@
+// Machine-model and cost-model tests: parameter sanity, roofline
+// classification, and the mechanistic properties the paper's figures rely
+// on (SPM staging beats no-reuse, halo inflation grows with stencil order,
+// fp32 halves traffic, ...).
+
+#include <gtest/gtest.h>
+
+#include "machine/cost_model.hpp"
+#include "machine/machine.hpp"
+#include "machine/roofline.hpp"
+#include "workload/stencils.hpp"
+
+namespace msc::machine {
+namespace {
+
+TEST(MachineModel, PaperPeaks) {
+  const auto sw = sunway_cg();
+  // One CG is a quarter of the 3.06 TFlops chip.
+  EXPECT_NEAR(sw.peak_gflops(true), 3060.0 / 4, 15.0);
+  EXPECT_TRUE(sw.cache_less());
+  EXPECT_EQ(sw.spm_bytes_per_core, 64 * 1024);
+  EXPECT_EQ(sw.cores, 64);
+
+  const auto mt = matrix_full();
+  EXPECT_NEAR(mt.peak_gflops(true), 2048.0, 10.0);
+  EXPECT_EQ(mt.cores, 128);
+  EXPECT_FALSE(mt.cache_less());
+
+  const auto sn = matrix_sn();
+  EXPECT_EQ(sn.cores, 32);
+
+  const auto xeon = xeon_e5_2680v4_dual();
+  EXPECT_EQ(xeon.cores, 28);
+  EXPECT_GT(xeon.peak_gflops(false), xeon.peak_gflops(true));  // fp32 doubles
+}
+
+TEST(Roofline, AttainableIsMinOfPeakAndBandwidth) {
+  const auto m = matrix_sn();
+  const double low_oi = 0.01;
+  EXPECT_NEAR(attainable_gflops(m, low_oi), low_oi * m.mem_bw_gbs, 1e-9);
+  const double high_oi = 1e6;
+  EXPECT_NEAR(attainable_gflops(m, high_oi), m.peak_gflops(true), 1e-9);
+}
+
+TEST(Roofline, StencilIntensityOrdering) {
+  // Higher-order box stencils have higher flop/byte than low-order stars.
+  auto small = workload::make_program(workload::benchmark("3d7pt_star"), ir::DataType::f64,
+                                      {16, 16, 16});
+  auto big = workload::make_program(workload::benchmark("2d169pt_box"), ir::DataType::f64,
+                                    {64, 64, 0});
+  EXPECT_GT(operational_intensity(big->stencil()), operational_intensity(small->stencil()));
+}
+
+TEST(Roofline, ClassicIntensityIsMemoryBoundEverywhere) {
+  // With Table-4 byte counts every benchmark sits left of both machines'
+  // ridge points — the paper's Fig. 9 dots cluster on the bandwidth slope.
+  for (const auto& info : workload::all_benchmarks()) {
+    auto prog = workload::make_program(info, ir::DataType::f64,
+                                       info.ndim == 2 ? std::array<std::int64_t, 3>{64, 64, 0}
+                                                      : std::array<std::int64_t, 3>{16, 16, 16});
+    EXPECT_TRUE(memory_bound(matrix_sn(), prog->stencil())) << info.name;
+  }
+}
+
+class CostModelFixture : public ::testing::Test {
+ protected:
+  /// Cost of one benchmark under (machine, impl) with its paper schedule.
+  KernelCost cost(const std::string& bench, const MachineModel& m, const ImplProfile& impl,
+                  const std::string& target, bool fp64 = true) {
+    const auto& info = workload::benchmark(bench);
+    auto prog = workload::make_program(info, fp64 ? ir::DataType::f64 : ir::DataType::f32);
+    workload::apply_msc_schedule(*prog, info, target);
+    return estimate(m, prog->stencil(), prog->primary_schedule(), impl, 1, fp64);
+  }
+};
+
+TEST_F(CostModelFixture, SpmPipelineBeatsRowReuseOnSunway) {
+  const auto msc = cost("3d7pt_star", sunway_cg(), profile_msc_sunway(), "sunway");
+  const auto acc = cost("3d7pt_star", sunway_cg(), profile_openacc_sunway(), "sunway");
+  EXPECT_LT(msc.seconds, acc.seconds);
+  // The paper's average gap is ~24x; require at least a 5x mechanism gap.
+  EXPECT_GT(acc.seconds / msc.seconds, 5.0);
+}
+
+TEST_F(CostModelFixture, SunwaySpmFitsBudgetForAllPaperTiles) {
+  for (const auto& info : workload::all_benchmarks()) {
+    const auto kc = cost(info.name, sunway_cg(), profile_msc_sunway(), "sunway");
+    EXPECT_LE(kc.spm_utilization, 1.0) << info.name << " exceeds the 64 KB SPM";
+    EXPECT_GT(kc.spm_utilization, 0.0) << info.name;
+  }
+}
+
+TEST_F(CostModelFixture, SunwayReuseFactorPositive) {
+  // Paper §5.2.1: each staged data point reused ~13x for 3d13pt.
+  const auto kc = cost("3d13pt_star", sunway_cg(), profile_msc_sunway(), "sunway");
+  EXPECT_GT(kc.reuse_factor, 1.0);
+  EXPECT_LT(kc.reuse_factor, 100.0);
+}
+
+TEST_F(CostModelFixture, LowOrderStencilsAreMemoryBoundOnSunway) {
+  EXPECT_TRUE(cost("3d7pt_star", sunway_cg(), profile_msc_sunway(), "sunway").memory_bound);
+  EXPECT_TRUE(cost("2d9pt_star", sunway_cg(), profile_msc_sunway(), "sunway").memory_bound);
+}
+
+TEST_F(CostModelFixture, HighestOrderBoxIsComputeBoundOnSunwayOnly) {
+  // Paper Fig. 9: 2d169pt is compute-bound on Sunway but memory-bound on
+  // Matrix (whose bandwidth-to-flops ratio is lower).
+  EXPECT_FALSE(cost("2d169pt_box", sunway_cg(), profile_msc_sunway(), "sunway").memory_bound);
+  EXPECT_TRUE(cost("2d169pt_box", matrix_sn(), profile_msc_matrix(), "matrix").memory_bound);
+}
+
+TEST_F(CostModelFixture, Fp32RoughlyHalvesMemoryTime) {
+  const auto f64 = cost("3d7pt_star", sunway_cg(), profile_msc_sunway(), "sunway", true);
+  const auto f32 = cost("3d7pt_star", sunway_cg(), profile_msc_sunway(), "sunway", false);
+  EXPECT_NEAR(f32.memory_seconds / f64.memory_seconds, 0.5, 0.05);
+}
+
+TEST_F(CostModelFixture, ManualOpenMpSlightlySlowerThanMscOnMatrix) {
+  const auto msc = cost("3d7pt_star", matrix_sn(), profile_msc_matrix(), "matrix");
+  const auto omp = cost("3d7pt_star", matrix_sn(), profile_manual_openmp_matrix(), "matrix");
+  const double ratio = omp.seconds / msc.seconds;
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 1.15);  // paper: MSC achieves 1.05x on average
+}
+
+TEST_F(CostModelFixture, HalideJitPaysStartup) {
+  const auto jit = cost("3d7pt_star", xeon_e5_2680v4_dual(), profile_halide_jit_cpu(), "cpu");
+  const auto aot = cost("3d7pt_star", xeon_e5_2680v4_dual(), profile_halide_aot_cpu(), "cpu");
+  EXPECT_GT(jit.seconds, aot.seconds + 0.5);  // the JIT compile
+  EXPECT_NEAR(jit.seconds_per_step, aot.seconds_per_step, 1e-12);
+}
+
+TEST_F(CostModelFixture, HalideIndexingOverheadGrowsWithOrder) {
+  const auto m = xeon_e5_2680v4_dual();
+  const auto small_msc = cost("3d7pt_star", m, profile_msc_cpu(), "cpu");
+  const auto small_aot = cost("3d7pt_star", m, profile_halide_aot_cpu(), "cpu");
+  const auto big_msc = cost("2d121pt_box", m, profile_msc_cpu(), "cpu");
+  const auto big_aot = cost("2d121pt_box", m, profile_halide_aot_cpu(), "cpu");
+  // Paper Fig. 12: AOT competitive (here: compute overhead hidden under the
+  // memory roof) on small stencils, behind MSC on large ones.
+  EXPECT_LE(small_aot.seconds, small_msc.seconds * 1.1);
+  EXPECT_GT(big_aot.seconds, big_msc.seconds);
+}
+
+TEST_F(CostModelFixture, TrafficScalesWithPoints) {
+  const auto& info = workload::benchmark("3d7pt_star");
+  auto prog = workload::make_program(info, ir::DataType::f64);
+  workload::apply_msc_schedule(*prog, info, "sunway");
+  const auto small = estimate_subgrid(sunway_cg(), prog->stencil(), prog->primary_schedule(),
+                                      profile_msc_sunway(), {64, 64, 64}, 1, true);
+  const auto large = estimate_subgrid(sunway_cg(), prog->stencil(), prog->primary_schedule(),
+                                      profile_msc_sunway(), {128, 64, 64}, 1, true);
+  EXPECT_NEAR(static_cast<double>(large.traffic_bytes) /
+                  static_cast<double>(small.traffic_bytes),
+              2.0, 0.1);
+}
+
+TEST_F(CostModelFixture, EstimateRejectsZeroTimesteps) {
+  const auto& info = workload::benchmark("3d7pt_star");
+  auto prog = workload::make_program(info, ir::DataType::f64);
+  EXPECT_THROW(estimate(sunway_cg(), prog->stencil(), prog->primary_schedule(),
+                        profile_msc_sunway(), 0, true),
+               Error);
+}
+
+}  // namespace
+}  // namespace msc::machine

@@ -1,0 +1,125 @@
+// Tests of the algebraic simplification pass and its integration into the
+// DSL kernel construction, plus the unroll primitive and the Sunway
+// pipeline's double-buffer switch.
+
+#include <gtest/gtest.h>
+
+#include "dsl/program.hpp"
+#include "exec/grid.hpp"
+#include "ir/printer.hpp"
+#include "ir/simplify.hpp"
+#include "sunway/cg_sim.hpp"
+#include "support/error.hpp"
+#include "workload/stencils.hpp"
+
+namespace msc {
+namespace {
+
+using ir::BinaryOp;
+using ir::Expr;
+
+struct SimplifyFixture : ::testing::Test {
+  ir::Tensor B = ir::make_sp_tensor("B", ir::DataType::f64, {8, 8}, 1, 3);
+  Expr acc(std::int64_t dj = 0, std::int64_t di = 0) {
+    return ir::make_access(B, {{"j", dj}, {"i", di}});
+  }
+};
+
+TEST_F(SimplifyFixture, FoldsConstants) {
+  auto e = ir::make_binary(BinaryOp::Mul, ir::make_float(2.0),
+                           ir::make_binary(BinaryOp::Add, ir::make_float(1.5), ir::make_float(0.5)));
+  const auto s = ir::simplify(e);
+  EXPECT_TRUE(ir::is_const(s, 4.0));
+}
+
+TEST_F(SimplifyFixture, IdentityRules) {
+  EXPECT_EQ(ir::to_string(ir::simplify(ir::make_binary(BinaryOp::Mul, ir::make_float(1.0), acc()))),
+            "B[j,i]");
+  EXPECT_EQ(ir::to_string(ir::simplify(ir::make_binary(BinaryOp::Add, acc(), ir::make_float(0.0)))),
+            "B[j,i]");
+  EXPECT_EQ(ir::to_string(ir::simplify(ir::make_binary(BinaryOp::Sub, acc(), ir::make_float(0.0)))),
+            "B[j,i]");
+  EXPECT_EQ(ir::to_string(ir::simplify(ir::make_binary(BinaryOp::Div, acc(), ir::make_float(1.0)))),
+            "B[j,i]");
+}
+
+TEST_F(SimplifyFixture, MulByZeroCollapses) {
+  auto e = ir::make_binary(BinaryOp::Mul, ir::make_float(0.0), acc(0, -1));
+  EXPECT_TRUE(ir::is_const(ir::simplify(e), 0.0));
+}
+
+TEST_F(SimplifyFixture, DoubleNegation) {
+  auto e = ir::make_unary(ir::UnaryOp::Neg, ir::make_unary(ir::UnaryOp::Neg, acc()));
+  EXPECT_EQ(ir::to_string(ir::simplify(e)), "B[j,i]");
+}
+
+TEST_F(SimplifyFixture, ConstDivByZeroThrows) {
+  auto e = ir::make_binary(BinaryOp::Div, ir::make_float(1.0), ir::make_float(0.0));
+  EXPECT_THROW(ir::simplify(e), Error);
+}
+
+TEST_F(SimplifyFixture, NoRuleReturnsSamePointer) {
+  auto e = ir::make_binary(BinaryOp::Add, acc(0, -1), acc(0, 1));
+  EXPECT_EQ(ir::simplify(e), e);
+}
+
+TEST_F(SimplifyFixture, RecursesThroughCalls) {
+  auto inner = ir::make_binary(BinaryOp::Add, ir::make_float(1.0), ir::make_float(3.0));
+  auto e = ir::make_call("sqrt", {inner}, ir::DataType::f64);
+  const auto s = ir::simplify(e);
+  ASSERT_EQ(s->kind, ir::ExprKind::CallFunc);
+  EXPECT_TRUE(ir::is_const(static_cast<const ir::CallFuncExpr&>(*s).args[0], 4.0));
+}
+
+TEST(SimplifyInDsl, KernelStatsReflectFolding) {
+  // 1*B(j,i) + 0*B(j,i-1) folds to a single access: one read, zero ops.
+  dsl::Program prog("fold");
+  dsl::Var j = prog.var("j"), i = prog.var("i");
+  auto B = prog.def_tensor_2d_timewin("B", 1, 1, ir::DataType::f64, 8, 8);
+  auto& k = prog.kernel("k", {j, i},
+                        dsl::ExprH(1.0) * B(j, i) + dsl::ExprH(0.0) * B(j, i - 1));
+  EXPECT_EQ(k.ir().stats().points_read, 1);
+  EXPECT_EQ(k.ir().stats().ops.plus_minus_times(), 0);
+  EXPECT_EQ(k.ir().stats().max_radius, 0);
+}
+
+TEST(Unroll, PrimitiveValidatesAndMarks) {
+  const auto& info = workload::benchmark("2d9pt_box");
+  auto prog = workload::make_program(info, ir::DataType::f64, {32, 32, 0});
+  auto& k = prog->primary_kernel();
+  EXPECT_THROW(k.unroll("i", 1), Error);     // factor too small
+  EXPECT_THROW(k.unroll("i", 64), Error);    // exceeds trip count (32)
+  EXPECT_THROW(k.unroll("zz", 4), Error);    // unknown axis
+  k.unroll("i", 4);
+  EXPECT_THROW(k.unroll("i", 4), Error);     // already unrolled
+  EXPECT_EQ(k.sched().axes().back().unroll, 4);
+}
+
+TEST(Unroll, CodegenEmitsPragma) {
+  const auto& info = workload::benchmark("2d9pt_box");
+  auto prog = workload::make_program(info, ir::DataType::f64, {32, 32, 0});
+  workload::apply_msc_schedule(*prog, info, "matrix", {8, 8, 0});
+  prog->primary_kernel().unroll("i_inner", 4);
+  const auto src = prog->compile_to_source_code("openmp");
+  EXPECT_NE(src.find("#pragma GCC unroll 4"), std::string::npos);
+  EXPECT_NE(src.find("#pragma omp simd"), std::string::npos);
+}
+
+TEST(DoubleBuffer, OverlapNeverSlower) {
+  const auto& info = workload::benchmark("3d7pt_star");
+  auto prog = workload::make_program(info, ir::DataType::f64, {24, 24, 24});
+  workload::apply_msc_schedule(*prog, info, "sunway", {2, 8, 12});
+  auto run_mode = [&](bool overlap) {
+    exec::GridStorage<double> g(prog->stencil().state());
+    for (int s = 0; s < g.slots(); ++s) g.fill_random(s, 2);
+    return sunway::run_cg_sim(prog->stencil(), prog->primary_schedule(), g, 1, 3,
+                              exec::Boundary::ZeroHalo, {}, machine::sunway_cg(), overlap);
+  };
+  const auto blocking = run_mode(false);
+  const auto overlapped = run_mode(true);
+  EXPECT_LE(overlapped.seconds, blocking.seconds);
+  EXPECT_GT(blocking.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace msc

@@ -1,0 +1,175 @@
+// Unit tests of the support layer: error streams, aligned buffers, RNG,
+// string utilities, table rendering, thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+
+#include "support/buffer.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace msc {
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    MSC_CHECK(1 == 2) << "custom detail " << 42;
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("custom detail 42"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  MSC_CHECK(true) << "never evaluated";
+  SUCCEED();
+}
+
+TEST(Error, FailAlwaysThrows) {
+  EXPECT_THROW(MSC_FAIL() << "boom", Error);
+}
+
+TEST(AlignedBuffer, ZeroInitializedAndAligned) {
+  AlignedBuffer buf(1000);
+  EXPECT_EQ(buf.size(), 1000u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % AlignedBuffer::kAlignment, 0u);
+  for (auto b : buf.as<std::uint8_t>()) EXPECT_EQ(b, 0u);
+}
+
+TEST(AlignedBuffer, CopyIsDeep) {
+  AlignedBuffer a(64);
+  a.as<std::int32_t>()[0] = 7;
+  AlignedBuffer b = a;
+  b.as<std::int32_t>()[0] = 9;
+  EXPECT_EQ(a.as<std::int32_t>()[0], 7);
+  EXPECT_EQ(b.as<std::int32_t>()[0], 9);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(64);
+  a.as<std::int32_t>()[0] = 5;
+  AlignedBuffer b = std::move(a);
+  EXPECT_EQ(b.as<std::int32_t>()[0], 5);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(AlignedBuffer, EmptyBufferIsSafe) {
+  AlignedBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  buf.fill_zero();  // no-op, no crash
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int n = 0; n < 100; ++n) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int n = 0; n < 1000; ++n) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, IntRangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int n = 0; n < 1000; ++n) {
+    const auto v = rng.next_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, IntRangeRejectsInverted) { EXPECT_THROW(Rng(1).next_int(5, 3), Error); }
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(Strings, Printf) {
+  EXPECT_EQ(strprintf("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(strprintf("%.2f", 1.5), "1.50");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, CountLocSkipsBlanksAndComments) {
+  const std::string src = "int x;\n\n// comment\n  // indented comment\ny = 2;\n";
+  EXPECT_EQ(count_loc(src), 2);
+}
+
+TEST(Strings, CountLocKeepsPreprocessor) {
+  EXPECT_EQ(count_loc("#include <a.h>\n#pragma omp parallel\n# plain comment\n"), 2);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(0, 100, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t n = lo; n < hi; ++n) hits[static_cast<std::size_t>(n)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::int64_t lo, std::int64_t) {
+                                   if (lo >= 0) throw Error("worker failure");
+                                 }),
+               Error);
+}
+
+TEST(ThreadPool, ParallelTasksRunAll) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  pool.parallel_tasks(10, [&](std::int64_t idx) { sum += static_cast<int>(idx); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+}  // namespace
+}  // namespace msc

@@ -1,0 +1,117 @@
+// Temporal-tiling executor tests: equivalence with the plain executor for
+// every (tile, time_tile) combination, trapezoid redundancy accounting,
+// and traffic reduction.
+
+#include <gtest/gtest.h>
+
+#include "exec/temporal.hpp"
+#include "workload/stencils.hpp"
+
+namespace msc::exec {
+namespace {
+
+struct Bench {
+  std::unique_ptr<dsl::Program> prog;
+  ir::Tensor grid;
+
+  explicit Bench(const char* bench, std::array<std::int64_t, 3> extent) {
+    const auto& info = workload::benchmark(bench);
+    prog = workload::make_program(info, ir::DataType::f64, extent);
+    grid = prog->stencil().state();
+  }
+};
+
+class TemporalEquivalence
+    : public ::testing::TestWithParam<std::tuple<const char*, int, std::int64_t>> {};
+
+TEST_P(TemporalEquivalence, MatchesPlainExecutionBitExact) {
+  const auto [bench, time_tile, tile_edge] = GetParam();
+  Bench s(bench, std::string(bench).substr(0, 2) == "2d"
+                     ? std::array<std::int64_t, 3>{30, 30, 0}
+                     : std::array<std::int64_t, 3>{14, 14, 14});
+
+  GridStorage<double> tiled(s.grid), plain(s.grid);
+  for (int slot = 0; slot < tiled.slots(); ++slot) {
+    tiled.fill_random(slot, 91 + static_cast<std::uint64_t>(slot));
+    plain.fill_random(slot, 91 + static_cast<std::uint64_t>(slot));
+  }
+
+  run_temporal_tiled(s.prog->stencil(), tiled, {tile_edge, tile_edge, tile_edge}, time_tile, 1,
+                     7);
+  run_reference(s.prog->stencil(), plain, 1, 7, Boundary::ZeroHalo);
+
+  // Compare every live window slot, not just the last step.
+  for (std::int64_t t = 7; t > 7 - s.prog->stencil().time_window(); --t) {
+    EXPECT_EQ(max_relative_error(tiled, tiled.slot_for_time(t), plain, plain.slot_for_time(t)),
+              0.0)
+        << bench << " time_tile=" << time_tile << " tile=" << tile_edge << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TemporalEquivalence,
+    ::testing::Combine(::testing::Values("2d9pt_star", "2d9pt_box", "3d7pt_star",
+                                         "3d13pt_star"),
+                       ::testing::Values(1, 2, 3, 5),       // time tile depth
+                       ::testing::Values<std::int64_t>(5, 8, 30)));  // tile edge (30 > grid: full)
+
+TEST(Temporal, TimeTileOneHasNoRedundancy) {
+  Bench s("2d9pt_box", {24, 24, 0});
+  GridStorage<double> g(s.grid);
+  for (int slot = 0; slot < g.slots(); ++slot) g.fill_random(slot, 1);
+  const auto stats = run_temporal_tiled(s.prog->stencil(), g, {8, 8, 1}, 1, 1, 4);
+  EXPECT_DOUBLE_EQ(stats.redundancy(), 1.0);
+  EXPECT_EQ(stats.blocks, 4);
+  EXPECT_EQ(stats.interior_points, 4 * 24 * 24);
+}
+
+TEST(Temporal, RedundancyGrowsWithDepth) {
+  Bench s("2d9pt_box", {32, 32, 0});
+  auto redundancy_at = [&](int depth) {
+    GridStorage<double> g(s.grid);
+    for (int slot = 0; slot < g.slots(); ++slot) g.fill_random(slot, 1);
+    return run_temporal_tiled(s.prog->stencil(), g, {8, 8, 1}, depth, 1, 6).redundancy();
+  };
+  const double r1 = redundancy_at(1), r2 = redundancy_at(2), r3 = redundancy_at(3);
+  EXPECT_LT(r1, r2);
+  EXPECT_LT(r2, r3);
+  EXPECT_GT(r3, 1.0);
+}
+
+TEST(Temporal, StagedTrafficPerStepDropsWithDepth) {
+  // The whole point of temporal tiling: staged elements per computed step
+  // shrink as the depth grows (fewer window reloads per step).
+  Bench s("3d7pt_star", {16, 16, 16});
+  auto staged_per_step = [&](int depth) {
+    GridStorage<double> g(s.grid);
+    for (int slot = 0; slot < g.slots(); ++slot) g.fill_random(slot, 1);
+    const auto st = run_temporal_tiled(s.prog->stencil(), g, {8, 8, 8}, depth, 1, 6);
+    return static_cast<double>(st.staged_elems) / 6.0;
+  };
+  EXPECT_LT(staged_per_step(3), staged_per_step(1));
+}
+
+TEST(Temporal, RejectsBadArguments) {
+  Bench s("2d9pt_box", {16, 16, 0});
+  GridStorage<double> g(s.grid);
+  EXPECT_THROW(run_temporal_tiled(s.prog->stencil(), g, {8, 8, 1}, 0, 1, 2), Error);
+  EXPECT_THROW(run_temporal_tiled(s.prog->stencil(), g, {8, 8, 1}, 2, 3, 2), Error);
+}
+
+TEST(Temporal, PartialLastBlockHandled) {
+  // 7 steps with depth 3 -> blocks of 3, 3, 1.
+  Bench s("2d9pt_star", {20, 20, 0});
+  GridStorage<double> tiled(s.grid), plain(s.grid);
+  for (int slot = 0; slot < tiled.slots(); ++slot) {
+    tiled.fill_random(slot, 4 + static_cast<std::uint64_t>(slot));
+    plain.fill_random(slot, 4 + static_cast<std::uint64_t>(slot));
+  }
+  const auto stats = run_temporal_tiled(s.prog->stencil(), tiled, {8, 8, 1}, 3, 1, 7);
+  EXPECT_EQ(stats.blocks, 3);
+  run_reference(s.prog->stencil(), plain, 1, 7, Boundary::ZeroHalo);
+  EXPECT_EQ(max_relative_error(tiled, tiled.slot_for_time(7), plain, plain.slot_for_time(7)),
+            0.0);
+}
+
+}  // namespace
+}  // namespace msc::exec

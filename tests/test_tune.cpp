@@ -1,0 +1,156 @@
+// Auto-tuner tests: regression fit quality, simulated-annealing behavior,
+// factorization enumeration, and end-to-end tuning improvement (the
+// mechanism behind the paper's Fig. 11 / 3.28x claim).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "tune/anneal.hpp"
+#include "tune/regression.hpp"
+#include "tune/tuner.hpp"
+#include "workload/stencils.hpp"
+
+namespace msc::tune {
+namespace {
+
+TEST(Regression, RecoversExactLinearModel) {
+  // y = 3 + 2*x1 - 0.5*x2
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  Rng rng(4);
+  for (int n = 0; n < 50; ++n) {
+    const double x1 = rng.next_real(0, 10), x2 = rng.next_real(0, 10);
+    X.push_back({1.0, x1, x2});
+    y.push_back(3.0 + 2.0 * x1 - 0.5 * x2);
+  }
+  LinearRegression model;
+  model.fit(X, y);
+  EXPECT_NEAR(model.weights()[0], 3.0, 1e-6);
+  EXPECT_NEAR(model.weights()[1], 2.0, 1e-6);
+  EXPECT_NEAR(model.weights()[2], -0.5, 1e-6);
+  EXPECT_NEAR(model.r_squared(X, y), 1.0, 1e-9);
+  EXPECT_NEAR(model.predict({1.0, 4.0, 2.0}), 10.0, 1e-6);
+}
+
+TEST(Regression, ToleratesNoise) {
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  Rng rng(9);
+  for (int n = 0; n < 200; ++n) {
+    const double x = rng.next_real(0, 100);
+    X.push_back({1.0, x});
+    y.push_back(5.0 + 0.25 * x + rng.next_real(-0.1, 0.1));
+  }
+  LinearRegression model;
+  model.fit(X, y);
+  EXPECT_GT(model.r_squared(X, y), 0.99);
+}
+
+TEST(Regression, RejectsBadShapes) {
+  LinearRegression model;
+  EXPECT_THROW(model.fit({}, {}), Error);
+  EXPECT_THROW(model.fit({{1.0, 2.0}}, {1.0}), Error);  // fewer samples than features
+  EXPECT_THROW(model.fit({{1.0}, {1.0, 2.0}}, {1.0, 2.0}), Error);
+}
+
+TEST(Anneal, FindsMinimumOfConvexFunction) {
+  // Minimize (x - 17)^2 over integers via +-1 moves.
+  const auto result = anneal<int>(
+      100, [](const int& x) { return static_cast<double>((x - 17) * (x - 17)); },
+      [](const int& x, Rng& rng) { return rng.next_double() < 0.5 ? x - 1 : x + 1; },
+      {.iterations = 20000, .initial_temperature = 1.0, .cooling = 0.999, .seed = 5});
+  EXPECT_EQ(result.best, 17);
+  EXPECT_DOUBLE_EQ(result.best_objective, 0.0);
+}
+
+TEST(Anneal, TraceIsMonotoneDecreasing) {
+  const auto result = anneal<int>(
+      50, [](const int& x) { return std::fabs(static_cast<double>(x)); },
+      [](const int& x, Rng& rng) { return x + static_cast<int>(rng.next_int(-3, 3)); },
+      {.iterations = 5000, .initial_temperature = 0.5, .cooling = 0.999, .seed = 2});
+  for (std::size_t n = 1; n < result.trace.size(); ++n)
+    EXPECT_LT(result.trace[n].objective, result.trace[n - 1].objective);
+  EXPECT_GE(result.converged_at, 0);
+}
+
+TEST(Anneal, DeterministicForFixedSeed) {
+  const auto obj = [](const int& x) { return static_cast<double>(x * x); };
+  const auto nb = [](const int& x, Rng& rng) { return x + static_cast<int>(rng.next_int(-2, 2)); };
+  const auto a = anneal<int>(40, obj, nb, {.iterations = 1000, .seed = 3});
+  const auto b = anneal<int>(40, obj, nb, {.iterations = 1000, .seed = 3});
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.trace.size(), b.trace.size());
+}
+
+TEST(Factorizations, EnumeratesAllOrderedTriples) {
+  const auto f = factorizations(8, 3);
+  // 8 = 2^3: ordered triples of factors = C(3+2,2) = 10.
+  EXPECT_EQ(f.size(), 10u);
+  for (const auto& dims : f) {
+    int p = 1;
+    for (int d : dims) p *= d;
+    EXPECT_EQ(p, 8);
+  }
+}
+
+TEST(Factorizations, OneDimension) {
+  const auto f = factorizations(12, 1);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0][0], 12);
+}
+
+class TunerFixture : public ::testing::Test {
+ protected:
+  TuneConfig config() {
+    TuneConfig cfg;
+    cfg.processes = 8;
+    cfg.global = {512, 128, 128};  // scaled-down Fig. 11 domain
+    cfg.timesteps = 100;
+    cfg.train_samples = 32;
+    cfg.sa_iterations = 3000;
+    cfg.seed = 11;
+    return cfg;
+  }
+};
+
+TEST_F(TunerFixture, TuningImprovesOverNaiveConfig) {
+  const auto& info = workload::benchmark("3d7pt_star");
+  auto prog = workload::make_program(info, ir::DataType::f64, {512, 128, 128});
+  const auto result = tune(prog->stencil(), machine::sunway_cg(),
+                           machine::profile_msc_sunway(), comm::sunway_network(), config());
+  // Paper §5.4: auto-tuning improved the stencil 3.28x; require a clear
+  // improvement and a usable model fit.
+  EXPECT_GT(result.speedup(), 1.5);
+  EXPECT_GT(result.model_r2, 0.9);
+  EXPECT_FALSE(result.trace.empty());
+  EXPECT_LE(result.best_seconds, result.initial_seconds);
+}
+
+TEST_F(TunerFixture, TunedTileRespectsLocalExtent) {
+  const auto& info = workload::benchmark("3d7pt_star");
+  auto prog = workload::make_program(info, ir::DataType::f64, {512, 128, 128});
+  const auto result = tune(prog->stencil(), machine::sunway_cg(),
+                           machine::profile_msc_sunway(), comm::sunway_network(), config());
+  comm::CartDecomp dec(result.best.mpi_dims, {512, 128, 128});
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_GE(result.best.tile[static_cast<std::size_t>(d)], 1);
+    EXPECT_LE(result.best.tile[static_cast<std::size_t>(d)], dec.local_extent(0, d));
+  }
+}
+
+TEST_F(TunerFixture, DeterministicForFixedSeed) {
+  const auto& info = workload::benchmark("3d7pt_star");
+  auto prog = workload::make_program(info, ir::DataType::f64, {512, 128, 128});
+  const auto a = tune(prog->stencil(), machine::sunway_cg(), machine::profile_msc_sunway(),
+                      comm::sunway_network(), config());
+  const auto b = tune(prog->stencil(), machine::sunway_cg(), machine::profile_msc_sunway(),
+                      comm::sunway_network(), config());
+  EXPECT_EQ(a.best.mpi_dims, b.best.mpi_dims);
+  EXPECT_EQ(a.best.tile, b.best.tile);
+  EXPECT_DOUBLE_EQ(a.best_seconds, b.best_seconds);
+}
+
+}  // namespace
+}  // namespace msc::tune

@@ -1,0 +1,130 @@
+// Workload-suite tests: every Table-4 benchmark builds through the DSL,
+// its IR-derived characteristics match the paper where derivable, the
+// Table-5 schedules apply, and the DSL listings exist for Table 6.
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "workload/report.hpp"
+#include "workload/stencils.hpp"
+
+namespace msc::workload {
+namespace {
+
+TEST(Benchmarks, SuiteMatchesTable4Layout) {
+  const auto& all = all_benchmarks();
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all[0].name, "2d9pt_star");
+  EXPECT_EQ(all[7].name, "3d31pt_star");
+  for (const auto& b : all) EXPECT_EQ(b.time_deps, 2) << b.name;
+}
+
+TEST(Benchmarks, LookupByName) {
+  EXPECT_EQ(benchmark("3d25pt_star").radius, 4);
+  EXPECT_THROW(benchmark("5d_star"), Error);
+}
+
+TEST(Benchmarks, PointCountsMatchNames) {
+  EXPECT_EQ(benchmark("2d9pt_star").points, 9);
+  EXPECT_EQ(benchmark("2d9pt_box").points, 9);
+  EXPECT_EQ(benchmark("2d121pt_box").points, 121);
+  EXPECT_EQ(benchmark("2d169pt_box").points, 169);
+  EXPECT_EQ(benchmark("3d7pt_star").points, 7);
+  EXPECT_EQ(benchmark("3d13pt_star").points, 13);
+  EXPECT_EQ(benchmark("3d25pt_star").points, 25);
+  EXPECT_EQ(benchmark("3d31pt_star").points, 31);
+}
+
+class BenchmarkProgram : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BenchmarkProgram, BuildsAndMatchesTable4Bytes) {
+  const auto& info = benchmark(GetParam());
+  const auto grid = info.ndim == 2 ? std::array<std::int64_t, 3>{48, 48, 0}
+                                   : std::array<std::int64_t, 3>{24, 24, 24};
+  auto prog = make_program(info, ir::DataType::f64, grid);
+  const auto& st = prog->stencil();
+  ASSERT_EQ(st.terms().size(), 2u);  // Table 4: Time Dep. = 2
+  const auto& stats = st.terms().front().kernel->stats();
+  // Table 4's Read/Write bytes derive exactly from the point count.
+  EXPECT_EQ(stats.bytes_read, info.paper_read_bytes) << info.name;
+  EXPECT_EQ(stats.bytes_written, info.paper_write_bytes) << info.name;
+  EXPECT_EQ(stats.points_read, info.points) << info.name;
+  EXPECT_EQ(stats.max_radius, info.radius) << info.name;
+  EXPECT_EQ(st.time_window(), 3) << info.name;
+  // Distinct-coefficient formulation: ops = points muls + (points-1) adds.
+  EXPECT_EQ(stats.ops.plus_minus_times(), 2 * info.points - 1) << info.name;
+}
+
+TEST_P(BenchmarkProgram, RunsAndValidatesAgainstReference) {
+  const auto& info = benchmark(GetParam());
+  const auto grid = info.ndim == 2 ? std::array<std::int64_t, 3>{32, 32, 0}
+                                   : std::array<std::int64_t, 3>{16, 16, 16};
+  auto prog = make_program(info, ir::DataType::f64, grid);
+  apply_msc_schedule(*prog, info, "matrix",
+                     info.ndim == 2 ? std::array<std::int64_t, 3>{8, 8, 0}
+                                    : std::array<std::int64_t, 3>{4, 8, 8});
+  prog->input(dsl::GridRef(prog->stencil().state()), 13);
+  EXPECT_LT(prog->relative_error_vs_reference(1, 4), 1e-10) << info.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEight, BenchmarkProgram,
+                         ::testing::Values("2d9pt_star", "2d9pt_box", "2d121pt_box",
+                                           "2d169pt_box", "3d7pt_star", "3d13pt_star",
+                                           "3d25pt_star", "3d31pt_star"));
+
+TEST(Schedules, SunwayScheduleBuildsSpmPipeline) {
+  const auto& info = benchmark("3d7pt_star");
+  auto prog = make_program(info, ir::DataType::f64);
+  apply_msc_schedule(*prog, info, "sunway");
+  const auto& sched = prog->primary_schedule();
+  EXPECT_TRUE(sched.has_spm_pipeline());
+  EXPECT_EQ(sched.parallel_threads(), 64);
+  EXPECT_EQ(sched.tile_extent(0), 2);   // Table 5: (2, 8, 64)
+  EXPECT_EQ(sched.tile_extent(1), 8);
+  EXPECT_EQ(sched.tile_extent(2), 64);
+  // SPM footprint must fit 64 KB: staged tile + write tile, fp64.
+  EXPECT_LE(sched.spm_bytes(), 64 * 1024);
+}
+
+TEST(Schedules, MatrixScheduleUsesVectorizeNotSpm) {
+  const auto& info = benchmark("2d9pt_star");
+  auto prog = make_program(info, ir::DataType::f64);
+  apply_msc_schedule(*prog, info, "matrix");
+  const auto& sched = prog->primary_schedule();
+  EXPECT_FALSE(sched.has_spm_pipeline());
+  EXPECT_EQ(sched.parallel_threads(), 32);
+  EXPECT_TRUE(sched.axes().back().vectorize);
+}
+
+TEST(Schedules, AllPaperTilesFitSunwaySpm) {
+  for (const auto& info : all_benchmarks()) {
+    auto prog = make_program(info, ir::DataType::f64);
+    apply_msc_schedule(*prog, info, "sunway");
+    EXPECT_LE(prog->primary_schedule().spm_bytes(), 64 * 1024)
+        << info.name << " Table-5 tile overflows the SPM";
+  }
+}
+
+TEST(DslListing, ExistsAndScalesGently) {
+  // Table 6: MSC listings are tens of lines; growth with stencil order is
+  // mild compared to generated/manual code.
+  const int small = count_loc(dsl_listing(benchmark("3d7pt_star")));
+  const int large = count_loc(dsl_listing(benchmark("2d169pt_box")));
+  EXPECT_GE(small, 15);
+  EXPECT_LE(small, 60);
+  EXPECT_GT(large, small);
+  EXPECT_LE(large, 90);
+}
+
+TEST(Report, Formatters) {
+  EXPECT_EQ(fmt_ratio(2.0), "2.00x");
+  EXPECT_NE(fmt_seconds(0.005).find("ms"), std::string::npos);
+  EXPECT_NE(fmt_seconds(2.5).find(" s"), std::string::npos);
+  EXPECT_NE(fmt_bytes(2048).find("KiB"), std::string::npos);
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_EQ(geomean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace msc::workload
