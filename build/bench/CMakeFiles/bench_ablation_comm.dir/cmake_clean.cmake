@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_comm.dir/bench_ablation_comm.cpp.o"
+  "CMakeFiles/bench_ablation_comm.dir/bench_ablation_comm.cpp.o.d"
+  "bench_ablation_comm"
+  "bench_ablation_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dma.dir/bench_ablation_dma.cpp.o"
+  "CMakeFiles/bench_ablation_dma.dir/bench_ablation_dma.cpp.o.d"
+  "bench_ablation_dma"
+  "bench_ablation_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

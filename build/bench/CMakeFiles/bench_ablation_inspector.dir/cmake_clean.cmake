@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_inspector.dir/bench_ablation_inspector.cpp.o"
+  "CMakeFiles/bench_ablation_inspector.dir/bench_ablation_inspector.cpp.o.d"
+  "bench_ablation_inspector"
+  "bench_ablation_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

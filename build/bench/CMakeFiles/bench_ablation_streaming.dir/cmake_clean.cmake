@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_streaming.dir/bench_ablation_streaming.cpp.o"
+  "CMakeFiles/bench_ablation_streaming.dir/bench_ablation_streaming.cpp.o.d"
+  "bench_ablation_streaming"
+  "bench_ablation_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_temporal.dir/bench_ablation_temporal.cpp.o"
+  "CMakeFiles/bench_ablation_temporal.dir/bench_ablation_temporal.cpp.o.d"
+  "bench_ablation_temporal"
+  "bench_ablation_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tiles.dir/bench_ablation_tiles.cpp.o"
+  "CMakeFiles/bench_ablation_tiles.dir/bench_ablation_tiles.cpp.o.d"
+  "bench_ablation_tiles"
+  "bench_ablation_tiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

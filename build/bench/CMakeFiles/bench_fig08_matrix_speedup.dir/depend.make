@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_matrix_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_roofline.dir/bench_fig09_roofline.cpp.o"
+  "CMakeFiles/bench_fig09_roofline.dir/bench_fig09_roofline.cpp.o.d"
+  "bench_fig09_roofline"
+  "bench_fig09_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

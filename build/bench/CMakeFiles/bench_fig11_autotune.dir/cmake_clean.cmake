@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_autotune.dir/bench_fig11_autotune.cpp.o"
+  "CMakeFiles/bench_fig11_autotune.dir/bench_fig11_autotune.cpp.o.d"
+  "bench_fig11_autotune"
+  "bench_fig11_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

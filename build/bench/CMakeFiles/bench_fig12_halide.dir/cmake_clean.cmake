@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_halide.dir/bench_fig12_halide.cpp.o"
+  "CMakeFiles/bench_fig12_halide.dir/bench_fig12_halide.cpp.o.d"
+  "bench_fig12_halide"
+  "bench_fig12_halide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_halide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_patus.dir/bench_fig13_patus.cpp.o"
+  "CMakeFiles/bench_fig13_patus.dir/bench_fig13_patus.cpp.o.d"
+  "bench_fig13_patus"
+  "bench_fig13_patus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_patus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

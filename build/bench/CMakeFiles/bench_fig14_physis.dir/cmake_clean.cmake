@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_physis.dir/bench_fig14_physis.cpp.o"
+  "CMakeFiles/bench_fig14_physis.dir/bench_fig14_physis.cpp.o.d"
+  "bench_fig14_physis"
+  "bench_fig14_physis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_physis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

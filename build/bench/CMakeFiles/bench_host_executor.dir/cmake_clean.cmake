@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_executor.dir/bench_host_executor.cpp.o"
+  "CMakeFiles/bench_host_executor.dir/bench_host_executor.cpp.o.d"
+  "bench_host_executor"
+  "bench_host_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_parameters.dir/bench_table5_parameters.cpp.o"
+  "CMakeFiles/bench_table5_parameters.dir/bench_table5_parameters.cpp.o.d"
+  "bench_table5_parameters"
+  "bench_table5_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_loc.dir/bench_table6_loc.cpp.o"
+  "CMakeFiles/bench_table6_loc.dir/bench_table6_loc.cpp.o.d"
+  "bench_table6_loc"
+  "bench_table6_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advection_weather.dir/advection_weather.cpp.o"
+  "CMakeFiles/advection_weather.dir/advection_weather.cpp.o.d"
+  "advection_weather"
+  "advection_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advection_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

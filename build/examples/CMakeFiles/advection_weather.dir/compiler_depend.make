@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for advection_weather.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_halo.dir/distributed_halo.cpp.o"
+  "CMakeFiles/distributed_halo.dir/distributed_halo.cpp.o.d"
+  "distributed_halo"
+  "distributed_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_diffusion_2d.dir/heat_diffusion_2d.cpp.o"
+  "CMakeFiles/heat_diffusion_2d.dir/heat_diffusion_2d.cpp.o.d"
+  "heat_diffusion_2d"
+  "heat_diffusion_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_diffusion_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seismic_wave_3d.dir/seismic_wave_3d.cpp.o"
+  "CMakeFiles/seismic_wave_3d.dir/seismic_wave_3d.cpp.o.d"
+  "seismic_wave_3d"
+  "seismic_wave_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seismic_wave_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

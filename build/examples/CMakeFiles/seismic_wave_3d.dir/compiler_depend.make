@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for seismic_wave_3d.
+# This may be replaced when dependencies are built.

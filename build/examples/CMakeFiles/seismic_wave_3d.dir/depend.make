@@ -1,0 +1,2 @@
+# Empty dependencies file for seismic_wave_3d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baselines.cpp" "src/CMakeFiles/msc.dir/baselines/baselines.cpp.o" "gcc" "src/CMakeFiles/msc.dir/baselines/baselines.cpp.o.d"
+  "/root/repo/src/codegen/athread_backend.cpp" "src/CMakeFiles/msc.dir/codegen/athread_backend.cpp.o" "gcc" "src/CMakeFiles/msc.dir/codegen/athread_backend.cpp.o.d"
+  "/root/repo/src/codegen/athread_shim.cpp" "src/CMakeFiles/msc.dir/codegen/athread_shim.cpp.o" "gcc" "src/CMakeFiles/msc.dir/codegen/athread_shim.cpp.o.d"
+  "/root/repo/src/codegen/c_backend.cpp" "src/CMakeFiles/msc.dir/codegen/c_backend.cpp.o" "gcc" "src/CMakeFiles/msc.dir/codegen/c_backend.cpp.o.d"
+  "/root/repo/src/codegen/codegen.cpp" "src/CMakeFiles/msc.dir/codegen/codegen.cpp.o" "gcc" "src/CMakeFiles/msc.dir/codegen/codegen.cpp.o.d"
+  "/root/repo/src/codegen/emitter.cpp" "src/CMakeFiles/msc.dir/codegen/emitter.cpp.o" "gcc" "src/CMakeFiles/msc.dir/codegen/emitter.cpp.o.d"
+  "/root/repo/src/codegen/kernel_body.cpp" "src/CMakeFiles/msc.dir/codegen/kernel_body.cpp.o" "gcc" "src/CMakeFiles/msc.dir/codegen/kernel_body.cpp.o.d"
+  "/root/repo/src/codegen/makefile.cpp" "src/CMakeFiles/msc.dir/codegen/makefile.cpp.o" "gcc" "src/CMakeFiles/msc.dir/codegen/makefile.cpp.o.d"
+  "/root/repo/src/codegen/openmp_backend.cpp" "src/CMakeFiles/msc.dir/codegen/openmp_backend.cpp.o" "gcc" "src/CMakeFiles/msc.dir/codegen/openmp_backend.cpp.o.d"
+  "/root/repo/src/comm/decompose.cpp" "src/CMakeFiles/msc.dir/comm/decompose.cpp.o" "gcc" "src/CMakeFiles/msc.dir/comm/decompose.cpp.o.d"
+  "/root/repo/src/comm/halo_exchange.cpp" "src/CMakeFiles/msc.dir/comm/halo_exchange.cpp.o" "gcc" "src/CMakeFiles/msc.dir/comm/halo_exchange.cpp.o.d"
+  "/root/repo/src/comm/network_model.cpp" "src/CMakeFiles/msc.dir/comm/network_model.cpp.o" "gcc" "src/CMakeFiles/msc.dir/comm/network_model.cpp.o.d"
+  "/root/repo/src/comm/simmpi.cpp" "src/CMakeFiles/msc.dir/comm/simmpi.cpp.o" "gcc" "src/CMakeFiles/msc.dir/comm/simmpi.cpp.o.d"
+  "/root/repo/src/dsl/expr.cpp" "src/CMakeFiles/msc.dir/dsl/expr.cpp.o" "gcc" "src/CMakeFiles/msc.dir/dsl/expr.cpp.o.d"
+  "/root/repo/src/dsl/program.cpp" "src/CMakeFiles/msc.dir/dsl/program.cpp.o" "gcc" "src/CMakeFiles/msc.dir/dsl/program.cpp.o.d"
+  "/root/repo/src/exec/eval.cpp" "src/CMakeFiles/msc.dir/exec/eval.cpp.o" "gcc" "src/CMakeFiles/msc.dir/exec/eval.cpp.o.d"
+  "/root/repo/src/exec/executor.cpp" "src/CMakeFiles/msc.dir/exec/executor.cpp.o" "gcc" "src/CMakeFiles/msc.dir/exec/executor.cpp.o.d"
+  "/root/repo/src/exec/grid.cpp" "src/CMakeFiles/msc.dir/exec/grid.cpp.o" "gcc" "src/CMakeFiles/msc.dir/exec/grid.cpp.o.d"
+  "/root/repo/src/exec/linearize.cpp" "src/CMakeFiles/msc.dir/exec/linearize.cpp.o" "gcc" "src/CMakeFiles/msc.dir/exec/linearize.cpp.o.d"
+  "/root/repo/src/frontend/spec.cpp" "src/CMakeFiles/msc.dir/frontend/spec.cpp.o" "gcc" "src/CMakeFiles/msc.dir/frontend/spec.cpp.o.d"
+  "/root/repo/src/ir/axis.cpp" "src/CMakeFiles/msc.dir/ir/axis.cpp.o" "gcc" "src/CMakeFiles/msc.dir/ir/axis.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/CMakeFiles/msc.dir/ir/expr.cpp.o" "gcc" "src/CMakeFiles/msc.dir/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/kernel.cpp" "src/CMakeFiles/msc.dir/ir/kernel.cpp.o" "gcc" "src/CMakeFiles/msc.dir/ir/kernel.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/msc.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/msc.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/simplify.cpp" "src/CMakeFiles/msc.dir/ir/simplify.cpp.o" "gcc" "src/CMakeFiles/msc.dir/ir/simplify.cpp.o.d"
+  "/root/repo/src/ir/stencil.cpp" "src/CMakeFiles/msc.dir/ir/stencil.cpp.o" "gcc" "src/CMakeFiles/msc.dir/ir/stencil.cpp.o.d"
+  "/root/repo/src/ir/tensor.cpp" "src/CMakeFiles/msc.dir/ir/tensor.cpp.o" "gcc" "src/CMakeFiles/msc.dir/ir/tensor.cpp.o.d"
+  "/root/repo/src/ir/type.cpp" "src/CMakeFiles/msc.dir/ir/type.cpp.o" "gcc" "src/CMakeFiles/msc.dir/ir/type.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/CMakeFiles/msc.dir/ir/verifier.cpp.o" "gcc" "src/CMakeFiles/msc.dir/ir/verifier.cpp.o.d"
+  "/root/repo/src/machine/cost_model.cpp" "src/CMakeFiles/msc.dir/machine/cost_model.cpp.o" "gcc" "src/CMakeFiles/msc.dir/machine/cost_model.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/CMakeFiles/msc.dir/machine/machine.cpp.o" "gcc" "src/CMakeFiles/msc.dir/machine/machine.cpp.o.d"
+  "/root/repo/src/machine/roofline.cpp" "src/CMakeFiles/msc.dir/machine/roofline.cpp.o" "gcc" "src/CMakeFiles/msc.dir/machine/roofline.cpp.o.d"
+  "/root/repo/src/schedule/schedule.cpp" "src/CMakeFiles/msc.dir/schedule/schedule.cpp.o" "gcc" "src/CMakeFiles/msc.dir/schedule/schedule.cpp.o.d"
+  "/root/repo/src/schedule/time_window.cpp" "src/CMakeFiles/msc.dir/schedule/time_window.cpp.o" "gcc" "src/CMakeFiles/msc.dir/schedule/time_window.cpp.o.d"
+  "/root/repo/src/sunway/cg_sim.cpp" "src/CMakeFiles/msc.dir/sunway/cg_sim.cpp.o" "gcc" "src/CMakeFiles/msc.dir/sunway/cg_sim.cpp.o.d"
+  "/root/repo/src/sunway/dma.cpp" "src/CMakeFiles/msc.dir/sunway/dma.cpp.o" "gcc" "src/CMakeFiles/msc.dir/sunway/dma.cpp.o.d"
+  "/root/repo/src/sunway/spm.cpp" "src/CMakeFiles/msc.dir/sunway/spm.cpp.o" "gcc" "src/CMakeFiles/msc.dir/sunway/spm.cpp.o.d"
+  "/root/repo/src/support/buffer.cpp" "src/CMakeFiles/msc.dir/support/buffer.cpp.o" "gcc" "src/CMakeFiles/msc.dir/support/buffer.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "src/CMakeFiles/msc.dir/support/error.cpp.o" "gcc" "src/CMakeFiles/msc.dir/support/error.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/msc.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/msc.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "src/CMakeFiles/msc.dir/support/strings.cpp.o" "gcc" "src/CMakeFiles/msc.dir/support/strings.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/msc.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/msc.dir/support/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/CMakeFiles/msc.dir/support/thread_pool.cpp.o" "gcc" "src/CMakeFiles/msc.dir/support/thread_pool.cpp.o.d"
+  "/root/repo/src/tune/anneal.cpp" "src/CMakeFiles/msc.dir/tune/anneal.cpp.o" "gcc" "src/CMakeFiles/msc.dir/tune/anneal.cpp.o.d"
+  "/root/repo/src/tune/inspector.cpp" "src/CMakeFiles/msc.dir/tune/inspector.cpp.o" "gcc" "src/CMakeFiles/msc.dir/tune/inspector.cpp.o.d"
+  "/root/repo/src/tune/regression.cpp" "src/CMakeFiles/msc.dir/tune/regression.cpp.o" "gcc" "src/CMakeFiles/msc.dir/tune/regression.cpp.o.d"
+  "/root/repo/src/tune/tuner.cpp" "src/CMakeFiles/msc.dir/tune/tuner.cpp.o" "gcc" "src/CMakeFiles/msc.dir/tune/tuner.cpp.o.d"
+  "/root/repo/src/workload/report.cpp" "src/CMakeFiles/msc.dir/workload/report.cpp.o" "gcc" "src/CMakeFiles/msc.dir/workload/report.cpp.o.d"
+  "/root/repo/src/workload/stencils.cpp" "src/CMakeFiles/msc.dir/workload/stencils.cpp.o" "gcc" "src/CMakeFiles/msc.dir/workload/stencils.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

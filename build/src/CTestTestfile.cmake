@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("dsl")
+subdirs("schedule")
+subdirs("exec")
+subdirs("codegen")
+subdirs("machine")
+subdirs("sunway")
+subdirs("comm")
+subdirs("tune")
+subdirs("baselines")
+subdirs("workload")
+subdirs("frontend")

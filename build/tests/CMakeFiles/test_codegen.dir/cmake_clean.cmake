@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen.dir/test_codegen.cpp.o"
+  "CMakeFiles/test_codegen.dir/test_codegen.cpp.o.d"
+  "test_codegen"
+  "test_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

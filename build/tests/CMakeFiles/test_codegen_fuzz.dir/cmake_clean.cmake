@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen_fuzz.dir/test_codegen_fuzz.cpp.o"
+  "CMakeFiles/test_codegen_fuzz.dir/test_codegen_fuzz.cpp.o.d"
+  "test_codegen_fuzz"
+  "test_codegen_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge.dir/test_edge.cpp.o"
+  "CMakeFiles/test_edge.dir/test_edge.cpp.o.d"
+  "test_edge"
+  "test_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inspector.dir/test_inspector.cpp.o"
+  "CMakeFiles/test_inspector.dir/test_inspector.cpp.o.d"
+  "test_inspector"
+  "test_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

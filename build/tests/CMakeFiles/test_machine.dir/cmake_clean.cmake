@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine.dir/test_machine.cpp.o"
+  "CMakeFiles/test_machine.dir/test_machine.cpp.o.d"
+  "test_machine"
+  "test_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

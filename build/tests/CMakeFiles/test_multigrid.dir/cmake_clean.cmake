@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multigrid.dir/test_multigrid.cpp.o"
+  "CMakeFiles/test_multigrid.dir/test_multigrid.cpp.o.d"
+  "test_multigrid"
+  "test_multigrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multigrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

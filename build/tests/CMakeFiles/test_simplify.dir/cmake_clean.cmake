@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simplify.dir/test_simplify.cpp.o"
+  "CMakeFiles/test_simplify.dir/test_simplify.cpp.o.d"
+  "test_simplify"
+  "test_simplify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simplify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec.dir/test_spec.cpp.o"
+  "CMakeFiles/test_spec.dir/test_spec.cpp.o.d"
+  "test_spec"
+  "test_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sunway.dir/test_sunway.cpp.o"
+  "CMakeFiles/test_sunway.dir/test_sunway.cpp.o.d"
+  "test_sunway"
+  "test_sunway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sunway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tune.dir/test_tune.cpp.o"
+  "CMakeFiles/test_tune.dir/test_tune.cpp.o.d"
+  "test_tune"
+  "test_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

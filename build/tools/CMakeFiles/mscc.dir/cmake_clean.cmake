@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscc.dir/mscc.cpp.o"
+  "CMakeFiles/mscc.dir/mscc.cpp.o.d"
+  "mscc"
+  "mscc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
