@@ -1,0 +1,140 @@
+#include "check/golden.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/codegen.hpp"
+#include "frontend/spec.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "workload/report.hpp"
+#include "workload/stencils.hpp"
+
+namespace msc::check {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// heat2d spec pinned here (not read from examples/) so the snapshot input
+/// can never drift apart from the snapshot output unreviewed.
+constexpr const char* kHeat2dSpec = R"(# 2-D explicit heat equation (single time dependency).
+name  heat2d
+grid  128 128
+halo  1
+point  0 0   0.2
+point  0 -1  0.2
+point  0 1   0.2
+point -1 0   0.2
+point  1 0   0.2
+tile 16 32
+parallel 8
+)";
+
+std::unique_ptr<dsl::Program> golden_program(const GoldenCase& gc) {
+  if (gc.program == "heat2d") return frontend::program_from_spec(kHeat2dSpec);
+  const auto& info = workload::benchmark(gc.program);
+  auto prog = workload::make_program(info, ir::DataType::f64, {20, 20, 20});
+  // Sunway-family targets snapshot the SPM pipeline schedule; host targets
+  // the Matrix (OpenMP) one.
+  const bool sunway_family = gc.target == "sunway" || gc.target == "openacc";
+  workload::apply_msc_schedule(*prog, info, sunway_family ? "sunway" : "matrix", {4, 4, 8});
+  return prog;
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  MSC_CHECK(in.good()) << "cannot read " << p.string();
+  std::ostringstream s;
+  s << in.rdbuf();
+  return s.str();
+}
+
+/// First line where the texts diverge, for the failure message.
+std::string first_diff(const std::string& want, const std::string& got) {
+  std::istringstream a(want), b(got);
+  std::string la, lb;
+  int line = 0;
+  while (true) {
+    ++line;
+    const bool ha = static_cast<bool>(std::getline(a, la));
+    const bool hb = static_cast<bool>(std::getline(b, lb));
+    if (!ha && !hb) return "identical";
+    if (la != lb || ha != hb)
+      return strprintf("line %d: golden '%s' vs emitted '%s'", line,
+                       ha ? la.c_str() : "<eof>", hb ? lb.c_str() : "<eof>");
+  }
+}
+
+}  // namespace
+
+const std::vector<GoldenCase>& golden_matrix() {
+  static const std::vector<GoldenCase> matrix = [] {
+    std::vector<GoldenCase> m;
+    for (const char* prog : {"3d7pt_star", "heat2d"})
+      for (const char* target : {"c", "openmp", "sunway", "openacc"})
+        m.push_back({prog, target});
+    return m;
+  }();
+  return matrix;
+}
+
+std::map<std::string, std::string> emit_golden(const GoldenCase& gc) {
+  auto prog = golden_program(gc);
+  auto ctx = codegen::make_context(*prog);
+  // Snapshots capture production output: the conformance grid-dump hook
+  // must stay off here.
+  MSC_CHECK(!ctx.emit_grid_dump) << "golden snapshots expect default emission";
+  return codegen::generate_files(ctx, gc.target).files;
+}
+
+std::vector<GoldenDiff> check_golden(const std::string& golden_dir) {
+  std::vector<GoldenDiff> diffs;
+  for (const auto& gc : golden_matrix()) {
+    const fs::path dir = fs::path(golden_dir) / gc.dir_name();
+    const auto emitted = emit_golden(gc);
+    for (const auto& [name, text] : emitted) {
+      const fs::path p = dir / name;
+      if (!fs::exists(p)) {
+        diffs.push_back({gc.dir_name() + "/" + name, "missing",
+                         "no snapshot; run msc-conform --update-golden and review the diff"});
+        continue;
+      }
+      const std::string want = read_file(p);
+      if (want != text)
+        diffs.push_back({gc.dir_name() + "/" + name, "changed", first_diff(want, text)});
+    }
+    // Files in the snapshot that the generator no longer emits.
+    if (fs::exists(dir))
+      for (const auto& entry : fs::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        if (emitted.find(name) == emitted.end())
+          diffs.push_back({gc.dir_name() + "/" + name, "stale",
+                           "snapshot file the generator no longer emits"});
+      }
+  }
+  return diffs;
+}
+
+int update_golden(const std::string& golden_dir) {
+  int written = 0;
+  for (const auto& gc : golden_matrix()) {
+    const fs::path dir = fs::path(golden_dir) / gc.dir_name();
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    const auto emitted = emit_golden(gc);
+    // Drop stale snapshot files so check_golden stays in sync.
+    if (fs::exists(dir))
+      for (const auto& entry : fs::directory_iterator(dir))
+        if (emitted.find(entry.path().filename().string()) == emitted.end())
+          fs::remove(entry.path(), ec);
+    for (const auto& [name, text] : emitted) {
+      workload::write_file((dir / name).string(), text);
+      ++written;
+    }
+  }
+  return written;
+}
+
+}  // namespace msc::check

@@ -1,0 +1,44 @@
+#pragma once
+
+// Golden-snapshot testing of the code generators.  A fixed matrix of
+// {program} x {target} pairs is emitted and compared file-by-file against
+// the checked-in snapshots under tests/golden/; any drift in the emitted
+// source fails until the snapshot is regenerated with
+// `msc-conform --update-golden` and the diff reviewed in the commit.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace msc::check {
+
+/// One cell of the golden matrix.
+struct GoldenCase {
+  std::string program;  ///< "3d7pt_star" or "heat2d"
+  std::string target;   ///< codegen target: c / openmp / sunway / openacc
+  /// Snapshot directory name under the golden root: "<program>_<target>".
+  std::string dir_name() const { return program + "_" + target; }
+};
+
+/// The full matrix: {3d7pt_star, heat2d} x {c, openmp, sunway, openacc}.
+const std::vector<GoldenCase>& golden_matrix();
+
+/// Emits the sources of one matrix cell (file name -> contents), with
+/// normalized deterministic output (no timestamps, fixed ordering).
+std::map<std::string, std::string> emit_golden(const GoldenCase& gc);
+
+/// One detected snapshot difference.
+struct GoldenDiff {
+  std::string path;     ///< "<dir>/<file>" relative to the golden root
+  std::string kind;     ///< "missing", "changed", "stale"
+  std::string detail;   ///< first differing line, for the failure message
+};
+
+/// Compares every matrix cell against the snapshots under `golden_dir`.
+/// Empty result = clean.
+std::vector<GoldenDiff> check_golden(const std::string& golden_dir);
+
+/// (Re)writes every snapshot; returns the file count written.
+int update_golden(const std::string& golden_dir);
+
+}  // namespace msc::check

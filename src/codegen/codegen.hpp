@@ -42,6 +42,13 @@ struct GenContext {
   std::string prog_name;
   std::vector<int> mpi_dims;       ///< empty = single node
   std::int64_t timesteps = 10;     ///< default time range emitted in main()
+
+  /// Conformance hook (src/check): when set, the generated main() accepts a
+  /// second CLI argument after the timestep count and then prints every
+  /// interior value of the final slot ("%.17g", row-major) so oracles can
+  /// compare grids element-wise, not just by checksum.  Off by default so
+  /// normal AOT output (and the golden snapshots) stays unchanged.
+  bool emit_grid_dump = false;
 };
 
 /// All files generated for one target, keyed by file name.

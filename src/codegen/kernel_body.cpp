@@ -338,6 +338,20 @@ void emit_main(Emitter& e, const GenContext& ctx, const std::string& sweep_call)
     for (int d = 0; d < nd; ++d) e.close();
   }
   e.line("printf(\"checksum %.17g\\n\", checksum);");
+  if (ctx.emit_grid_dump) {
+    const int nd = ndim(ctx);
+    e.line("/* conformance hook: element-wise grid dump (msc-conform --dump) */");
+    e.open("if (argc > 2)");
+    std::vector<std::string> subs;
+    for (int d = 0; d < nd; ++d) {
+      const std::string v = dim_var(ctx, d);
+      e.open(strprintf("for (long %s = 0; %s < N%d; ++%s)", v.c_str(), v.c_str(), d, v.c_str()));
+      subs.push_back(v);
+    }
+    e.line(strprintf("printf(\"%%.17g\\n\", (double)final[IDX(%s)]);", join(subs, ", ").c_str()));
+    for (int d = 0; d < nd; ++d) e.close();
+    e.close();
+  }
   e.line("for (int w = 0; w < WIN; ++w) free(g[w]);");
   if (!ctx.mpi_dims.empty()) {
     e.line("#ifdef MSC_WITH_MPI");

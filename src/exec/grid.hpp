@@ -102,6 +102,27 @@ class GridStorage {
     }
   }
 
+  /// Interior values of `slot` as doubles, row-major (last dim fastest) —
+  /// the canonical layout the conformance oracles compare element-wise and
+  /// the generated mains dump/checksum in.
+  std::vector<double> interior_values(int slot) const {
+    std::vector<double> out;
+    out.reserve(static_cast<std::size_t>(tensor_->interior_points()));
+    for_each_interior([&](std::array<std::int64_t, 3> c) {
+      out.push_back(static_cast<double>(at(slot, c)));
+    });
+    return out;
+  }
+
+  /// Row-major interior sum of `slot` — matches the checksum accumulation
+  /// order of the generated backends bit for bit.
+  double interior_checksum(int slot) const {
+    double sum = 0.0;
+    for_each_interior(
+        [&](std::array<std::int64_t, 3> c) { sum += static_cast<double>(at(slot, c)); });
+    return sum;
+  }
+
   /// Invokes fn on every interior coordinate (row-major, last dim fastest).
   template <typename Fn>
   void for_each_interior(Fn&& fn) const {

@@ -2,6 +2,27 @@
 
 namespace msc::sunway {
 
+std::int64_t cg_sim_spm_bytes(const ir::StencilDef& st, const schedule::Schedule& sched,
+                              std::int64_t elem_bytes) {
+  // Mirrors run_cg_sim's buffer sizing: the staged read box is the tile
+  // (clamped to the extents) plus the stencil halo on every side; the write
+  // buffer holds the tile interior.
+  const auto& state = st.state();
+  const std::int64_t radius = st.max_radius();
+  std::int64_t staged = 1, interior = 1;
+  for (int d = 0; d < state->ndim(); ++d) {
+    const std::int64_t tile = std::min(sched.tile_extent(d), state->extent(d));
+    staged *= tile + 2 * radius;
+    interior *= tile;
+  }
+  return (staged + interior) * elem_bytes;
+}
+
+bool cg_sim_fits_spm(const ir::StencilDef& st, const schedule::Schedule& sched,
+                     std::int64_t elem_bytes, const machine::MachineModel& m) {
+  return cg_sim_spm_bytes(st, sched, elem_bytes) <= m.spm_bytes_per_core;
+}
+
 // run_cg_sim is a header template (element type float/double); this
 // translation unit forces both instantiations so template errors surface
 // when the library builds, not when the first test includes the header.

@@ -45,6 +45,15 @@ struct CgSimResult {
   std::int64_t timesteps = 0;
 };
 
+/// SPM bytes run_cg_sim will allocate for `sched`/`st` (read box incl. halo
+/// plus the write tile), and whether that fits the machine's per-CPE
+/// scratchpad.  The conformance harness prechecks this so an over-budget
+/// random schedule is reported as "skipped", not as a divergence.
+std::int64_t cg_sim_spm_bytes(const ir::StencilDef& st, const schedule::Schedule& sched,
+                              std::int64_t elem_bytes);
+bool cg_sim_fits_spm(const ir::StencilDef& st, const schedule::Schedule& sched,
+                     std::int64_t elem_bytes, const machine::MachineModel& m);
+
 /// Executes timesteps t_begin..t_end of `st` under `sched` on the CG model
 /// `m`; numerics land in `state` exactly as run_reference would produce.
 /// `double_buffer` toggles the compute/DMA overlap of the generated code's

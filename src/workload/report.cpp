@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
+#include "support/error.hpp"
 #include "support/strings.hpp"
 
 namespace msc::workload {
@@ -37,6 +39,110 @@ void print_banner(const std::string& experiment, const std::string& paper_claim)
   std::printf("%s\n", experiment.c_str());
   std::printf("paper: %s\n", paper_claim.c_str());
   std::printf("================================================================\n");
+}
+
+Json Json::number(double v) {
+  Json j(Kind::Number);
+  j.num_ = v;
+  return j;
+}
+
+Json Json::integer(long long v) {
+  Json j(Kind::Integer);
+  j.int_ = v;
+  return j;
+}
+
+Json Json::boolean(bool v) {
+  Json j(Kind::Bool);
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j(Kind::String);
+  j.str_ = std::move(v);
+  return j;
+}
+
+Json& Json::operator[](const std::string& key) {
+  MSC_CHECK(kind_ == Kind::Object || kind_ == Kind::Null) << "Json: [] on non-object";
+  kind_ = Kind::Object;
+  for (auto& [k, v] : members_)
+    if (k == key) return v;
+  members_.emplace_back(key, Json(Kind::Null));
+  return members_.back().second;
+}
+
+Json& Json::push_back(Json v) {
+  MSC_CHECK(kind_ == Kind::Array || kind_ == Kind::Null) << "Json: push_back on non-array";
+  kind_ = Kind::Array;
+  elements_.push_back(std::move(v));
+  return elements_.back();
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strprintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string pad1(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return bool_ ? "true" : "false";
+    case Kind::Integer: return strprintf("%lld", int_);
+    case Kind::Number: {
+      if (!std::isfinite(num_)) return "null";  // JSON has no inf/nan
+      return strprintf("%.17g", num_);
+    }
+    case Kind::String: return "\"" + json_escape(str_) + "\"";
+    case Kind::Array: {
+      if (elements_.empty()) return "[]";
+      std::string out = "[\n";
+      for (std::size_t n = 0; n < elements_.size(); ++n)
+        out += pad1 + elements_[n].dump(indent + 1) + (n + 1 < elements_.size() ? ",\n" : "\n");
+      return out + pad + "]";
+    }
+    case Kind::Object: {
+      if (members_.empty()) return "{}";
+      std::string out = "{\n";
+      for (std::size_t n = 0; n < members_.size(); ++n)
+        out += pad1 + "\"" + json_escape(members_[n].first) + "\": " +
+               members_[n].second.dump(indent + 1) + (n + 1 < members_.size() ? ",\n" : "\n");
+      return out + pad + "}";
+    }
+  }
+  return "null";
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  MSC_CHECK(f != nullptr) << "cannot open '" << path << "' for writing";
+  const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  MSC_CHECK(n == text.size() && closed) << "short write to '" << path << "'";
 }
 
 }  // namespace msc::workload

@@ -4,6 +4,7 @@
 // number formatting, and geometric means across the benchmark suite.
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace msc::workload {
@@ -19,5 +20,41 @@ double geomean(const std::vector<double>& values);
 
 /// Prints a bench banner: experiment id + paper reference line.
 void print_banner(const std::string& experiment, const std::string& paper_claim);
+
+/// Minimal JSON value tree for machine-readable reports (conform_report.json
+/// and future bench dumps).  Keys keep insertion order so reports diff
+/// cleanly run to run.
+class Json {
+ public:
+  static Json object() { return Json(Kind::Object); }
+  static Json array() { return Json(Kind::Array); }
+  static Json number(double v);
+  static Json integer(long long v);
+  static Json boolean(bool v);
+  static Json string(std::string v);
+
+  /// Object member access: inserts (in order) on first use.
+  Json& operator[](const std::string& key);
+  /// Appends an array element and returns it.
+  Json& push_back(Json v);
+
+  /// Serializes with 2-space indentation and a trailing newline at depth 0.
+  std::string dump(int indent = 0) const;
+
+ private:
+  enum class Kind { Null, Object, Array, Number, Integer, Bool, String };
+  explicit Json(Kind k = Kind::Null) : kind_(k) {}
+
+  Kind kind_;
+  double num_ = 0.0;
+  long long int_ = 0;
+  bool bool_ = false;
+  std::string str_;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> elements_;
+};
+
+/// Writes `text` to `path`; throws msc::Error on I/O failure.
+void write_file(const std::string& path, const std::string& text);
 
 }  // namespace msc::workload

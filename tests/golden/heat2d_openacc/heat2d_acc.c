@@ -1,0 +1,78 @@
+/* heat2d — OpenACC C in the style of the paper's Sunway baseline */
+#include <stdio.h>
+#include <stdlib.h>
+#include <stdint.h>
+
+/* grid geometry (interior extents, halo, window, padded strides) */
+#define N0 128L
+#define N1 128L
+#define HALO 1L
+#define WIN 2
+#define P0 (N0 + 2*HALO)
+#define P1 (N1 + 2*HALO)
+#define S0 (P1)
+#define S1 1L
+#define IDX(j, i) (((j) + HALO) * S0 + ((i) + HALO))
+#define PADDED (P0 * P1)
+#define SLOT(t) ((int)((((t) % WIN) + WIN) % WIN))
+
+/* deterministic input seeding (replaces the paper's /data/rand.data);
+ * interior cells only, in row-major order — bit-identical to the
+ * values the MSC host executor seeds, so checksums are comparable. */
+static uint64_t splitmix64(uint64_t *s) {
+  uint64_t z = (*s += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+static void seed_grid(double *g, uint64_t seed) {
+  uint64_t s = seed;
+  for (long j = 0; j < N0; ++j) {
+    for (long i = 0; i < N1; ++i) {
+      g[IDX(j, i)] = (double)(-1.0 + 2.0 * ((double)(splitmix64(&s) >> 11) * 0x1.0p-53));
+    }
+  }
+}
+
+static void sweep(double *const *g, long t) {
+  double *restrict out = g[SLOT(t)];
+  const double *restrict in_m1 = g[SLOT(t + (-1))];
+  #pragma acc data copyin(in_m1[0:PADDED]) copyout(out[0:PADDED])
+  #pragma acc parallel loop tile(*)
+  for (long j = 0; j < N0; ++j) {
+    for (long i = 0; i < N1; ++i) {
+      out[IDX(j, i)] = 0.20000000000000001 * in_m1[IDX(j, i)]
+        + 0.20000000000000001 * in_m1[IDX(j, i - 1)]
+        + 0.20000000000000001 * in_m1[IDX(j, i + 1)]
+        + 0.20000000000000001 * in_m1[IDX(j - 1, i)]
+        + 0.20000000000000001 * in_m1[IDX(j + 1, i)];
+    }
+  }
+}
+
+int main(int argc, char **argv) {
+  long timesteps = argc > 1 ? atol(argv[1]) : 10;
+  double *g[WIN];
+  for (int w = 0; w < WIN; ++w) {
+    g[w] = (double *)calloc((size_t)PADDED, sizeof(double));
+    if (g[w] == NULL) { fprintf(stderr, "alloc failed\n"); return 1; }
+    seed_grid(g[w], 42u + 0x51ed2701u * (unsigned)w);
+  }
+
+  for (long t = 1; t <= timesteps; ++t) {
+    sweep(g, t);
+  }
+
+  /* interior checksum for cross-backend validation */
+  double checksum = 0.0;
+  double *final = g[SLOT(timesteps)];
+  for (long j = 0; j < N0; ++j) {
+    for (long i = 0; i < N1; ++i) {
+      checksum += (double)final[IDX(j, i)];
+    }
+  }
+  printf("checksum %.17g\n", checksum);
+  for (int w = 0; w < WIN; ++w) free(g[w]);
+  return 0;
+}

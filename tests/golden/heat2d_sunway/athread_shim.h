@@ -1,0 +1,86 @@
+/* athread_shim.h — pthread host simulation of the Athread API subset
+ * used by MSC-generated Sunway code.  Build the master+slave pair with
+ *   cc -DMSC_HOST_SIM -pthread ...
+ * to run the Sunway target on a commodity host. */
+#ifndef MSC_ATHREAD_SHIM_H
+#define MSC_ATHREAD_SHIM_H
+
+#include <pthread.h>
+#include <string.h>
+
+#define PE_MODE 0
+#define __thread_local __thread
+
+/* ---- CPE identity -------------------------------------------------- */
+/* Shared across the master and slave translation units (the trampoline in
+ * the master TU writes it, athread_get_id in the slave TU reads it), so it
+ * must be one weak symbol rather than a per-TU static. */
+__attribute__((weak)) __thread int msc_shim_id = -1;
+static inline int athread_get_id(int core) {
+  (void)core;
+  return msc_shim_id;
+}
+
+/* ---- spawn / join: 64 pthreads stand in for the CPE cluster -------- */
+#define MSC_SHIM_CPES 64
+
+typedef void (*msc_shim_entry_t)(void *);
+struct msc_shim_launch {
+  msc_shim_entry_t entry;
+  void *arg;
+  int id;
+};
+static pthread_t msc_shim_threads[MSC_SHIM_CPES];
+static struct msc_shim_launch msc_shim_launches[MSC_SHIM_CPES];
+
+static void *msc_shim_trampoline(void *raw) {
+  struct msc_shim_launch *launch = (struct msc_shim_launch *)raw;
+  msc_shim_id = launch->id;
+  launch->entry(launch->arg);
+  return 0;
+}
+
+static inline void msc_shim_spawn(msc_shim_entry_t entry, void *arg) {
+  for (int c = 0; c < MSC_SHIM_CPES; ++c) {
+    msc_shim_launches[c].entry = entry;
+    msc_shim_launches[c].arg = arg;
+    msc_shim_launches[c].id = c;
+    pthread_create(&msc_shim_threads[c], 0, msc_shim_trampoline, &msc_shim_launches[c]);
+  }
+}
+
+static inline void athread_join(void) {
+  for (int c = 0; c < MSC_SHIM_CPES; ++c) pthread_join(msc_shim_threads[c], 0);
+}
+
+static inline void athread_init(void) {}
+
+/* The real toolchain prefixes slave symbols with `slave_`; the emitted
+ * slave file provides that alias under MSC_HOST_SIM. */
+#define athread_spawn(entry, arg) msc_shim_spawn(slave_##entry, arg)
+
+/* ---- DMA intrinsics ------------------------------------------------ */
+/* On hardware these move tiles between main memory and the 64 KB SPM;
+ * the generated compute loops read main memory directly in host-sim mode,
+ * so the shim only acknowledges the transfer. */
+#define athread_get(mode, src, dst, bytes, reply, mask, stride, bsize) \
+  do {                                                                 \
+    (void)(src);                                                       \
+    (void)(dst);                                                       \
+    (void)(bytes);                                                     \
+    (void)(mask);                                                      \
+    (void)(stride);                                                    \
+    (void)(bsize);                                                     \
+    *(reply) = 1;                                                      \
+  } while (0)
+#define athread_put(mode, src, dst, bytes, reply, stride, bsize) \
+  do {                                                           \
+    (void)(src);                                                 \
+    (void)(dst);                                                 \
+    (void)(bytes);                                               \
+    (void)(stride);                                              \
+    (void)(bsize);                                               \
+    *(reply) = 1;                                                \
+  } while (0)
+
+#endif /* MSC_ATHREAD_SHIM_H */

@@ -10,9 +10,18 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "check/oracles.hpp"
 #include "dsl/program.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
+
+// The fuzzer drives the host C compiler; skip loudly when there is none.
+#define MSC_REQUIRE_HOST_CC()                                                  \
+  do {                                                                         \
+    if (!msc::check::compiler_available())                                     \
+      GTEST_SKIP() << "no host C compiler ('cc') on PATH; skipping "           \
+                      "differential codegen fuzzing";                          \
+  } while (0)
 
 namespace msc {
 namespace {
@@ -57,6 +66,7 @@ double host_checksum(dsl::Program& prog, std::int64_t n, std::int64_t timesteps)
 class CodegenDifferential : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(CodegenDifferential, GeneratedCMatchesHostBitwise) {
+  MSC_REQUIRE_HOST_CC();
   FuzzCase fc(GetParam());
   const auto dir = std::filesystem::temp_directory_path() /
                    ("msc_fuzz_" + std::to_string(GetParam()));
@@ -85,6 +95,7 @@ TEST_P(CodegenDifferential, GeneratedCMatchesHostBitwise) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CodegenDifferential, ::testing::Range<std::uint64_t>(1, 11));
 
 TEST(OpenAccListing, CompilesAsSerialC) {
+  MSC_REQUIRE_HOST_CC();
   // The OpenACC baseline file must be valid C: unknown pragmas warn, the
   // program still runs and prints a checksum.
   FuzzCase fc(99);

@@ -1,0 +1,49 @@
+// Golden-snapshot gate: emitted codegen sources must match the reviewed
+// snapshots under tests/golden/ byte for byte.  On intentional codegen
+// changes run `msc-conform --update-golden tests/golden` and review the
+// snapshot diff as part of the commit.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "check/golden.hpp"
+
+#ifndef MSC_GOLDEN_DIR
+#error "MSC_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace msc::check {
+namespace {
+
+TEST(Golden, MatrixCoversAllBackends) {
+  const auto& matrix = golden_matrix();
+  ASSERT_EQ(matrix.size(), 8u);  // {3d7pt_star, heat2d} x {c, openmp, sunway, openacc}
+  int sunway = 0, heat = 0;
+  for (const auto& gc : matrix) {
+    sunway += gc.target == "sunway" ? 1 : 0;
+    heat += gc.program == "heat2d" ? 1 : 0;
+  }
+  EXPECT_EQ(sunway, 2);
+  EXPECT_EQ(heat, 4);
+}
+
+TEST(Golden, EmissionIsDeterministic) {
+  const GoldenCase gc{"3d7pt_star", "sunway"};
+  EXPECT_EQ(emit_golden(gc), emit_golden(gc));
+}
+
+TEST(Golden, SnapshotsMatchEmittedSources) {
+  const std::string dir = MSC_GOLDEN_DIR;
+  ASSERT_TRUE(std::filesystem::exists(dir))
+      << "no golden directory; run msc-conform --update-golden " << dir;
+  const auto diffs = check_golden(dir);
+  for (const auto& d : diffs)
+    ADD_FAILURE() << d.kind << " " << d.path << ": " << d.detail
+                  << "\n(if the codegen change is intentional, run msc-conform "
+                     "--update-golden and review the snapshot diff)";
+  EXPECT_TRUE(diffs.empty());
+}
+
+}  // namespace
+}  // namespace msc::check
