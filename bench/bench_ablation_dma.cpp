@@ -4,9 +4,12 @@
 // contiguous chunk sizes through the DMA engine model; sub-256 B chunks
 // pay per-transaction latency and lose stream efficiency.
 
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "prof/bench_report.hpp"
+#include "prof/counters.hpp"
 #include "sunway/dma.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -19,6 +22,11 @@ int main() {
       "same 2 MiB tile volume; element-wise transfers are ~100x slower "
       "than row-wise, motivating the unit-stride-innermost reorder rule");
 
+  prof::global_counters().reset();
+  const auto wall0 = std::chrono::steady_clock::now();
+  prof::BenchReport report("ablation_dma", "dma_chunk_sweep");
+  report.set_config("total_bytes", static_cast<long long>(2 * 1024 * 1024));
+
   const std::int64_t total = 2 * 1024 * 1024;
   std::vector<std::byte> src(static_cast<std::size_t>(total)), dst(src.size());
 
@@ -30,9 +38,21 @@ int main() {
     t.add_row({workload::fmt_bytes(static_cast<double>(chunk)), std::to_string(s.transactions),
                workload::fmt_seconds(s.seconds),
                strprintf("%.2f GB/s", static_cast<double>(total) / s.seconds / 1e9)});
+
+    workload::Json row = workload::Json::object();
+    row["chunk_bytes"] = workload::Json::integer(chunk);
+    row["transactions"] = workload::Json::integer(s.transactions);
+    row["seconds"] = workload::Json::number(s.seconds);
+    row["effective_gbs"] = workload::Json::number(static_cast<double>(total) / s.seconds / 1e9);
+    report.add_result(std::move(row));
   }
   std::printf("%s\n", t.render().c_str());
   std::printf("a (2,8,64) fp64 tile moves 512-B rows — inside the coalesced regime; an\n"
               "element-wise gather (8 B) is the OpenACC baseline's failure mode.\n");
+
+  report.capture_global_counters();
+  report.set_wall_seconds(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count());
+  report.write();
   return 0;
 }

@@ -6,10 +6,13 @@
 // tuned parameters improve performance by 3.28x.  The trace below is the
 // best-so-far predicted time of the regression+simulated-annealing search.
 
+#include <chrono>
 #include <cstdio>
 
 #include "comm/network_model.hpp"
 #include "machine/cost_model.hpp"
+#include "prof/bench_report.hpp"
+#include "prof/counters.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "tune/tuner.hpp"
@@ -24,6 +27,12 @@ int main() {
 
   const auto& info = workload::benchmark("3d7pt_star");
   auto prog = workload::make_program(info, ir::DataType::f64, {8192, 128, 128});
+
+  prof::global_counters().reset();
+  const auto wall0 = std::chrono::steady_clock::now();
+  prof::BenchReport breport("fig11_autotune", "3d7pt_star");
+  breport.set_config("grid", "8192x128x128");
+  breport.set_config("processes", 128LL);
 
   tune::TuneConfig cfg;
   cfg.processes = 128;
@@ -67,6 +76,23 @@ int main() {
                 workload::fmt_seconds(result.best_seconds).c_str());
     std::printf("improvement: %s   [paper: 3.28x]\n\n",
                 workload::fmt_ratio(result.speedup()).c_str());
+
+    workload::Json row = workload::Json::object();
+    row["run"] = workload::Json::integer(run);
+    row["seed"] = workload::Json::integer(static_cast<long long>(cfg.seed));
+    row["model_r2"] = workload::Json::number(result.model_r2);
+    row["converged_at"] = workload::Json::integer(result.converged_at);
+    row["initial_seconds"] = workload::Json::number(result.initial_seconds);
+    row["best_seconds"] = workload::Json::number(result.best_seconds);
+    row["speedup"] = workload::Json::number(result.speedup());
+    row["candidates_measured"] = workload::Json::integer(
+        static_cast<long long>(result.candidates.size()));
+    breport.add_result(std::move(row));
   }
+
+  breport.capture_global_counters();
+  breport.set_wall_seconds(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count());
+  breport.write();
   return 0;
 }

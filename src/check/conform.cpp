@@ -208,4 +208,24 @@ ConformReport run_conformance(const ConformOptions& opts) {
   return report;
 }
 
+int conform_exit_code(const ConformOptions& opts, const ConformReport& report) {
+  if (!report.ok()) {
+    // Genuine mismatches gate — unless this was a deliberate fault-injection
+    // self-test, in which case failing cases are exactly what proves the
+    // harness can detect the fault.
+    return opts.coeff_perturb != 0.0 ? 0 : 1;
+  }
+  if (opts.coeff_perturb != 0.0) {
+    // Fault injection that trips nothing is itself a failure: the chosen
+    // oracle subset never compared the perturbed code against the
+    // reference, so a green exit here would be vacuous.
+    std::printf(
+        "conformance: FAULT-INJECTION SELF-TEST FAILED — coeff perturbation %g "
+        "was not detected by any oracle\n",
+        opts.coeff_perturb);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace msc::check

@@ -65,6 +65,12 @@ struct ConformReport {
 /// the JSON report (when requested) lands at `opts.report_path`.
 ConformReport run_conformance(const ConformOptions& opts);
 
+/// Exit-status policy shared by tools/msc-conform and the tests: nonzero
+/// when any case failed — and also when fault injection was requested but
+/// nothing tripped, since a vacuously "passing" self-test means the chosen
+/// oracle subset never exercised the injected fault and must gate CI.
+int conform_exit_code(const ConformOptions& opts, const ConformReport& report);
+
 /// Formats a reproducer block (spec dump + replay command line).
 std::string format_reproducer(const Reproducer& rep);
 

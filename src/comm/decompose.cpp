@@ -4,11 +4,15 @@
 
 namespace msc::comm {
 
-CartDecomp::CartDecomp(std::vector<int> proc_dims, std::vector<std::int64_t> global)
-    : dims_(std::move(proc_dims)), global_(std::move(global)) {
+CartDecomp::CartDecomp(std::vector<int> proc_dims, std::vector<std::int64_t> global,
+                       std::vector<bool> periodic)
+    : dims_(std::move(proc_dims)), global_(std::move(global)), periodic_(std::move(periodic)) {
   MSC_CHECK(!dims_.empty() && dims_.size() <= 3) << "process grid must be 1-D/2-D/3-D";
   MSC_CHECK(dims_.size() == global_.size())
       << "process grid rank " << dims_.size() << " != domain rank " << global_.size();
+  if (periodic_.empty()) periodic_.assign(dims_.size(), false);
+  MSC_CHECK(periodic_.size() == dims_.size())
+      << "periodic flags rank " << periodic_.size() << " != process grid rank " << dims_.size();
   for (std::size_t d = 0; d < dims_.size(); ++d) {
     MSC_CHECK(dims_[d] >= 1) << "process grid extent must be positive";
     MSC_CHECK(global_[d] >= dims_[d])
@@ -47,10 +51,13 @@ int CartDecomp::neighbor(int rank, int dim, int dir) const {
   MSC_CHECK(dim >= 0 && dim < ndim()) << "invalid dimension " << dim;
   MSC_CHECK(dir == -1 || dir == 1) << "direction must be -1 or +1";
   auto coords = coords_of(rank);
-  coords[static_cast<std::size_t>(dim)] += dir;
-  if (coords[static_cast<std::size_t>(dim)] < 0 ||
-      coords[static_cast<std::size_t>(dim)] >= dims_[static_cast<std::size_t>(dim)])
-    return -1;
+  const int extent = dims_[static_cast<std::size_t>(dim)];
+  int& c = coords[static_cast<std::size_t>(dim)];
+  c += dir;
+  if (c < 0 || c >= extent) {
+    if (!periodic_[static_cast<std::size_t>(dim)]) return -1;
+    c = (c % extent + extent) % extent;  // wrap; may land back on `rank` itself
+  }
   return rank_of(coords);
 }
 

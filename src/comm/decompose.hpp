@@ -14,19 +14,25 @@ class CartDecomp {
  public:
   /// `proc_dims` is the MPI grid (paper's DefShapeMPI), one entry per grid
   /// dimension; `global` the interior extents of the full domain.
-  CartDecomp(std::vector<int> proc_dims, std::vector<std::int64_t> global);
+  /// `periodic` marks dimensions whose process grid wraps around (MPI's
+  /// Cart_create periods); empty means non-periodic everywhere.
+  CartDecomp(std::vector<int> proc_dims, std::vector<std::int64_t> global,
+             std::vector<bool> periodic = {});
 
   int ndim() const { return static_cast<int>(dims_.size()); }
   int size() const;
   const std::vector<int>& dims() const { return dims_; }
   std::int64_t global_extent(int d) const { return global_[static_cast<std::size_t>(d)]; }
+  bool periodic(int d) const { return periodic_[static_cast<std::size_t>(d)]; }
 
   /// Rank <-> cartesian coordinates (row-major, dim 0 slowest).
   std::vector<int> coords_of(int rank) const;
   int rank_of(const std::vector<int>& coords) const;
 
-  /// Neighbor rank one step along `dim` (`dir` = -1 or +1), or -1 at the
-  /// domain boundary (non-periodic).
+  /// Neighbor rank one step along `dim` (`dir` = -1 or +1).  Wraps around
+  /// in periodic dimensions (a 2-rank periodic dim makes the left and right
+  /// neighbor the *same* rank, and a 1-rank dim makes it self); returns -1
+  /// at a non-periodic boundary.
   int neighbor(int rank, int dim, int dir) const;
 
   /// Extent of `rank`'s sub-domain in dimension d.
@@ -41,6 +47,7 @@ class CartDecomp {
  private:
   std::vector<int> dims_;
   std::vector<std::int64_t> global_;
+  std::vector<bool> periodic_;
 };
 
 }  // namespace msc::comm

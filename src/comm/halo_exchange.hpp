@@ -23,6 +23,8 @@
 #include "comm/simmpi.hpp"
 #include "exec/executor.hpp"
 #include "exec/grid.hpp"
+#include "prof/counters.hpp"
+#include "prof/trace.hpp"
 #include "support/error.hpp"
 
 namespace msc::comm {
@@ -106,6 +108,7 @@ ExchangeStats exchange_halo(RankCtx& ctx, const CartDecomp& dec, exec::GridStora
                             int slot) {
   ExchangeStats stats;
   const int rank = ctx.rank();
+  prof::TraceScope scope("halo_exchange", "comm");
   for (int dim = 0; dim < dec.ndim(); ++dim) {
     std::vector<Request> reqs;
     std::vector<std::vector<T>> send_bufs, recv_bufs;
@@ -135,6 +138,10 @@ ExchangeStats exchange_halo(RankCtx& ctx, const CartDecomp& dec, exec::GridStora
       detail::unpack_face(local, slot, dim, recv_sides[n].first, recv_bufs[n]);
     ctx.barrier();  // next dimension packs halos this dimension just filled
   }
+  scope.arg("bytes_sent", static_cast<double>(stats.bytes_sent));
+  prof::counter("comm.halo.bytes_sent").add(stats.bytes_sent);
+  prof::counter("comm.halo.messages").add(stats.messages_sent);
+  prof::counter("comm.halo.exchanges").add(1);
   return stats;
 }
 
@@ -178,6 +185,11 @@ PendingExchange<T> begin_exchange_async(RankCtx& ctx, const CartDecomp& dec,
       pending.recv_faces.push_back({dim, side});
     }
   }
+  prof::counter("comm.halo.bytes_sent").add(pending.stats.bytes_sent);
+  prof::counter("comm.halo.messages").add(pending.stats.messages_sent);
+  prof::counter("comm.halo.exchanges").add(1);
+  prof::global_trace().instant("halo_exchange.begin", "comm",
+                               {{"bytes_sent", static_cast<double>(pending.stats.bytes_sent)}});
   return pending;
 }
 
@@ -300,9 +312,19 @@ DistRunStats run_distributed_overlapped(RankCtx& ctx, const CartDecomp& dec,
       ihi[static_cast<std::size_t>(d)] = local.extent(d) - r;
       has_interior &= ihi[static_cast<std::size_t>(d)] > ilo[static_cast<std::size_t>(d)];
     }
-    if (has_interior) stats.interior_points_overlapped += sweep_region(t, ilo, ihi);
+    if (has_interior) {
+      // The overlap window: interior cells compute while halo messages fly.
+      prof::TraceScope overlap("overlap.interior_compute", "comm");
+      const std::int64_t pts = sweep_region(t, ilo, ihi);
+      overlap.arg("points", static_cast<double>(pts));
+      stats.interior_points_overlapped += pts;
+      prof::counter("comm.overlap.interior_points").add(pts);
+    }
 
-    finish_exchange_async(ctx, pending, local, newest);
+    {
+      prof::TraceScope finish("halo_exchange.finish", "comm");
+      finish_exchange_async(ctx, pending, local, newest);
+    }
     stats.exchange.messages_sent += pending.stats.messages_sent;
     stats.exchange.bytes_sent += pending.stats.bytes_sent;
 

@@ -23,6 +23,8 @@
 #include "exec/grid.hpp"
 #include "exec/linearize.hpp"
 #include "ir/stencil.hpp"
+#include "prof/counters.hpp"
+#include "prof/trace.hpp"
 #include "schedule/schedule.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
@@ -187,6 +189,8 @@ void run_scheduled(const ir::StencilDef& st, const schedule::Schedule& sched,
     state.fill_halo(state.slot_for_time(t_begin - back), bc);
 
   for (std::int64_t t = t_begin; t <= t_end; ++t) {
+    prof::TraceScope step_scope("run_scheduled.step", "exec");
+    step_scope.arg("t", static_cast<double>(t));
     const int out_slot = state.slot_for_time(t);
     T* out = state.slot_data(out_slot);
 
@@ -240,10 +244,15 @@ void run_scheduled(const ir::StencilDef& st, const schedule::Schedule& sched,
     run_nest(run_nest, 0, {0, 0, 0}, {0, 0, 0});
 
     state.fill_halo(out_slot, bc);
+    const std::int64_t step_points = state.tensor()->interior_points();
+    const std::int64_t step_flops = 2 * static_cast<std::int64_t>(terms.size()) * step_points;
+    prof::counter("exec.points_updated").add(step_points);
+    prof::counter("exec.flops").add(step_flops);
+    prof::counter("exec.timesteps").add(1);
     if (stats != nullptr) {
       ++stats->timesteps;
-      stats->points_updated += state.tensor()->interior_points();
-      stats->flops += 2 * static_cast<std::int64_t>(terms.size()) * state.tensor()->interior_points();
+      stats->points_updated += step_points;
+      stats->flops += step_flops;
       stats->tiles_executed += plan.tiles_per_step;
       stats->staged_bytes_in += plan.tiles_per_step * plan.tile_bytes_read;
       stats->staged_bytes_out += plan.tiles_per_step * plan.tile_bytes_write;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ir/type.hpp"
+#include "sunway/spm.hpp"
 #include "support/error.hpp"
 
 namespace msc::machine {
@@ -165,8 +166,11 @@ KernelCost estimate_subgrid(const MachineModel& m, const ir::StencilDef& st,
                      impl.bw_efficiency;
       dma_latency = tiles * (n_terms + 1) * m.dma_latency_us * 1e-6 /
                     std::max(1, m.cores);  // CPEs issue DMA concurrently
-      // SPM accounting: one read buffer (reused across terms) + write buffer.
-      const double spm_used = static_cast<double>((tile_staged + tile_interior) * esz);
+      // SPM accounting: one read buffer (reused across terms) + write buffer,
+      // each padded to the allocator's line size like the simulator charges.
+      const double spm_used =
+          static_cast<double>(sunway::spm_align_up(tile_staged * esz) +
+                              sunway::spm_align_up(tile_interior * esz));
       cost.spm_utilization = spm_used / static_cast<double>(m.spm_bytes_per_core);
       const double spm_served =
           static_cast<double>(accesses_per_point(st)) * static_cast<double>(points) * esz;

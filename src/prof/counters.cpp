@@ -1,0 +1,45 @@
+#include "prof/counters.hpp"
+
+#include "support/error.hpp"
+
+namespace msc::prof {
+
+Counter& CounterRegistry::get(const std::string& name, CounterKind kind) {
+  MSC_CHECK(!name.empty()) << "counter name must be non-empty";
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name, kind))).first;
+  MSC_CHECK(it->second->kind() == kind)
+      << "counter '" << name << "' already registered with a different kind";
+  return *it->second;
+}
+
+std::int64_t CounterRegistry::value(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::vector<std::pair<std::string, std::int64_t>> CounterRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;  // std::map iteration is already name-sorted
+}
+
+void CounterRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->set(0);
+}
+
+CounterRegistry& global_counters() {
+  static CounterRegistry registry;
+  return registry;
+}
+
+Counter& counter(const std::string& name) { return global_counters().counter(name); }
+Counter& gauge(const std::string& name) { return global_counters().gauge(name); }
+
+}  // namespace msc::prof

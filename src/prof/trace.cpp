@@ -1,0 +1,103 @@
+#include "prof/trace.hpp"
+
+namespace msc::prof {
+
+std::int64_t TraceRecorder::since_origin_us(std::chrono::steady_clock::time_point tp) const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(tp - origin_).count();
+}
+
+int TraceRecorder::tid_for_current_thread() {
+  const auto id = std::this_thread::get_id();
+  const auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const int tid = static_cast<int>(tids_.size());
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+void TraceRecorder::complete(std::string name, std::string cat,
+                             std::chrono::steady_clock::time_point start,
+                             std::chrono::steady_clock::time_point end,
+                             std::vector<std::pair<std::string, double>> args) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.phase = 'X';
+  ev.ts_us = since_origin_us(start);
+  ev.dur_us = since_origin_us(end) - ev.ts_us;
+  if (ev.dur_us < 0) ev.dur_us = 0;
+  ev.tid = tid_for_current_thread();
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::instant(std::string name, std::string cat,
+                            std::vector<std::pair<std::string, double>> args) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.phase = 'i';
+  ev.ts_us = since_origin_us(std::chrono::steady_clock::now());
+  ev.tid = tid_for_current_thread();
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+  tids_.clear();
+  origin_ = std::chrono::steady_clock::now();
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+workload::Json TraceRecorder::chrome_json() const {
+  using workload::Json;
+  Json root = Json::object();
+  Json& list = root["traceEvents"];
+  list = Json::array();
+  std::lock_guard lock(mutex_);
+  for (const TraceEvent& ev : events_) {
+    Json e = Json::object();
+    e["name"] = Json::string(ev.name);
+    e["cat"] = Json::string(ev.cat);
+    e["ph"] = Json::string(std::string(1, ev.phase));
+    e["ts"] = Json::integer(ev.ts_us);
+    if (ev.phase == 'X') e["dur"] = Json::integer(ev.dur_us);
+    if (ev.phase == 'i') e["s"] = Json::string("t");  // thread-scoped instant
+    e["pid"] = Json::integer(0);
+    e["tid"] = Json::integer(ev.tid);
+    if (!ev.args.empty()) {
+      Json& args = e["args"];
+      args = Json::object();
+      for (const auto& [k, v] : ev.args) args[k] = Json::number(v);
+    }
+    list.push_back(std::move(e));
+  }
+  root["displayTimeUnit"] = Json::string("ms");
+  return root;
+}
+
+void TraceRecorder::write_chrome_json(const std::string& path) const {
+  workload::write_file(path, chrome_json().dump() + "\n");
+}
+
+TraceRecorder& global_trace() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+}  // namespace msc::prof

@@ -1,0 +1,111 @@
+#pragma once
+
+// Scoped trace events exportable as chrome://tracing JSON.
+//
+// The recorder is process-global and disabled by default; when disabled a
+// TraceScope costs one relaxed atomic load.  Enable it around a region of
+// interest (msc-prof does this for a whole workload run), then serialize
+// with chrome_json() and load the file at chrome://tracing or
+// https://ui.perfetto.dev.
+//
+// Events use the "trace event format" complete-event phase ("ph":"X") with
+// microsecond timestamps relative to recorder start, plus instant events
+// ("ph":"i") for point markers.  Thread ids are small integers assigned in
+// first-seen order so traces diff cleanly run to run.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "workload/report.hpp"
+
+namespace msc::prof {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'X';        // 'X' complete, 'i' instant
+  std::int64_t ts_us = 0;  // start, microseconds since recorder start
+  std::int64_t dur_us = 0; // duration ('X' only)
+  int tid = 0;
+  std::vector<std::pair<std::string, double>> args;
+};
+
+class TraceRecorder {
+ public:
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Records a complete event covering [start, end) (any thread).
+  void complete(std::string name, std::string cat,
+                std::chrono::steady_clock::time_point start,
+                std::chrono::steady_clock::time_point end,
+                std::vector<std::pair<std::string, double>> args = {});
+
+  /// Records a zero-duration marker at now (any thread).
+  void instant(std::string name, std::string cat,
+               std::vector<std::pair<std::string, double>> args = {});
+
+  /// Drops all recorded events and resets the time origin.
+  void clear();
+
+  std::size_t size() const;
+  std::vector<TraceEvent> events() const;
+
+  /// chrome://tracing "JSON object format": {"traceEvents": [...]}.
+  workload::Json chrome_json() const;
+
+  /// dump(chrome_json()) to `path` via workload::write_file.
+  void write_chrome_json(const std::string& path) const;
+
+ private:
+  std::int64_t since_origin_us(std::chrono::steady_clock::time_point tp) const;
+  int tid_for_current_thread();  // callers hold mutex_
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::chrono::steady_clock::time_point origin_ = std::chrono::steady_clock::now();
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::thread::id, int> tids_;
+};
+
+/// The process-wide recorder the instrumented layers report into.
+TraceRecorder& global_trace();
+
+/// RAII complete-event emitter against the global recorder.  When tracing
+/// is disabled at construction the scope records nothing (even if tracing
+/// is enabled before destruction — avoids half-covered events).
+class TraceScope {
+ public:
+  TraceScope(std::string name, std::string cat)
+      : armed_(global_trace().enabled()), name_(std::move(name)), cat_(std::move(cat)) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~TraceScope() {
+    if (armed_)
+      global_trace().complete(std::move(name_), std::move(cat_), start_,
+                              std::chrono::steady_clock::now(), std::move(args_));
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// Attaches a numeric argument shown in the trace viewer's detail pane.
+  void arg(std::string key, double value) {
+    if (armed_) args_.emplace_back(std::move(key), value);
+  }
+
+ private:
+  bool armed_;
+  std::string name_;
+  std::string cat_;
+  std::chrono::steady_clock::time_point start_{};
+  std::vector<std::pair<std::string, double>> args_;
+};
+
+}  // namespace msc::prof

@@ -15,7 +15,9 @@ std::int64_t cg_sim_spm_bytes(const ir::StencilDef& st, const schedule::Schedule
     staged *= tile + 2 * radius;
     interior *= tile;
   }
-  return (staged + interior) * elem_bytes;
+  // Per-buffer padding, matching what SpmAllocator actually charges for the
+  // read and write buffers.
+  return spm_align_up(staged * elem_bytes) + spm_align_up(interior * elem_bytes);
 }
 
 bool cg_sim_fits_spm(const ir::StencilDef& st, const schedule::Schedule& sched,

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "prof/counters.hpp"
 #include "support/error.hpp"
 
 namespace msc::sunway {
@@ -20,6 +21,12 @@ void DmaEngine::account(std::int64_t bytes, std::int64_t chunk_bytes) {
   stats_.bytes += bytes;
   stats_.seconds += static_cast<double>(chunks) * cfg_.latency_us * 1e-6 +
                     static_cast<double>(bytes) / (cfg_.bandwidth_gbs * 1e9 * efficiency);
+  // Every simulated transfer path (get/put/charge) funnels through here, so
+  // this is the one choke point for the global DMA traffic counters.
+  static prof::Counter& dma_bytes = prof::counter("sunway.dma.bytes");
+  static prof::Counter& dma_txn = prof::counter("sunway.dma.transactions");
+  dma_bytes.add(bytes);
+  dma_txn.add(chunks);
 }
 
 void DmaEngine::get(void* spm_dst, const void* mem_src, std::int64_t bytes,

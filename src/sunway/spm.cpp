@@ -11,11 +11,17 @@ SpmAllocator::SpmAllocator(std::int64_t budget_bytes) : budget_(budget_bytes) {
 void SpmAllocator::allocate(const std::string& name, std::int64_t bytes) {
   MSC_CHECK(bytes > 0) << "SPM allocation '" << name << "' must be positive";
   MSC_CHECK(!buffers_.contains(name)) << "SPM buffer '" << name << "' already allocated";
-  MSC_CHECK(used_ + bytes <= budget_)
-      << "SPM budget exceeded: '" << name << "' needs " << bytes << " B but only "
-      << available() << " of " << budget_ << " B remain (shrink the tile)";
-  buffers_[name] = bytes;
-  used_ += bytes;
+  // Charge the padded size: odd-sized requests used to be charged raw here
+  // while the fits-SPM prechecks reasoned in padded bytes, so the two could
+  // disagree right at the budget boundary.
+  const std::int64_t charged = spm_align_up(bytes);
+  MSC_CHECK(used_ + charged <= budget_)
+      << "SPM budget exceeded: '" << name << "' needs " << charged << " B (" << bytes
+      << " B unpadded) but only " << available() << " of " << budget_
+      << " B remain (shrink the tile)";
+  buffers_[name] = charged;
+  used_ += charged;
+  if (used_ > high_water_) high_water_ = used_;
 }
 
 void SpmAllocator::release(const std::string& name) {

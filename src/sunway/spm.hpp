@@ -12,14 +12,23 @@
 
 namespace msc::sunway {
 
+/// DMA-friendly SPM line size: every buffer is padded to a 32 B multiple so
+/// byte accounting here, in cg_sim_spm_bytes and in the cost model agree.
+inline constexpr std::int64_t kSpmAlign = 32;
+
+/// Rounds `bytes` up to the next kSpmAlign multiple.
+constexpr std::int64_t spm_align_up(std::int64_t bytes) {
+  return (bytes + kSpmAlign - 1) / kSpmAlign * kSpmAlign;
+}
+
 class SpmAllocator {
  public:
   static constexpr std::int64_t kDefaultBudget = 64 * 1024;
 
   explicit SpmAllocator(std::int64_t budget_bytes = kDefaultBudget);
 
-  /// Reserves `bytes` under `name`; throws msc::Error when the budget would
-  /// be exceeded or the name is already taken.
+  /// Reserves `bytes` (rounded up to kSpmAlign) under `name`; throws
+  /// msc::Error when the budget would be exceeded or the name is taken.
   void allocate(const std::string& name, std::int64_t bytes);
 
   /// Releases a named buffer.
@@ -28,12 +37,16 @@ class SpmAllocator {
   std::int64_t budget() const { return budget_; }
   std::int64_t used() const { return used_; }
   std::int64_t available() const { return budget_ - used_; }
+  /// Largest `used()` ever observed over this allocator's lifetime.
+  std::int64_t high_water() const { return high_water_; }
   double utilization() const { return static_cast<double>(used_) / static_cast<double>(budget_); }
+  /// Padded (charged) size of a live buffer.
   std::int64_t buffer_size(const std::string& name) const;
 
  private:
   std::int64_t budget_;
   std::int64_t used_ = 0;
+  std::int64_t high_water_ = 0;
   std::map<std::string, std::int64_t> buffers_;
 };
 

@@ -15,18 +15,31 @@ ThreadPool::ThreadPool(unsigned threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
+    if (stop_ && workers_.empty()) return;  // already shut down
     stop_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+bool ThreadPool::stopped() const {
+  std::lock_guard lock(mutex_);
+  return stop_;
 }
 
 void ThreadPool::enqueue(std::function<void()> job) {
   {
     std::lock_guard lock(mutex_);
+    // Once stop_ is set the workers drain the queue and exit; a job pushed
+    // after that would never run and its Completion waiter would hang, so
+    // reject it loudly instead.
+    MSC_CHECK(!stop_) << "ThreadPool: enqueue on a stopped pool";
     jobs_.push(std::move(job));
   }
   cv_.notify_one();
@@ -72,6 +85,9 @@ struct Completion {
 void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
                               const std::function<void(std::int64_t, std::int64_t)>& body) {
   MSC_CHECK(begin <= end) << "invalid range [" << begin << ", " << end << ")";
+  // Checked up front: a stopped pool has no workers, and falling into the
+  // single-chunk inline path would silently run on the caller instead.
+  MSC_CHECK(!stopped()) << "ThreadPool: parallel_for on a stopped pool";
   const std::int64_t n = end - begin;
   if (n == 0) return;
   const std::int64_t chunks = std::min<std::int64_t>(size(), n);
@@ -82,36 +98,54 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
   Completion done(chunks);
   const std::int64_t base = n / chunks, extra = n % chunks;
   std::int64_t lo = begin;
-  for (std::int64_t c = 0; c < chunks; ++c) {
-    const std::int64_t hi = lo + base + (c < extra ? 1 : 0);
-    enqueue([&body, lo, hi, &done] {
-      std::exception_ptr err;
-      try {
-        body(lo, hi);
-      } catch (...) {
-        err = std::current_exception();
-      }
-      done.finish(err);
-    });
-    lo = hi;
+  std::int64_t submitted = 0;
+  try {
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      const std::int64_t hi = lo + base + (c < extra ? 1 : 0);
+      enqueue([&body, lo, hi, &done] {
+        std::exception_ptr err;
+        try {
+          body(lo, hi);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        done.finish(err);
+      });
+      ++submitted;
+      lo = hi;
+    }
+  } catch (...) {
+    // enqueue rejected (pool shut down mid-loop): account for the chunks
+    // that never made it in so wait() still terminates, and surface the
+    // rejection as the error.
+    const std::exception_ptr err = std::current_exception();
+    for (std::int64_t c = submitted; c < chunks; ++c) done.finish(err);
   }
   done.wait();
 }
 
 void ThreadPool::parallel_tasks(std::int64_t n, const std::function<void(std::int64_t)>& task) {
   MSC_CHECK(n >= 0) << "task count must be non-negative";
+  MSC_CHECK(!stopped()) << "ThreadPool: parallel_tasks on a stopped pool";
   if (n == 0) return;
   Completion done(n);
-  for (std::int64_t idx = 0; idx < n; ++idx) {
-    enqueue([&task, idx, &done] {
-      std::exception_ptr err;
-      try {
-        task(idx);
-      } catch (...) {
-        err = std::current_exception();
-      }
-      done.finish(err);
-    });
+  std::int64_t submitted = 0;
+  try {
+    for (std::int64_t idx = 0; idx < n; ++idx) {
+      enqueue([&task, idx, &done] {
+        std::exception_ptr err;
+        try {
+          task(idx);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        done.finish(err);
+      });
+      ++submitted;
+    }
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    for (std::int64_t idx = submitted; idx < n; ++idx) done.finish(err);
   }
   done.wait();
 }

@@ -32,20 +32,35 @@ class ThreadPool {
 
   /// Runs body(begin..end) split statically across the pool and blocks until
   /// every chunk finishes.  body receives a half-open subrange [lo, hi).
+  /// Throws msc::Error without running anything if the pool is shut down.
   void parallel_for(std::int64_t begin, std::int64_t end,
                     const std::function<void(std::int64_t, std::int64_t)>& body);
 
   /// Runs one task per index in [0, n) with the index as argument; tasks are
   /// distributed round-robin and the call blocks until all complete.
+  /// Throws msc::Error without running anything if the pool is shut down.
   void parallel_tasks(std::int64_t n, const std::function<void(std::int64_t)>& task);
 
- private:
+  /// Drains queued jobs and joins the workers.  Idempotent; called by the
+  /// destructor.  Submissions racing past this point are rejected with
+  /// msc::Error instead of being silently dropped (a job pushed after the
+  /// workers exit would otherwise never run and its waiter would hang).
+  void shutdown();
+
+  /// True once shutdown has begun; submissions will be rejected.
+  bool stopped() const;
+
+  /// Pushes one fire-and-forget job.  Throws msc::Error if the pool has
+  /// been shut down — the job would never run and anything waiting on it
+  /// would hang.
   void enqueue(std::function<void()> job);
+
+ private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> jobs_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
 };

@@ -5,7 +5,9 @@
 
 #include "comm/decompose.hpp"
 #include "ir/type.hpp"
+#include "prof/counters.hpp"
 #include "schedule/schedule.hpp"
+#include "sunway/spm.hpp"
 #include "support/error.hpp"
 
 namespace msc::tune {
@@ -46,7 +48,9 @@ TuneParams clamp(const ir::StencilDef& st, const machine::MachineModel& m,
         staged *= p.tile[static_cast<std::size_t>(d)] + 2 * r;
         interior *= p.tile[static_cast<std::size_t>(d)];
       }
-      return (staged + interior) * esz;
+      // Same padded accounting as SpmAllocator/cg_sim_spm_bytes so the
+      // tuner never proposes a tile the simulator would reject.
+      return sunway::spm_align_up(staged * esz) + sunway::spm_align_up(interior * esz);
     };
     while (spm_bytes() > m.spm_bytes_per_core) {
       // Halve the largest tile dimension until the pipeline fits.
@@ -181,6 +185,8 @@ TuneResult tune(const ir::StencilDef& st, const machine::MachineModel& m,
     X.push_back(features(st, m, impl, net, cfg, p));
     y.push_back(measure_config(st, m, impl, net, cfg, p));
     samples.push_back(p);
+    result.candidates.push_back({p, X.back(), y.back()});
+    prof::counter("tune.candidates.measured").add(1);
   }
   LinearRegression model;
   model.fit(X, y);

@@ -29,12 +29,20 @@ struct TuneParams {
   std::vector<int> mpi_dims;
 };
 
+/// One sampled training configuration: what the regression model saw.
+struct CandidateRecord {
+  TuneParams params;
+  std::vector<double> features;   ///< regression feature vector
+  double measured_seconds = 0.0;  ///< cost-model "measurement"
+};
+
 struct TuneResult {
   TuneParams initial, best;
   double initial_seconds = 0.0;  ///< cost-model time of the naive config
   double best_seconds = 0.0;     ///< cost-model time of the tuned config
   double model_r2 = 0.0;         ///< regression fit quality
   std::vector<TracePoint> trace; ///< best-so-far predicted time per iteration
+  std::vector<CandidateRecord> candidates;  ///< training samples (profiling)
   std::int64_t converged_at = 0;
   double speedup() const { return initial_seconds / best_seconds; }
 };

@@ -1,7 +1,11 @@
 #include "workload/report.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "support/error.hpp"
@@ -135,6 +139,226 @@ std::string Json::dump(int indent) const {
     }
   }
   return "null";
+}
+
+namespace {
+
+/// Recursive-descent JSON reader over a string; positions reported in
+/// msc::Error messages are byte offsets.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    MSC_CHECK(pos_ == text_.size()) << "json: trailing content at offset " << pos_;
+    return v;
+  }
+
+ private:
+  char peek() {
+    MSC_CHECK(pos_ < text_.size()) << "json: unexpected end of input";
+    return text_[pos_];
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    MSC_CHECK(peek() == c) << "json: expected '" << c << "' at offset " << pos_;
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json::string(parse_string());
+      case 't':
+        MSC_CHECK(consume_literal("true")) << "json: bad literal at offset " << pos_;
+        return Json::boolean(true);
+      case 'f':
+        MSC_CHECK(consume_literal("false")) << "json: bad literal at offset " << pos_;
+        return Json::boolean(false);
+      case 'n':
+        MSC_CHECK(consume_literal("null")) << "json: bad literal at offset " << pos_;
+        return Json::null();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      MSC_CHECK(pos_ < text_.size()) << "json: unterminated string";
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      MSC_CHECK(pos_ < text_.size()) << "json: unterminated escape";
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          MSC_CHECK(pos_ + 4 <= text_.size()) << "json: truncated \\u escape";
+          unsigned code = 0;
+          for (int n = 0; n < 4; ++n) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else MSC_CHECK(false) << "json: bad \\u digit at offset " << pos_ - 1;
+          }
+          // Encode as UTF-8 (our own escaper only emits \u00xx control codes,
+          // but accept the full BMP for generality; surrogates pass through
+          // as their raw code units).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: MSC_CHECK(false) << "json: bad escape '\\" << esc << "'";
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    bool is_integer = true;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_integer = false;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+              text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+    }
+    MSC_CHECK(pos_ > start && text_[start] != '\0') << "json: bad number at offset " << start;
+    const std::string tok = text_.substr(start, pos_ - start);
+    errno = 0;
+    char* end = nullptr;
+    if (is_integer) {
+      const long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (errno == 0 && end == tok.c_str() + tok.size()) return Json::integer(v);
+      // Fall through to double for out-of-range integers.
+    }
+    const double d = std::strtod(tok.c_str(), &end);
+    MSC_CHECK(end == tok.c_str() + tok.size()) << "json: bad number '" << tok << "'";
+    return Json::number(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return JsonParser(text).parse_document(); }
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double Json::as_number() const {
+  MSC_CHECK(is_number()) << "Json: as_number on non-number";
+  return kind_ == Kind::Integer ? static_cast<double>(int_) : num_;
+}
+
+long long Json::as_integer() const {
+  if (kind_ == Kind::Integer) return int_;
+  MSC_CHECK(kind_ == Kind::Number && num_ == static_cast<double>(static_cast<long long>(num_)))
+      << "Json: as_integer on non-integral value";
+  return static_cast<long long>(num_);
+}
+
+bool Json::as_bool() const {
+  MSC_CHECK(kind_ == Kind::Bool) << "Json: as_bool on non-bool";
+  return bool_;
+}
+
+const std::string& Json::as_string() const {
+  MSC_CHECK(kind_ == Kind::String) << "Json: as_string on non-string";
+  return str_;
 }
 
 void write_file(const std::string& path, const std::string& text) {

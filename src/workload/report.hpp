@@ -28,6 +28,7 @@ class Json {
  public:
   static Json object() { return Json(Kind::Object); }
   static Json array() { return Json(Kind::Array); }
+  static Json null() { return Json(); }
   static Json number(double v);
   static Json integer(long long v);
   static Json boolean(bool v);
@@ -40,6 +41,29 @@ class Json {
 
   /// Serializes with 2-space indentation and a trailing newline at depth 0.
   std::string dump(int indent = 0) const;
+
+  /// Parses a JSON document (anything dump() emits, plus general JSON with
+  /// the standard escapes).  Throws msc::Error on malformed input.
+  static Json parse(const std::string& text);
+
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_object() const { return kind_ == Kind::Object; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_number() const { return kind_ == Kind::Number || kind_ == Kind::Integer; }
+
+  /// Object lookup without insertion; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  /// Read-side views (valid for the matching kind; empty otherwise).
+  const std::vector<Json>& elements() const { return elements_; }
+  const std::vector<std::pair<std::string, Json>>& members() const { return members_; }
+
+  double as_number() const;      ///< Number or Integer widened to double.
+  long long as_integer() const;  ///< Integer, or Number with integral value.
+  bool as_bool() const;
+  const std::string& as_string() const;
 
  private:
   enum class Kind { Null, Object, Array, Number, Integer, Bool, String };

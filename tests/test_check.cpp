@@ -192,6 +192,27 @@ TEST(Conform, SweepPassesAndWritesReport) {
   EXPECT_NE(json.find("\"seconds\""), std::string::npos);
 }
 
+TEST(Conform, ExitCodePolicy) {
+  // Regression: msc-conform used to exit 0 even when oracles failed, so CI
+  // never gated on conformance regressions.  The policy is: failures exit
+  // nonzero — unless fault injection was requested, where a detected fault
+  // is the expected self-test outcome and an undetected one must gate.
+  ConformOptions normal;
+  ConformOptions injecting;
+  injecting.coeff_perturb = 1e-3;
+
+  ConformReport all_passed;
+  all_passed.cases_passed = 4;
+  ConformReport one_failed;
+  one_failed.cases_passed = 3;
+  one_failed.cases_failed = 1;
+
+  EXPECT_EQ(conform_exit_code(normal, all_passed), 0);
+  EXPECT_EQ(conform_exit_code(normal, one_failed), 1);   // real regression gates
+  EXPECT_EQ(conform_exit_code(injecting, one_failed), 0);  // fault detected: self-test ok
+  EXPECT_EQ(conform_exit_code(injecting, all_passed), 1);  // vacuous pass must gate
+}
+
 TEST(Report, JsonEscapingAndStructure) {
   auto j = workload::Json::object();
   j["name"] = workload::Json::string("line\none \"two\"");

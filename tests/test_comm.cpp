@@ -358,13 +358,19 @@ TEST(SinglePhaseExchange, InteriorFacesOnly) {
 /// Distributed-vs-single-node equivalence harness for 2-D benchmarks:
 /// seeds both sides by global coordinate, steps `steps` times, and expects
 /// the gathered rank interiors to reproduce the global grid exactly.
+/// With `periodic` the process grid wraps in both dimensions and the
+/// single-node reference runs with wrap-around boundaries.
 void expect_distributed_matches_2d(const std::string& bench,
                                    std::array<std::int64_t, 3> grid,
-                                   std::vector<int> proc_dims, std::int64_t steps) {
+                                   std::vector<int> proc_dims, std::int64_t steps,
+                                   bool periodic = false) {
   const auto& info = workload::benchmark(bench);
   auto prog = workload::make_program(info, ir::DataType::f64, grid);
   const auto& st = prog->stencil();
+  const auto bc = periodic ? exec::Boundary::Periodic : exec::Boundary::ZeroHalo;
 
+  // Deliberately asymmetric in j vs i so a halo delivered to the wrong
+  // side (the coincident-neighbor failure mode) changes the result.
   auto seed_value = [](std::int64_t t, std::int64_t j, std::int64_t i) {
     return 0.001 * static_cast<double>((j * 47 + i * 5 + t) % 139);
   };
@@ -375,9 +381,10 @@ void expect_distributed_matches_2d(const std::string& bench,
       global.at(slot, c) = seed_value(-back, c[0], c[1]);
     });
   }
-  exec::run_reference(st, global, 1, steps, exec::Boundary::ZeroHalo);
+  exec::run_reference(st, global, 1, steps, bc);
 
-  CartDecomp dec(proc_dims, {grid[0], grid[1]});
+  CartDecomp dec(proc_dims, {grid[0], grid[1]},
+                 std::vector<bool>(proc_dims.size(), periodic));
   SimWorld world(dec.size());
   std::vector<double> worst(static_cast<std::size_t>(dec.size()), 0.0);
   world.run([&](RankCtx& ctx) {
@@ -434,6 +441,60 @@ TEST(DecompositionEdge, HaloWidthEqualsLocalExtent) {
   CartDecomp dec({2}, {4});
   EXPECT_EQ(dec.local_extent(0, 0), 2);  // == halo width
   expect_distributed_matches_2d("2d9pt_star", {4, 6, 0}, {2, 1}, 3);
+}
+
+// ---- periodic decompositions --------------------------------------------
+
+TEST(PeriodicDecomp, NeighborWrapsAndCoincides) {
+  // 1x2 periodic grid: rank 0's left AND right neighbor along the split
+  // dimension are both rank 1 (coincident neighbors); along the 1-rank
+  // dimension every rank is its own neighbor.
+  CartDecomp dec({1, 2}, {8, 8}, {true, true});
+  EXPECT_TRUE(dec.periodic(0));
+  EXPECT_EQ(dec.neighbor(0, 1, -1), 1);
+  EXPECT_EQ(dec.neighbor(0, 1, +1), 1);
+  EXPECT_EQ(dec.neighbor(1, 1, -1), 0);
+  EXPECT_EQ(dec.neighbor(1, 1, +1), 0);
+  EXPECT_EQ(dec.neighbor(0, 0, -1), 0);  // self along the 1-rank dim
+  EXPECT_EQ(dec.neighbor(0, 0, +1), 0);
+
+  // Non-periodic dims still report the domain edge.
+  CartDecomp open({1, 2}, {8, 8});
+  EXPECT_FALSE(open.periodic(1));
+  EXPECT_EQ(open.neighbor(0, 1, -1), -1);
+  EXPECT_EQ(open.neighbor(1, 1, +1), -1);
+
+  // A 4-rank periodic ring wraps only at the ends.
+  CartDecomp ring({4}, {16}, {true});
+  EXPECT_EQ(ring.neighbor(0, 0, -1), 3);
+  EXPECT_EQ(ring.neighbor(3, 0, +1), 0);
+  EXPECT_EQ(ring.neighbor(1, 0, -1), 0);
+  EXPECT_EQ(ring.neighbor(1, 0, +1), 2);
+}
+
+TEST(PeriodicDecomp, RejectsPeriodicSizeMismatch) {
+  EXPECT_THROW(CartDecomp({2, 2}, {8, 8}, {true}), Error);
+}
+
+TEST(PeriodicDecomp, DistributedMatchesPeriodicReference) {
+  // Regression: periodic decompositions used to be inexpressible — every
+  // boundary rank saw -1 neighbors and kept Dirichlet halos, so wrap-around
+  // problems could not be distributed at all.  2x2 wraps both dimensions.
+  expect_distributed_matches_2d("2d9pt_box", {12, 10, 0}, {2, 2}, 4, /*periodic=*/true);
+}
+
+TEST(PeriodicDecomp, CoincidentNeighborRanksExchangeBothFaces) {
+  // The 1x2 wrap makes each rank send its low AND high face to the same
+  // peer; the face tags must keep the two messages apart or the halos land
+  // on the wrong side (caught by the asymmetric seeding).
+  expect_distributed_matches_2d("2d9pt_box", {10, 12, 0}, {1, 2}, 3, /*periodic=*/true);
+}
+
+TEST(PeriodicDecomp, SelfNeighborExchangesOwnFaces) {
+  // A 1-rank periodic dimension exchanges with itself: the rank's own low
+  // face must arrive in its own high halo and vice versa — equivalent to
+  // the single-node periodic fill.
+  expect_distributed_matches_2d("2d9pt_star", {8, 9, 0}, {1, 1}, 3, /*periodic=*/true);
 }
 
 TEST(NetworkModel, AsyncBeatsCentralized) {

@@ -1,0 +1,283 @@
+// Tests of the profiling layer (src/prof): counter registry semantics and
+// thread-safety, the trace recorder's chrome://tracing serialization, the
+// BenchReport schema — and the workload::Json parser those last two lean on.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "prof/bench_report.hpp"
+#include "prof/counters.hpp"
+#include "prof/trace.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+#include "workload/report.hpp"
+
+namespace msc::prof {
+namespace {
+
+using workload::Json;
+
+// ---- counters -----------------------------------------------------------
+
+TEST(Counters, MonotonicAddAndValue) {
+  CounterRegistry reg;
+  auto& c = reg.counter("test.bytes");
+  EXPECT_EQ(c.value(), 0);
+  c.add(100);
+  c.add(28);
+  EXPECT_EQ(c.value(), 128);
+  EXPECT_EQ(reg.value("test.bytes"), 128);
+  EXPECT_EQ(reg.value("never.touched"), 0);
+}
+
+TEST(Counters, GaugeFoldsWithMax) {
+  CounterRegistry reg;
+  auto& g = reg.gauge("test.high_water");
+  g.record_max(500);
+  g.record_max(200);  // lower sample: no effect
+  EXPECT_EQ(g.value(), 500);
+  g.record_max(700);
+  EXPECT_EQ(g.value(), 700);
+}
+
+TEST(Counters, KindMismatchThrows) {
+  CounterRegistry reg;
+  reg.counter("test.mono");
+  reg.gauge("test.gauge");
+  EXPECT_THROW(reg.gauge("test.mono"), Error);
+  EXPECT_THROW(reg.counter("test.gauge"), Error);
+  // Same-kind re-lookup returns the same counter.
+  EXPECT_EQ(&reg.counter("test.mono"), &reg.counter("test.mono"));
+}
+
+TEST(Counters, ResetZeroesButKeepsReferencesValid) {
+  CounterRegistry reg;
+  auto& c = reg.counter("test.count");
+  c.add(42);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0);
+  c.add(7);  // the cached reference still works after reset
+  EXPECT_EQ(reg.value("test.count"), 7);
+}
+
+TEST(Counters, SnapshotIsSortedByName) {
+  CounterRegistry reg;
+  reg.counter("z.last").add(3);
+  reg.counter("a.first").add(1);
+  reg.gauge("m.middle").record_max(2);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].first, "a.first");
+  EXPECT_EQ(snap[1].first, "m.middle");
+  EXPECT_EQ(snap[2].first, "z.last");
+  EXPECT_EQ(snap[2].second, 3);
+}
+
+TEST(Counters, ConcurrentAddsFromThreadPoolLoseNothing) {
+  CounterRegistry reg;
+  auto& c = reg.counter("test.concurrent");
+  auto& g = reg.gauge("test.concurrent_max");
+  ThreadPool pool(4);
+  pool.parallel_tasks(64, [&](std::int64_t idx) {
+    for (int n = 0; n < 1000; ++n) c.add(1);
+    g.record_max(idx);
+  });
+  EXPECT_EQ(c.value(), 64 * 1000);
+  EXPECT_EQ(g.value(), 63);
+}
+
+TEST(Counters, GlobalShorthandsHitTheGlobalRegistry) {
+  global_counters().reset();
+  counter("test.global").add(5);
+  gauge("test.global_gauge").record_max(9);
+  EXPECT_EQ(global_counters().value("test.global"), 5);
+  EXPECT_EQ(global_counters().value("test.global_gauge"), 9);
+  global_counters().reset();
+}
+
+// ---- trace recorder -----------------------------------------------------
+
+TEST(Trace, DisabledScopeRecordsNothing) {
+  auto& tr = global_trace();
+  tr.clear();
+  tr.set_enabled(false);
+  { TraceScope scope("invisible", "test"); }
+  EXPECT_EQ(tr.size(), 0u);
+}
+
+TEST(Trace, ScopeRecordsCompleteEventWithArgs) {
+  auto& tr = global_trace();
+  tr.clear();
+  tr.set_enabled(true);
+  {
+    TraceScope scope("step", "test");
+    scope.arg("t", 3.0);
+  }
+  tr.instant("marker", "test", {{"n", 1.0}});
+  tr.set_enabled(false);
+
+  const auto events = tr.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "step");
+  EXPECT_EQ(events[0].cat, "test");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_GE(events[0].dur_us, 0);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "t");
+  EXPECT_EQ(events[1].phase, 'i');
+  tr.clear();
+}
+
+TEST(Trace, ChromeJsonIsWellFormed) {
+  auto& tr = global_trace();
+  tr.clear();
+  tr.set_enabled(true);
+  { TraceScope scope("outer \"quoted\"", "cat"); }
+  tr.instant("point", "cat");
+  tr.set_enabled(false);
+
+  // The dump must parse back: that is exactly what chrome://tracing does.
+  const Json doc = Json::parse(tr.chrome_json().dump());
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->elements().size(), 2u);
+
+  const Json& complete = events->elements()[0];
+  EXPECT_EQ(complete.find("name")->as_string(), "outer \"quoted\"");
+  EXPECT_EQ(complete.find("ph")->as_string(), "X");
+  EXPECT_GE(complete.find("ts")->as_integer(), 0);
+  EXPECT_GE(complete.find("dur")->as_integer(), 0);
+  EXPECT_EQ(complete.find("pid")->as_integer(), 0);
+
+  const Json& instant = events->elements()[1];
+  EXPECT_EQ(instant.find("ph")->as_string(), "i");
+  ASSERT_NE(instant.find("s"), nullptr);  // instant scope marker
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ms");
+  tr.clear();
+}
+
+TEST(Trace, ThreadIdsAreSmallAndStable) {
+  auto& tr = global_trace();
+  tr.clear();
+  tr.set_enabled(true);
+  ThreadPool pool(3);
+  pool.parallel_tasks(12, [&](std::int64_t) { TraceScope scope("work", "test"); });
+  tr.set_enabled(false);
+  const auto events = tr.events();
+  ASSERT_EQ(events.size(), 12u);
+  for (const auto& e : events) {
+    EXPECT_GE(e.tid, 0);
+    EXPECT_LT(e.tid, 3);  // first-seen small integers, one per worker
+  }
+  tr.clear();
+}
+
+// ---- bench report -------------------------------------------------------
+
+TEST(BenchReportTest, JsonSchemaRoundTrips) {
+  global_counters().reset();
+  counter("test.report.bytes").add(4096);
+  gauge("test.report.peak").record_max(1 << 20);
+
+  BenchReport report("unit", "3d7pt_star");
+  report.set_config("grid", "32x32x32");
+  report.set_config("steps", 4LL);
+  report.capture_global_counters();
+  Json row = Json::object();
+  row["seconds"] = Json::number(0.125);
+  row["label"] = Json::string("first");
+  report.add_result(std::move(row));
+  report.set_wall_seconds(1.5);
+
+  const Json doc = Json::parse(report.to_json().dump());
+  EXPECT_EQ(doc.find("schema")->as_string(), "msc-bench-v1");
+  EXPECT_EQ(doc.find("name")->as_string(), "unit");
+  EXPECT_EQ(doc.find("workload")->as_string(), "3d7pt_star");
+  EXPECT_EQ(doc.find("config")->find("grid")->as_string(), "32x32x32");
+  EXPECT_EQ(doc.find("config")->find("steps")->as_string(), "4");
+  EXPECT_EQ(doc.find("counters")->find("test.report.bytes")->as_integer(), 4096);
+  EXPECT_EQ(doc.find("counters")->find("test.report.peak")->as_integer(), 1 << 20);
+  const Json* results = doc.find("results");
+  ASSERT_TRUE(results->is_array());
+  ASSERT_EQ(results->elements().size(), 1u);
+  EXPECT_DOUBLE_EQ(results->elements()[0].find("seconds")->as_number(), 0.125);
+  EXPECT_DOUBLE_EQ(doc.find("wall_seconds")->as_number(), 1.5);
+  global_counters().reset();
+}
+
+TEST(BenchReportTest, DirHonorsEnvironment) {
+  // bench_report_dir falls back to the current directory.
+  const char* old = std::getenv("MSC_BENCH_DIR");
+  const std::string saved = old ? old : "";
+  ::unsetenv("MSC_BENCH_DIR");
+  EXPECT_EQ(bench_report_dir(), ".");
+  ::setenv("MSC_BENCH_DIR", "/tmp/msc_bench_test", 1);
+  EXPECT_EQ(bench_report_dir(), "/tmp/msc_bench_test");
+  if (old)
+    ::setenv("MSC_BENCH_DIR", saved.c_str(), 1);
+  else
+    ::unsetenv("MSC_BENCH_DIR");
+}
+
+// ---- Json parser --------------------------------------------------------
+
+TEST(JsonParse, ScalarsAndStructure) {
+  const Json doc = Json::parse(
+      R"({"a": 1, "b": -2.5, "c": true, "d": false, "e": null,
+          "f": "text", "g": [1, 2, 3], "h": {"nested": "yes"}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("a")->as_integer(), 1);
+  EXPECT_DOUBLE_EQ(doc.find("b")->as_number(), -2.5);
+  EXPECT_TRUE(doc.find("c")->as_bool());
+  EXPECT_FALSE(doc.find("d")->as_bool());
+  EXPECT_TRUE(doc.find("e")->is_null());
+  EXPECT_EQ(doc.find("f")->as_string(), "text");
+  ASSERT_EQ(doc.find("g")->elements().size(), 3u);
+  EXPECT_EQ(doc.find("g")->elements()[2].as_integer(), 3);
+  EXPECT_EQ(doc.find("h")->find("nested")->as_string(), "yes");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, EscapesRoundTripThroughDump) {
+  Json j = Json::object();
+  j["tricky"] = Json::string("line\none \"two\"\ttab\\slash \x1f");
+  j["unicode"] = Json::string("\xE2\x82\xAC euro");  // UTF-8 passthrough
+  const Json back = Json::parse(j.dump());
+  EXPECT_EQ(back.find("tricky")->as_string(), j.find("tricky")->as_string());
+  EXPECT_EQ(back.find("unicode")->as_string(), j.find("unicode")->as_string());
+}
+
+TEST(JsonParse, UnicodeEscapesDecodeToUtf8) {
+  // Escapes spelled with explicit backslashes so the parser, not the C++
+  // compiler, decodes them.
+  const std::string text =
+      "{\"euro\": \"\\u20AC\", \"a\": \"\\u0041\", \"nul\": \"\\u001f\"}";
+  const Json doc = Json::parse(text);
+  EXPECT_EQ(doc.find("euro")->as_string(), "\xE2\x82\xAC");
+  EXPECT_EQ(doc.find("a")->as_string(), "A");
+  EXPECT_EQ(doc.find("nul")->as_string(), "\x1f");
+}
+
+TEST(JsonParse, IntegersStayExact) {
+  const Json doc = Json::parse(R"({"big": 9007199254740993, "neg": -42})");
+  EXPECT_EQ(doc.find("big")->as_integer(), 9007199254740993LL);  // > 2^53
+  EXPECT_EQ(doc.find("neg")->as_integer(), -42);
+  EXPECT_TRUE(doc.find("big")->is_number());
+}
+
+TEST(JsonParse, MalformedInputThrows) {
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("[1, 2,]"), Error);
+  EXPECT_THROW(Json::parse(R"({"a": 1} trailing)"), Error);
+  EXPECT_THROW(Json::parse(R"({"unterminated)"), Error);
+  EXPECT_THROW(Json::parse("{'single': 1}"), Error);
+  EXPECT_THROW(Json::parse("nulL"), Error);
+}
+
+}  // namespace
+}  // namespace msc::prof

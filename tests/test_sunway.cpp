@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "exec/executor.hpp"
 #include "sunway/cg_sim.hpp"
 #include "sunway/dma.hpp"
@@ -30,8 +32,67 @@ TEST(Spm, RejectsDuplicatesAndUnknownRelease) {
   spm.allocate("a", 100);
   EXPECT_THROW(spm.allocate("a", 100), Error);
   EXPECT_THROW(spm.release("ghost"), Error);
-  EXPECT_EQ(spm.buffer_size("a"), 100);
+  // Charged sizes are rounded up to the DMA alignment quantum.
+  EXPECT_EQ(spm.buffer_size("a"), spm_align_up(100));
   EXPECT_THROW(spm.buffer_size("ghost"), Error);
+}
+
+TEST(Spm, AlignUpQuantum) {
+  EXPECT_EQ(spm_align_up(0), 0);
+  EXPECT_EQ(spm_align_up(1), kSpmAlign);
+  EXPECT_EQ(spm_align_up(kSpmAlign), kSpmAlign);
+  EXPECT_EQ(spm_align_up(kSpmAlign + 1), 2 * kSpmAlign);
+  EXPECT_EQ(spm_align_up(100), 128);
+}
+
+TEST(Spm, BudgetChargesAlignedBytes) {
+  // Regression: the budget check used to charge the raw byte count while
+  // cg_sim_spm_bytes modelled padded buffers, so a tile could "fit" by one
+  // accounting and overflow by the other.  Both now charge aligned sizes.
+  SpmAllocator spm(4 * kSpmAlign);
+  spm.allocate("odd", kSpmAlign + 1);  // charges 2 quanta, not kSpmAlign+1
+  EXPECT_EQ(spm.used(), 2 * kSpmAlign);
+  EXPECT_EQ(spm.available(), 2 * kSpmAlign);
+  spm.allocate("rest", 2 * kSpmAlign);  // exact fill after padding succeeds
+  EXPECT_EQ(spm.available(), 0);
+  EXPECT_THROW(spm.allocate("over", 1), Error);  // one more byte overflows
+  EXPECT_EQ(spm.high_water(), 4 * kSpmAlign);
+}
+
+TEST(Spm, HighWaterTracksPeakNotCurrent) {
+  SpmAllocator spm(1024);
+  spm.allocate("a", 512);
+  spm.allocate("b", 256);
+  spm.release("a");
+  EXPECT_EQ(spm.used(), 256);
+  EXPECT_EQ(spm.high_water(), 768);
+}
+
+TEST(Spm, FitQueryAgreesWithAllocatorAtBoundary) {
+  // cg_sim_fits_spm and the allocator must agree exactly at the budget
+  // boundary: a schedule that the fit query accepts must also allocate.
+  const auto& info = workload::benchmark("3d7pt_star");
+  auto prog = workload::make_program(info, ir::DataType::f64, {32, 32, 32});
+  workload::apply_msc_schedule(*prog, info, "sunway", {2, 8, 16});
+  const auto& st = prog->stencil();
+  const auto& sched = prog->primary_schedule();
+  const std::int64_t need = cg_sim_spm_bytes(st, sched, 8);
+
+  SpmAllocator exact(need);
+  const std::int64_t r = st.max_radius();
+  std::int64_t staged = 1, interior = 1;
+  for (int d = 0; d < 3; ++d) {
+    const std::int64_t tile = std::min(sched.tile_extent(d), st.state()->extent(d));
+    staged *= tile + 2 * r;
+    interior *= tile;
+  }
+  EXPECT_NO_THROW(exact.allocate("in", staged * 8));
+  EXPECT_NO_THROW(exact.allocate("out", interior * 8));
+  EXPECT_EQ(exact.available(), 0);
+
+  SpmAllocator tight(need - 1);
+  EXPECT_NO_THROW(tight.allocate("in", staged * 8));
+  EXPECT_THROW(tight.allocate("out", interior * 8), Error);
 }
 
 TEST(Dma, AccountsLatencyAndBandwidth) {

@@ -36,7 +36,9 @@ void usage() {
       "  --report <file>          write machine-readable conform_report.json\n"
       "  --workdir <dir>          scratch dir for compiled backends (default: TMPDIR)\n"
       "  --inject-coeff-error <x> perturb the first emitted coefficient by x\n"
-      "                           (harness self-test: must FAIL and shrink)\n"
+      "                           (harness self-test: exits 0 iff an oracle\n"
+      "                           detects the fault; an undetected fault is\n"
+      "                           a vacuous pass and exits 1)\n"
       "  --check-golden <dir>     diff codegen output against the snapshots\n"
       "  --update-golden <dir>    rewrite the snapshots (review the diff!)\n"
       "  -v                       per-case progress\n"
@@ -123,7 +125,9 @@ int main(int argc, char** argv) {
     }
     if (!ran_golden || opts.coeff_perturb != 0.0) {
       const auto report = msc::check::run_conformance(opts);
-      if (!report.ok()) rc = 1;
+      // conform_exit_code also fails a fault-injection run that tripped no
+      // oracle, so the CI self-test cannot pass vacuously.
+      if (const int crc = msc::check::conform_exit_code(opts, report); crc != 0) rc = crc;
     }
     return rc;
   } catch (const msc::Error& e) {

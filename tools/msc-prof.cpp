@@ -1,0 +1,232 @@
+// msc-prof — workload profiler over the functional simulators.
+//
+// Runs a named Table-4 benchmark through the Sunway core-group simulator
+// (and optionally a simulated-MPI distributed pass), with the global
+// counter registry and trace recorder armed, then prints a roofline-style
+// counter summary and dumps a chrome://tracing JSON file loadable at
+// chrome://tracing or https://ui.perfetto.dev.
+//
+//   $ msc-prof 3d7pt_star
+//   $ msc-prof 2d9pt_box --grid 64x64 --steps 8 --ranks 2x2
+//   $ msc-prof 3d7pt_star --trace trace.json --json
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "comm/decompose.hpp"
+#include "comm/halo_exchange.hpp"
+#include "comm/simmpi.hpp"
+#include "exec/grid.hpp"
+#include "machine/machine.hpp"
+#include "prof/bench_report.hpp"
+#include "prof/counters.hpp"
+#include "prof/trace.hpp"
+#include "sunway/cg_sim.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "workload/report.hpp"
+#include "workload/stencils.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: msc-prof <benchmark> [options]\n"
+      "  --grid JxI[xK]   grid extents (default 64x64 / 32x32x32)\n"
+      "  --steps <n>      timesteps to simulate (default 4)\n"
+      "  --fp32           single-precision state (default fp64)\n"
+      "  --ranks AxB[xC]  also run a simmpi distributed pass (halo counters)\n"
+      "  --periodic       make the rank grid periodic in every dimension\n"
+      "  --trace <file>   chrome://tracing output (default msc_prof_trace.json)\n"
+      "  --json           also write BENCH_prof_<benchmark>.json\n"
+      "  --list           list the benchmark names and exit\n");
+}
+
+std::vector<std::int64_t> parse_dims(const std::string& s) {
+  std::vector<std::int64_t> out;
+  for (const auto& part : msc::split(s, 'x')) out.push_back(std::atoll(part.c_str()));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msc;
+
+  std::string bench_name;
+  std::vector<std::int64_t> grid_arg, ranks_arg;
+  std::int64_t steps = 4;
+  bool fp32 = false, periodic = false, want_json = false;
+  std::string trace_path = "msc_prof_trace.json";
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "msc-prof: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (arg == "--grid") {
+      grid_arg = parse_dims(next());
+    } else if (arg == "--steps") {
+      steps = std::atoll(next());
+    } else if (arg == "--fp32") {
+      fp32 = true;
+    } else if (arg == "--ranks") {
+      ranks_arg = parse_dims(next());
+    } else if (arg == "--periodic") {
+      periodic = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--json") {
+      want_json = true;
+    } else if (arg == "--list") {
+      for (const auto& info : workload::all_benchmarks()) std::printf("%s\n", info.name.c_str());
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "msc-prof: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    } else if (bench_name.empty()) {
+      bench_name = arg;
+    } else {
+      std::fprintf(stderr, "msc-prof: more than one benchmark named\n");
+      return 2;
+    }
+  }
+  if (bench_name.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const auto& info = workload::benchmark(bench_name);
+    std::array<std::int64_t, 3> grid = info.ndim == 2 ? std::array<std::int64_t, 3>{64, 64, 0}
+                                                      : std::array<std::int64_t, 3>{32, 32, 32};
+    for (std::size_t d = 0; d < grid_arg.size() && d < 3; ++d) grid[d] = grid_arg[d];
+
+    prof::global_counters().reset();
+    prof::global_trace().clear();
+    prof::global_trace().set_enabled(true);
+    const auto wall0 = std::chrono::steady_clock::now();
+
+    // ---- Sunway CG simulation pass ------------------------------------
+    const auto dt = fp32 ? ir::DataType::f32 : ir::DataType::f64;
+    auto prog = workload::make_program(info, dt, grid);
+    const std::array<std::int64_t, 3> tile = info.ndim == 2
+                                                 ? std::array<std::int64_t, 3>{16, 32, 0}
+                                                 : std::array<std::int64_t, 3>{2, 8, 16};
+    workload::apply_msc_schedule(*prog, info, "sunway", tile);
+    const auto m = machine::sunway_cg();
+
+    auto run_sim = [&](auto tag) {
+      using T = decltype(tag);
+      exec::GridStorage<T> g(prog->stencil().state());
+      for (int s = 0; s < g.slots(); ++s) g.fill_random(s, 7);
+      return sunway::run_cg_sim(prog->stencil(), prog->primary_schedule(), g, 1, steps,
+                                exec::Boundary::ZeroHalo, {}, m);
+    };
+    const sunway::CgSimResult sim = fp32 ? run_sim(float{}) : run_sim(double{});
+
+    // ---- optional simmpi distributed pass (halo traffic) --------------
+    if (!ranks_arg.empty()) {
+      const auto& st = prog->stencil();
+      const int nd = st.state()->ndim();
+      MSC_CHECK(static_cast<int>(ranks_arg.size()) == nd)
+          << "--ranks rank count must match the benchmark dimensionality (" << nd << ")";
+      std::vector<int> proc_dims;
+      std::vector<std::int64_t> global_ext;
+      for (int d = 0; d < nd; ++d) {
+        proc_dims.push_back(static_cast<int>(ranks_arg[static_cast<std::size_t>(d)]));
+        global_ext.push_back(grid[static_cast<std::size_t>(d)]);
+      }
+      comm::CartDecomp dec(proc_dims, global_ext,
+                           std::vector<bool>(static_cast<std::size_t>(nd), periodic));
+      comm::SimWorld world(dec.size());
+      world.run([&](comm::RankCtx& ctx) {
+        const int r = ctx.rank();
+        std::vector<std::int64_t> ext;
+        for (int d = 0; d < nd; ++d) ext.push_back(dec.local_extent(r, d));
+        auto local_tensor = ir::make_sp_tensor("B", ir::DataType::f64, ext,
+                                               st.state()->halo(), st.state()->time_window());
+        exec::GridStorage<double> local(local_tensor);
+        for (int s = 0; s < local.slots(); ++s) local.fill_random(s, 7 + r);
+        comm::run_distributed(ctx, dec, st, local, 1, steps);
+      });
+    }
+
+    prof::global_trace().set_enabled(false);
+    const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+                            .count();
+
+    // ---- roofline-style summary ---------------------------------------
+    auto& reg = prof::global_counters();
+    const auto lin = exec::linearize_stencil(prog->stencil(), {});
+    std::int64_t points = 1;
+    for (int d = 0; d < info.ndim; ++d) points *= grid[static_cast<std::size_t>(d)];
+    const double flops = 2.0 * static_cast<double>(lin ? lin->terms.size() : 0) *
+                         static_cast<double>(points) * static_cast<double>(steps);
+    const double dma_bytes = static_cast<double>(reg.value("sunway.dma.bytes"));
+    const double oi = dma_bytes > 0 ? flops / dma_bytes : 0.0;
+    const double peak_gflops = m.freq_ghz * m.flops_per_cycle_fp64 * m.cores;
+    const double bw_gbs = m.mem_bw_gbs;
+    const double attainable = std::min(peak_gflops, oi * bw_gbs);
+    const double achieved = sim.seconds > 0 ? flops / sim.seconds / 1e9 : 0.0;
+
+    workload::print_banner(
+        strprintf("msc-prof — %s on the Sunway CG simulator", bench_name.c_str()),
+        "roofline position from counted DMA traffic (paper Figs. 7-11)");
+    std::printf("grid %lldx%lld%s, %lld steps, %s\n", static_cast<long long>(grid[0]),
+                static_cast<long long>(grid[1]),
+                info.ndim == 3 ? strprintf("x%lld", static_cast<long long>(grid[2])).c_str() : "",
+                static_cast<long long>(steps), fp32 ? "fp32" : "fp64");
+    std::printf("\nroofline:\n");
+    std::printf("  flops                 %.3g\n", flops);
+    std::printf("  DMA bytes             %s\n", workload::fmt_bytes(dma_bytes).c_str());
+    std::printf("  operational intensity %.3f flop/B\n", oi);
+    std::printf("  attainable            %.1f GF/s (peak %.1f, %.0f GB/s roof)\n", attainable,
+                peak_gflops, bw_gbs);
+    std::printf("  achieved (simulated)  %.1f GF/s\n", achieved);
+    std::printf("  SPM high water        %s of %s (reuse %.1fx)\n",
+                workload::fmt_bytes(static_cast<double>(sim.spm_high_water_bytes)).c_str(),
+                workload::fmt_bytes(static_cast<double>(m.spm_bytes_per_core)).c_str(),
+                sim.reuse_factor);
+    std::printf("\ncounters:\n");
+    for (const auto& [name, value] : reg.snapshot())
+      std::printf("  %-32s %lld\n", name.c_str(), static_cast<long long>(value));
+
+    prof::global_trace().write_chrome_json(trace_path);
+    std::printf("\ntrace: %s (%zu events — load at chrome://tracing)\n", trace_path.c_str(),
+                prof::global_trace().size());
+
+    if (want_json) {
+      prof::BenchReport report("prof_" + bench_name, bench_name);
+      report.set_config("grid", strprintf("%lldx%lldx%lld", static_cast<long long>(grid[0]),
+                                          static_cast<long long>(grid[1]),
+                                          static_cast<long long>(grid[2])));
+      report.set_config("steps", static_cast<long long>(steps));
+      report.set_config("dtype", fp32 ? "f32" : "f64");
+      report.capture_global_counters();
+      workload::Json row = workload::Json::object();
+      row["simulated_seconds"] = workload::Json::number(sim.seconds);
+      row["achieved_gflops"] = workload::Json::number(achieved);
+      row["operational_intensity"] = workload::Json::number(oi);
+      report.add_result(std::move(row));
+      report.set_wall_seconds(wall);
+      report.write();
+    }
+    return 0;
+  } catch (const msc::Error& e) {
+    std::fprintf(stderr, "msc-prof: %s\n", e.what());
+    return 1;
+  }
+}
