@@ -24,6 +24,7 @@
 #include "exec/executor.hpp"
 #include "exec/grid.hpp"
 #include "prof/counters.hpp"
+#include "prof/timeline.hpp"
 #include "prof/trace.hpp"
 #include "support/error.hpp"
 
@@ -114,28 +115,34 @@ ExchangeStats exchange_halo(RankCtx& ctx, const CartDecomp& dec, exec::GridStora
     std::vector<std::vector<T>> send_bufs, recv_bufs;
     std::vector<std::pair<int, int>> recv_sides;  // (side, ignored)
 
-    for (int side = 0; side < 2; ++side) {
-      const int nb = dec.neighbor(rank, dim, side == 0 ? -1 : +1);
-      if (nb < 0) continue;
-      // Pack the inner-halo slab facing this neighbor and post both ops.
-      send_bufs.push_back(detail::pack_face(local, slot, dim, side));
-      auto& sb = send_bufs.back();
-      const int tag = dim * 2 + side;           // my face id
-      const int peer_tag = dim * 2 + (1 - side);  // the face id the peer sends
-      reqs.push_back(ctx.isend(nb, tag, sb.data(),
-                               static_cast<std::int64_t>(sb.size() * sizeof(T))));
-      stats.messages_sent += 1;
-      stats.bytes_sent += static_cast<std::int64_t>(sb.size() * sizeof(T));
+    {
+      prof::TimelineScope pack_span(rank, prof::Phase::Pack);
+      for (int side = 0; side < 2; ++side) {
+        const int nb = dec.neighbor(rank, dim, side == 0 ? -1 : +1);
+        if (nb < 0) continue;
+        // Pack the inner-halo slab facing this neighbor and post both ops.
+        send_bufs.push_back(detail::pack_face(local, slot, dim, side));
+        auto& sb = send_bufs.back();
+        const int tag = dim * 2 + side;           // my face id
+        const int peer_tag = dim * 2 + (1 - side);  // the face id the peer sends
+        reqs.push_back(ctx.isend(nb, tag, sb.data(),
+                                 static_cast<std::int64_t>(sb.size() * sizeof(T))));
+        stats.messages_sent += 1;
+        stats.bytes_sent += static_cast<std::int64_t>(sb.size() * sizeof(T));
 
-      recv_bufs.emplace_back(sb.size());
-      auto& rb = recv_bufs.back();
-      reqs.push_back(ctx.irecv(nb, peer_tag, rb.data(),
-                               static_cast<std::int64_t>(rb.size() * sizeof(T))));
-      recv_sides.push_back({side, 0});
+        recv_bufs.emplace_back(sb.size());
+        auto& rb = recv_bufs.back();
+        reqs.push_back(ctx.irecv(nb, peer_tag, rb.data(),
+                                 static_cast<std::int64_t>(rb.size() * sizeof(T))));
+        recv_sides.push_back({side, 0});
+      }
     }
-    ctx.wait_all(reqs);
-    for (std::size_t n = 0; n < recv_bufs.size(); ++n)
-      detail::unpack_face(local, slot, dim, recv_sides[n].first, recv_bufs[n]);
+    ctx.wait_all(reqs);  // blocked time lands as "wait" spans (simmpi)
+    {
+      prof::TimelineScope unpack_span(rank, prof::Phase::Unpack);
+      for (std::size_t n = 0; n < recv_bufs.size(); ++n)
+        detail::unpack_face(local, slot, dim, recv_sides[n].first, recv_bufs[n]);
+    }
     ctx.barrier();  // next dimension packs halos this dimension just filled
   }
   scope.arg("bytes_sent", static_cast<double>(stats.bytes_sent));
@@ -164,6 +171,7 @@ PendingExchange<T> begin_exchange_async(RankCtx& ctx, const CartDecomp& dec,
                                         const exec::GridStorage<T>& local, int slot) {
   PendingExchange<T> pending;
   const int rank = ctx.rank();
+  prof::TimelineScope pack_span(rank, prof::Phase::Pack);
   for (int dim = 0; dim < dec.ndim(); ++dim) {
     for (int side = 0; side < 2; ++side) {
       const int nb = dec.neighbor(rank, dim, side == 0 ? -1 : +1);
@@ -196,7 +204,8 @@ PendingExchange<T> begin_exchange_async(RankCtx& ctx, const CartDecomp& dec,
 template <typename T>
 void finish_exchange_async(RankCtx& ctx, PendingExchange<T>& pending,
                            exec::GridStorage<T>& local, int slot) {
-  ctx.wait_all(pending.requests);
+  ctx.wait_all(pending.requests);  // blocked time lands as "wait" spans (simmpi)
+  prof::TimelineScope unpack_span(ctx.rank(), prof::Phase::Unpack);
   for (std::size_t n = 0; n < pending.recv_bufs.size(); ++n)
     detail::unpack_face(local, slot, pending.recv_faces[n].first, pending.recv_faces[n].second,
                         pending.recv_bufs[n], /*padded_cross=*/false);
@@ -227,7 +236,10 @@ DistRunStats run_distributed(RankCtx& ctx, const CartDecomp& dec, const ir::Sten
   }
 
   for (std::int64_t t = t_begin; t <= t_end; ++t) {
-    exec::run_reference(st, local, t, t, exec::Boundary::External, bindings);
+    {
+      prof::TimelineScope compute_span(ctx.rank(), prof::Phase::Compute);
+      exec::run_reference(st, local, t, t, exec::Boundary::External, bindings);
+    }
     const auto ex = exchange_halo(ctx, dec, local, local.slot_for_time(t));
     stats.exchange.messages_sent += ex.messages_sent;
     stats.exchange.bytes_sent += ex.bytes_sent;
@@ -300,9 +312,16 @@ DistRunStats run_distributed_overlapped(RankCtx& ctx, const CartDecomp& dec,
     return points;
   };
 
+  auto& timeline = prof::global_timeline();
   for (std::int64_t t = t_begin; t <= t_end; ++t) {
     const int newest = local.slot_for_time(t - 1);
     auto pending = begin_exchange_async(ctx, dec, local, newest);
+    // Messages are in flight from here until the finish wait; the "send"
+    // span is the window the async exchange offers for hiding comm, and
+    // its intersection with compute spans is the overlap-efficiency
+    // numerator (critical_path()).
+    const bool tl_on = timeline.enabled();
+    const double flight0 = tl_on ? timeline.now() : 0.0;
 
     // Interior: needs no halo of the in-flight slot.
     std::array<std::int64_t, 3> ilo{0, 0, 0}, ihi{1, 1, 1};
@@ -315,11 +334,13 @@ DistRunStats run_distributed_overlapped(RankCtx& ctx, const CartDecomp& dec,
     if (has_interior) {
       // The overlap window: interior cells compute while halo messages fly.
       prof::TraceScope overlap("overlap.interior_compute", "comm");
+      prof::TimelineScope compute_span(ctx.rank(), prof::Phase::Compute);
       const std::int64_t pts = sweep_region(t, ilo, ihi);
       overlap.arg("points", static_cast<double>(pts));
       stats.interior_points_overlapped += pts;
       prof::counter("comm.overlap.interior_points").add(pts);
     }
+    if (tl_on) timeline.record(ctx.rank(), prof::Phase::Send, flight0, timeline.now());
 
     {
       prof::TraceScope finish("halo_exchange.finish", "comm");

@@ -4,6 +4,7 @@
 #include <exception>
 #include <thread>
 
+#include "prof/timeline.hpp"
 #include "support/error.hpp"
 
 namespace msc::comm {
@@ -45,6 +46,9 @@ Request RankCtx::irecv(int src, int tag, void* buf, std::int64_t bytes) {
 void RankCtx::wait(Request& req) {
   if (req.done) return;
   MSC_CHECK(req.kind == Request::Kind::Recv) << "only receives can be pending";
+  // Blocked-receive time is the "wait" phase of this rank's timeline; the
+  // span covers match scanning plus any sleep on the mailbox condvar.
+  prof::TimelineScope wait_span(rank_, prof::Phase::Wait);
   auto& box = world_->mailbox(req.peer, rank_);
   std::unique_lock lock(box.m);
   for (;;) {
@@ -68,6 +72,7 @@ void RankCtx::wait_all(std::vector<Request>& reqs) {
 }
 
 void RankCtx::barrier() {
+  prof::TimelineScope barrier_span(rank_, prof::Phase::Barrier);
   std::unique_lock lock(world_->barrier_mutex_);
   const std::int64_t gen = world_->barrier_generation_;
   if (++world_->barrier_arrived_ == world_->size()) {

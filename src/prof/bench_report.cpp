@@ -67,7 +67,14 @@ std::string BenchReport::write() const {
 
 std::string bench_report_dir() {
   const char* dir = std::getenv("MSC_BENCH_DIR");
-  return (dir != nullptr && dir[0] != '\0') ? dir : ".";
+  if (dir != nullptr && dir[0] != '\0') return dir;
+#ifdef MSC_BENCH_DEFAULT_DIR
+  // Default to the repo root (baked in at configure time) so bench reports
+  // accumulate a trajectory even when nobody exports MSC_BENCH_DIR.
+  return MSC_BENCH_DEFAULT_DIR;
+#else
+  return ".";
+#endif
 }
 
 }  // namespace msc::prof

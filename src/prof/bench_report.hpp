@@ -15,7 +15,9 @@
 //     "wall_seconds": <double>
 //   }
 //
-// Output directory: $MSC_BENCH_DIR when set, else the current directory.
+// Output directory: $MSC_BENCH_DIR when set, else the repo root compiled in
+// as MSC_BENCH_DEFAULT_DIR (so reports land somewhere stable by default),
+// else the current directory.
 
 #include <cstdint>
 #include <string>
@@ -59,7 +61,8 @@ class BenchReport {
   double wall_seconds_ = 0.0;
 };
 
-/// Resolved output directory for bench reports ($MSC_BENCH_DIR or ".").
+/// Resolved output directory for bench reports ($MSC_BENCH_DIR, else the
+/// compiled-in repo root, else ".").
 std::string bench_report_dir();
 
 }  // namespace msc::prof

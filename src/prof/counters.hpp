@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/error.hpp"
+
 namespace msc::prof {
 
 enum class CounterKind { Monotonic, Gauge };
@@ -31,11 +33,18 @@ class Counter {
   CounterKind kind() const { return kind_; }
   std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
-  /// Monotonic accumulation (any thread).
-  void add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Monotonic accumulation (any thread).  Folding a gauge with add() would
+  /// silently turn a high-water mark into a sum, so kind misuse throws.
+  void add(std::int64_t delta) {
+    MSC_CHECK(kind_ == CounterKind::Monotonic)
+        << "add() on gauge counter '" << name_ << "' (use record_max)";
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
 
   /// Gauge high-water fold: value = max(value, sample) (any thread).
   void record_max(std::int64_t sample) {
+    MSC_CHECK(kind_ == CounterKind::Gauge)
+        << "record_max() on monotonic counter '" << name_ << "' (use add)";
     std::int64_t cur = value_.load(std::memory_order_relaxed);
     while (sample > cur &&
            !value_.compare_exchange_weak(cur, sample, std::memory_order_relaxed)) {

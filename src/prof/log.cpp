@@ -1,0 +1,115 @@
+#include "prof/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace msc::prof {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Off: return "off";
+    case LogLevel::Error: return "error";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Info: return "info";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Trace: return "trace";
+  }
+  return "off";
+}
+
+LogLevel parse_log_level(const std::string& text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text)
+    lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "trace") return LogLevel::Trace;
+  if (lower.size() == 1 && lower[0] >= '0' && lower[0] <= '5')
+    return static_cast<LogLevel>(lower[0] - '0');
+  return LogLevel::Off;
+}
+
+void Logger::configure_from_env() {
+  const char* level = std::getenv("MSC_LOG_LEVEL");
+  set_level(level != nullptr ? parse_log_level(level) : LogLevel::Off);
+  const char* file = std::getenv("MSC_LOG_FILE");
+  set_file(file != nullptr ? file : "");
+}
+
+void Logger::set_file(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  path_ = (path == "-") ? "" : path;
+}
+
+void Logger::set_capture(std::function<void(const std::string&)> capture) {
+  std::lock_guard lock(mutex_);
+  capture_ = std::move(capture);
+}
+
+void Logger::write(LogLevel level, const std::string& component, const std::string& message,
+                   workload::Json fields) {
+  using workload::Json;
+  Json line = Json::object();
+  std::lock_guard lock(mutex_);
+  line["lvl"] = Json::string(log_level_name(level));
+  line["comp"] = Json::string(component);
+  line["msg"] = Json::string(message);
+  line["seq"] = Json::integer(next_seq_++);
+  for (const auto& [key, value] : fields.members()) line[key] = value;
+  const std::string text = line.dump_compact();
+  if (capture_) {
+    capture_(text);
+    return;
+  }
+  if (!path_.empty() && file_ == nullptr) {
+    file_ = std::fopen(path_.c_str(), "a");
+    if (file_ == nullptr) path_.clear();  // unwritable path: fall back to stderr
+  }
+  std::FILE* out = file_ != nullptr ? file_ : stderr;
+  std::fprintf(out, "%s\n", text.c_str());
+  std::fflush(out);
+}
+
+Logger& global_log() {
+  static Logger logger;
+  return logger;
+}
+
+LogEvent::LogEvent(LogLevel level, std::string component, std::string message)
+    : armed_(global_log().enabled(level)),
+      level_(level),
+      component_(std::move(component)),
+      message_(std::move(message)) {}
+
+LogEvent::~LogEvent() {
+  if (armed_) global_log().write(level_, component_, message_, std::move(fields_));
+}
+
+LogEvent& LogEvent::num(const std::string& key, double value) {
+  if (armed_) fields_[key] = workload::Json::number(value);
+  return *this;
+}
+
+LogEvent& LogEvent::integer(const std::string& key, long long value) {
+  if (armed_) fields_[key] = workload::Json::integer(value);
+  return *this;
+}
+
+LogEvent& LogEvent::str(const std::string& key, std::string value) {
+  if (armed_) fields_[key] = workload::Json::string(std::move(value));
+  return *this;
+}
+
+LogEvent& LogEvent::boolean(const std::string& key, bool value) {
+  if (armed_) fields_[key] = workload::Json::boolean(value);
+  return *this;
+}
+
+}  // namespace msc::prof

@@ -1,0 +1,108 @@
+#pragma once
+
+// Leveled JSON-lines logger (the profiling layer's "why" half: counters say
+// what happened, traces say when, log lines say what a subsystem decided).
+//
+// One event = one JSON object on one line, e.g.
+//
+//   {"lvl":"debug","comp":"tune.sample","msg":"candidate","seq":12,
+//    "predicted":0.31,"measured":0.33}
+//
+// so a tuner search or a distributed run can be replayed with nothing more
+// than Json::parse per line.  Configuration comes from the environment:
+//
+//   MSC_LOG_LEVEL  error|warn|info|debug|trace (or 0-5); unset = off
+//   MSC_LOG_FILE   append lines to this path; unset or "-" = stderr
+//
+// The level check is one relaxed atomic load, so hot loops (the annealer
+// visits tens of thousands of samples) can guard with enabled() and pay
+// nothing when logging is off.  Sinks are serialized under a mutex; events
+// carry a process-wide sequence number so interleaved writers stay
+// ordered after the fact.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "workload/report.hpp"
+
+namespace msc::prof {
+
+enum class LogLevel : int { Off = 0, Error, Warn, Info, Debug, Trace };
+
+/// "error"/"warn"/... (lower-case); "off" for Off.
+const char* log_level_name(LogLevel level);
+
+/// Parses a level name or a 0-5 digit; unknown strings map to Off.
+LogLevel parse_log_level(const std::string& text);
+
+class Logger {
+ public:
+  /// Reads MSC_LOG_LEVEL / MSC_LOG_FILE.  Called by the constructor; tests
+  /// call it again after mutating the environment.
+  void configure_from_env();
+
+  LogLevel level() const { return static_cast<LogLevel>(level_.load(std::memory_order_relaxed)); }
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  bool enabled(LogLevel level) const {
+    return level != LogLevel::Off && static_cast<int>(level) <= level_.load(std::memory_order_relaxed);
+  }
+
+  /// Redirects output: empty or "-" means stderr.
+  void set_file(const std::string& path);
+
+  /// Captures finished lines instead of writing them (tests); nullptr
+  /// restores the file/stderr sink.
+  void set_capture(std::function<void(const std::string&)> capture);
+
+  /// Serializes `fields` (an object; lvl/comp/msg/seq are stamped in here)
+  /// and writes one line.  Callers normally go through LogEvent.
+  void write(LogLevel level, const std::string& component, const std::string& message,
+             workload::Json fields);
+
+ private:
+  friend Logger& global_log();
+  Logger() { configure_from_env(); }
+
+  std::atomic<int> level_{static_cast<int>(LogLevel::Off)};
+  std::mutex mutex_;
+  std::string path_;            // empty = stderr
+  std::FILE* file_ = nullptr;   // lazily opened, owned when non-null
+  std::function<void(const std::string&)> capture_;
+  std::int64_t next_seq_ = 0;
+};
+
+/// The process-wide logger every subsystem reports into.
+Logger& global_log();
+
+/// Fluent single-event builder against the global logger:
+///
+///   LogEvent(LogLevel::Debug, "tune.sample", "candidate")
+///       .num("predicted", p).num("measured", m).str("action", "accept");
+///
+/// The event is emitted from the destructor; when the level is disabled at
+/// construction every method is a no-op (no Json is built).
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, std::string component, std::string message);
+  ~LogEvent();
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& num(const std::string& key, double value);
+  LogEvent& integer(const std::string& key, long long value);
+  LogEvent& str(const std::string& key, std::string value);
+  LogEvent& boolean(const std::string& key, bool value);
+
+ private:
+  bool armed_;
+  LogLevel level_;
+  std::string component_, message_;
+  workload::Json fields_ = workload::Json::object();
+};
+
+}  // namespace msc::prof

@@ -1,0 +1,223 @@
+#include "prof/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace msc::prof {
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::Pack: return "pack";
+    case Phase::Post: return "post";
+    case Phase::Send: return "send";
+    case Phase::Wait: return "wait";
+    case Phase::Unpack: return "unpack";
+    case Phase::Compute: return "compute";
+    case Phase::Dma: return "dma";
+    case Phase::Barrier: return "barrier";
+  }
+  return "?";
+}
+
+bool phase_is_comm(Phase phase) { return phase != Phase::Compute; }
+
+double TimelineRecorder::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - origin_).count();
+}
+
+void TimelineRecorder::record(int rank, Phase phase, double t0, double t1) {
+  if (!enabled()) return;
+  if (t1 < t0) t1 = t0;
+  std::lock_guard lock(mutex_);
+  spans_.push_back({rank, phase, t0, t1});
+}
+
+void TimelineRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  spans_.clear();
+  origin_ = std::chrono::steady_clock::now();
+}
+
+std::size_t TimelineRecorder::size() const {
+  std::lock_guard lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<PhaseSpan> TimelineRecorder::spans() const {
+  std::lock_guard lock(mutex_);
+  return spans_;
+}
+
+workload::Json TimelineRecorder::to_json() const {
+  using workload::Json;
+  const auto all = spans();
+  Json root = Json::object();
+  root["schema"] = Json::string("msc-timeline-v1");
+  Json& list = root["spans"];
+  list = Json::array();
+  for (const PhaseSpan& s : all) {
+    Json e = Json::object();
+    e["rank"] = Json::integer(s.rank);
+    e["phase"] = Json::string(phase_name(s.phase));
+    e["t0"] = Json::number(s.t0);
+    e["t1"] = Json::number(s.t1);
+    list.push_back(std::move(e));
+  }
+  root["critical_path"] = critical_path_json(critical_path(all));
+  return root;
+}
+
+void TimelineRecorder::write_json(const std::string& path) const {
+  workload::write_file(path, to_json().dump() + "\n");
+}
+
+TimelineRecorder& global_timeline() {
+  static TimelineRecorder recorder;
+  return recorder;
+}
+
+namespace {
+
+using Interval = std::pair<double, double>;
+
+/// Total length of the union of intervals.
+double union_measure(std::vector<Interval> iv) {
+  std::sort(iv.begin(), iv.end());
+  double total = 0.0, hi = -1.0, lo = 0.0;
+  bool open = false;
+  for (const auto& [a, b] : iv) {
+    if (!open || a > hi) {
+      if (open) total += hi - lo;
+      lo = a;
+      hi = b;
+      open = true;
+    } else {
+      hi = std::max(hi, b);
+    }
+  }
+  if (open) total += hi - lo;
+  return total;
+}
+
+/// Merged (disjoint, sorted) union of intervals.
+std::vector<Interval> merge(std::vector<Interval> iv) {
+  std::sort(iv.begin(), iv.end());
+  std::vector<Interval> out;
+  for (const auto& [a, b] : iv) {
+    if (!out.empty() && a <= out.back().second)
+      out.back().second = std::max(out.back().second, b);
+    else
+      out.push_back({a, b});
+  }
+  return out;
+}
+
+/// Length of the intersection of two merged interval lists.
+double intersection_measure(const std::vector<Interval>& a, const std::vector<Interval>& b) {
+  double total = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double lo = std::max(a[i].first, b[j].first);
+    const double hi = std::min(a[i].second, b[j].second);
+    if (hi > lo) total += hi - lo;
+    if (a[i].second < b[j].second)
+      ++i;
+    else
+      ++j;
+  }
+  return total;
+}
+
+}  // namespace
+
+CriticalPathReport critical_path(const std::vector<PhaseSpan>& spans) {
+  CriticalPathReport report;
+  std::map<int, std::vector<const PhaseSpan*>> by_rank;
+  for (const PhaseSpan& s : spans) by_rank[s.rank].push_back(&s);
+
+  for (const auto& [rank, rank_spans] : by_rank) {
+    RankBreakdown rb;
+    rb.rank = rank;
+    std::vector<Interval> all, comm, compute;
+    for (const PhaseSpan* s : rank_spans) {
+      rb.phase_seconds[static_cast<std::size_t>(s->phase)] += s->seconds();
+      all.push_back({s->t0, s->t1});
+      (phase_is_comm(s->phase) ? comm : compute).push_back({s->t0, s->t1});
+    }
+    rb.busy_seconds = union_measure(all);
+    rb.comm_seconds = union_measure(comm);
+    rb.hidden_comm_seconds = intersection_measure(merge(comm), merge(compute));
+    report.total_comm_seconds += rb.comm_seconds;
+    report.hidden_comm_seconds += rb.hidden_comm_seconds;
+    if (rb.busy_seconds > report.wall_seconds) {
+      report.wall_seconds = rb.busy_seconds;
+      report.critical_rank = rank;
+    }
+    report.ranks.push_back(std::move(rb));
+  }
+  if (report.critical_rank >= 0) {
+    for (const RankBreakdown& rb : report.ranks) {
+      if (rb.rank != report.critical_rank) continue;
+      std::size_t best = 0;
+      for (std::size_t p = 1; p < rb.phase_seconds.size(); ++p)
+        if (rb.phase_seconds[p] > rb.phase_seconds[best]) best = p;
+      report.bounding_phase = static_cast<Phase>(best);
+    }
+  }
+  report.overlap_efficiency = report.total_comm_seconds > 0.0
+                                  ? report.hidden_comm_seconds / report.total_comm_seconds
+                                  : 0.0;
+  return report;
+}
+
+workload::Json critical_path_json(const CriticalPathReport& report) {
+  using workload::Json;
+  Json root = Json::object();
+  root["wall_seconds"] = Json::number(report.wall_seconds);
+  root["critical_rank"] = Json::integer(report.critical_rank);
+  root["bounding_phase"] = Json::string(phase_name(report.bounding_phase));
+  root["total_comm_seconds"] = Json::number(report.total_comm_seconds);
+  root["hidden_comm_seconds"] = Json::number(report.hidden_comm_seconds);
+  root["overlap_efficiency"] = Json::number(report.overlap_efficiency);
+  Json& ranks = root["ranks"];
+  ranks = Json::array();
+  for (const RankBreakdown& rb : report.ranks) {
+    Json r = Json::object();
+    r["rank"] = Json::integer(rb.rank);
+    r["busy_seconds"] = Json::number(rb.busy_seconds);
+    r["comm_seconds"] = Json::number(rb.comm_seconds);
+    r["hidden_comm_seconds"] = Json::number(rb.hidden_comm_seconds);
+    Json& phases = r["phases"];
+    phases = Json::object();
+    for (std::size_t p = 0; p < rb.phase_seconds.size(); ++p)
+      if (rb.phase_seconds[p] > 0.0)
+        phases[phase_name(static_cast<Phase>(p))] = Json::number(rb.phase_seconds[p]);
+    ranks.push_back(std::move(r));
+  }
+  return root;
+}
+
+std::string critical_path_summary(const CriticalPathReport& report) {
+  std::ostringstream out;
+  out << "per-rank phase attribution:\n";
+  for (const RankBreakdown& rb : report.ranks) {
+    out << strprintf("  rank %-3d busy %10.3g s :", rb.rank, rb.busy_seconds);
+    for (std::size_t p = 0; p < rb.phase_seconds.size(); ++p)
+      if (rb.phase_seconds[p] > 0.0)
+        out << strprintf(" %s %.3g", phase_name(static_cast<Phase>(p)), rb.phase_seconds[p]);
+    out << "\n";
+  }
+  if (report.critical_rank >= 0)
+    out << strprintf(
+        "critical path: rank %d (%.3g s), bounded by %s; overlap efficiency %.1f%% "
+        "(%.3g of %.3g comm s hidden under compute)\n",
+        report.critical_rank, report.wall_seconds, phase_name(report.bounding_phase),
+        report.overlap_efficiency * 100.0, report.hidden_comm_seconds,
+        report.total_comm_seconds);
+  return out.str();
+}
+
+}  // namespace msc::prof

@@ -1,0 +1,129 @@
+#pragma once
+
+// Per-rank phase timeline: the attribution layer between the flat counters
+// (counters.hpp) and the free-form trace (trace.hpp).
+//
+// Every span is (rank, phase, [t0, t1)) in seconds.  The comm layers record
+// wall-clock spans (pack/post/send/wait/unpack/compute per simmpi rank
+// thread); the Sunway CG simulator records *simulated*-time spans
+// (compute/dma per step).  The two time bases must not be mixed in one
+// recording — msc-prof snapshots and clears between passes.
+//
+// critical_path() turns a recording into the quantities behind the paper's
+// Fig. 10 discussion:
+//   * per-rank, per-phase totals and the busy time (union measure of spans),
+//   * the critical rank (max busy) and its dominant phase — which rank and
+//     which phase bound the simulated wall time,
+//   * overlap efficiency = hidden comm / total comm, where hidden comm is
+//     the part of the comm-span union that runs concurrently with compute
+//     spans on the same rank (the async halo exchange's whole point).
+//
+// Like the trace recorder, the timeline is process-global and disabled by
+// default; a disabled TimelineScope costs one relaxed atomic load.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "workload/report.hpp"
+
+namespace msc::prof {
+
+enum class Phase : int { Pack, Post, Send, Wait, Unpack, Compute, Dma, Barrier };
+inline constexpr int kPhaseCount = 8;
+
+const char* phase_name(Phase phase);
+
+/// Everything except Compute counts as communication/data movement.
+bool phase_is_comm(Phase phase);
+
+struct PhaseSpan {
+  int rank = 0;
+  Phase phase = Phase::Compute;
+  double t0 = 0.0, t1 = 0.0;  ///< seconds (wall or simulated, caller's base)
+  double seconds() const { return t1 - t0; }
+};
+
+class TimelineRecorder {
+ public:
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Seconds since the recording origin (the wall-clock time base).
+  double now() const;
+
+  /// Records one span in an explicit time base (any thread).
+  void record(int rank, Phase phase, double t0, double t1);
+
+  /// Drops all spans and resets the wall-clock origin.
+  void clear();
+
+  std::size_t size() const;
+  std::vector<PhaseSpan> spans() const;
+
+  /// {"schema":"msc-timeline-v1","spans":[...],"critical_path":{...}}
+  workload::Json to_json() const;
+  void write_json(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::chrono::steady_clock::time_point origin_ = std::chrono::steady_clock::now();
+  std::vector<PhaseSpan> spans_;
+};
+
+/// The process-wide timeline the comm layers and simulators report into.
+TimelineRecorder& global_timeline();
+
+/// RAII wall-clock span against the global timeline.  Armed at construction
+/// (like TraceScope: enabling mid-span records nothing).
+class TimelineScope {
+ public:
+  TimelineScope(int rank, Phase phase)
+      : armed_(global_timeline().enabled()), rank_(rank), phase_(phase) {
+    if (armed_) t0_ = global_timeline().now();
+  }
+  ~TimelineScope() {
+    if (armed_) global_timeline().record(rank_, phase_, t0_, global_timeline().now());
+  }
+  TimelineScope(const TimelineScope&) = delete;
+  TimelineScope& operator=(const TimelineScope&) = delete;
+
+ private:
+  bool armed_;
+  int rank_;
+  Phase phase_;
+  double t0_ = 0.0;
+};
+
+/// Per-rank attribution.
+struct RankBreakdown {
+  int rank = 0;
+  std::array<double, kPhaseCount> phase_seconds{};  ///< sum of span durations
+  double busy_seconds = 0.0;         ///< union measure of all spans
+  double comm_seconds = 0.0;         ///< union measure of comm spans
+  double hidden_comm_seconds = 0.0;  ///< comm union ∩ compute union
+};
+
+struct CriticalPathReport {
+  std::vector<RankBreakdown> ranks;   ///< sorted by rank id
+  double wall_seconds = 0.0;          ///< max busy over ranks
+  int critical_rank = -1;
+  Phase bounding_phase = Phase::Compute;  ///< largest phase on the critical rank
+  double total_comm_seconds = 0.0;    ///< sum of per-rank comm unions
+  double hidden_comm_seconds = 0.0;
+  double overlap_efficiency = 0.0;    ///< hidden / total (0 when no comm)
+};
+
+CriticalPathReport critical_path(const std::vector<PhaseSpan>& spans);
+
+workload::Json critical_path_json(const CriticalPathReport& report);
+
+/// Human-readable per-rank table + verdict line (what msc-prof prints).
+std::string critical_path_summary(const CriticalPathReport& report);
+
+}  // namespace msc::prof

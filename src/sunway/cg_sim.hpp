@@ -27,6 +27,7 @@
 #include "ir/stencil.hpp"
 #include "machine/machine.hpp"
 #include "prof/counters.hpp"
+#include "prof/timeline.hpp"
 #include "prof/trace.hpp"
 #include "schedule/schedule.hpp"
 #include "sunway/dma.hpp"
@@ -133,6 +134,14 @@ CgSimResult run_cg_sim(const ir::StencilDef& st, const schedule::Schedule& sched
       s *= tile[static_cast<std::size_t>(d)] + 2 * radius;
     }
   }
+
+  // Simulated-time timeline: spans are laid on a cursor that advances by
+  // exactly the step time added to result.seconds, so the critical-path
+  // report's wall time equals the simulated wall time.  "Rank" 0 is the
+  // simulated core group.  (Callers mixing these simulated spans with
+  // wall-clock comm spans should snapshot+clear the timeline between runs.)
+  auto& timeline = prof::global_timeline();
+  double tl_cursor = 0.0;
 
   for (std::int64_t t = t_begin; t <= t_end; ++t) {
     prof::TraceScope step_scope("cg_sim.step", "sunway");
@@ -277,9 +286,30 @@ CgSimResult run_cg_sim(const ir::StencilDef& st, const schedule::Schedule& sched
       busiest_d = std::max(busiest_d, dt);
     }
     const double bus_floor = static_cast<double>(step_dma_bytes) / (m.mem_bw_gbs * 1e9);
-    result.seconds += std::max(busiest, bus_floor);
+    const double step_seconds = std::max(busiest, bus_floor);
+    const double step_dma = std::max(busiest_d, bus_floor);
+    if (timeline.enabled()) {
+      if (double_buffer) {
+        // Overlapped pipeline: compute and DMA run concurrently, so the two
+        // spans share the step start; their union is the step time
+        // (step = max(busiest_c, busiest_d, bus_floor)).
+        if (busiest_c > 0.0)
+          timeline.record(0, prof::Phase::Compute, tl_cursor, tl_cursor + busiest_c);
+        if (step_dma > 0.0)
+          timeline.record(0, prof::Phase::Dma, tl_cursor, tl_cursor + step_dma);
+      } else {
+        // Blocking pipeline: compute then DMA, back to back; the two spans
+        // partition the step exactly (busiest_c <= busiest <= step).
+        if (busiest_c > 0.0)
+          timeline.record(0, prof::Phase::Compute, tl_cursor, tl_cursor + busiest_c);
+        if (step_seconds > busiest_c)
+          timeline.record(0, prof::Phase::Dma, tl_cursor + busiest_c, tl_cursor + step_seconds);
+      }
+    }
+    tl_cursor += step_seconds;
+    result.seconds += step_seconds;
     result.compute_seconds += busiest_c;
-    result.dma_seconds += std::max(busiest_d, bus_floor);
+    result.dma_seconds += step_dma;
 
     state.fill_halo(state.slot_for_time(t), bc);
     ++result.timesteps;

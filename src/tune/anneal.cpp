@@ -1,4 +1,18 @@
 #include "tune/anneal.hpp"
 
-// anneal() is a header template; nothing to compile here beyond anchoring
-// the translation unit in the build.
+#include "prof/log.hpp"
+
+namespace msc::tune::detail {
+
+void log_anneal_sample(std::int64_t iteration, double objective, double temperature,
+                       bool accepted, bool improved_best) {
+  if (!prof::global_log().enabled(prof::LogLevel::Trace)) return;
+  prof::LogEvent(prof::LogLevel::Trace, "tune.anneal", "sample")
+      .integer("iteration", iteration)
+      .num("objective", objective)
+      .num("temperature", temperature)
+      .boolean("accepted", accepted)
+      .boolean("improved_best", improved_best);
+}
+
+}  // namespace msc::tune::detail

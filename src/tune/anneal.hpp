@@ -26,6 +26,26 @@ struct AnnealConfig {
   std::uint64_t seed = 1;
 };
 
+/// One proposed move, as seen by an anneal() observer: every candidate, not
+/// just accepted improvements (TracePoint keeps that monotone curve).
+template <typename State>
+struct AnnealSample {
+  std::int64_t iteration = 0;
+  double objective = 0.0;    ///< candidate's objective value
+  double temperature = 0.0;
+  bool accepted = false;     ///< move taken (downhill or Metropolis)
+  bool improved_best = false;
+  const State& candidate;
+};
+
+namespace detail {
+/// Emits one trace-level structured log line for a proposed move (no-op
+/// when the global logger is below trace); non-template so anneal.hpp does
+/// not pull in the logging headers.
+void log_anneal_sample(std::int64_t iteration, double objective, double temperature,
+                       bool accepted, bool improved_best);
+}  // namespace detail
+
 template <typename State>
 struct AnnealResult {
   State best;
@@ -35,11 +55,14 @@ struct AnnealResult {
 };
 
 /// Minimizes `objective` from `init`, proposing moves with `neighbor`.
+/// `observer`, when set, sees every proposed move (search explainability);
+/// every proposal is also logged at trace level through the global logger.
 template <typename State>
 AnnealResult<State> anneal(const State& init,
                            const std::function<double(const State&)>& objective,
                            const std::function<State(const State&, Rng&)>& neighbor,
-                           const AnnealConfig& cfg = {}) {
+                           const AnnealConfig& cfg = {},
+                           const std::function<void(const AnnealSample<State>&)>& observer = {}) {
   Rng rng(cfg.seed);
   State current = init;
   double cur_obj = objective(current);
@@ -53,17 +76,24 @@ AnnealResult<State> anneal(const State& init,
     State cand = neighbor(current, rng);
     const double cand_obj = objective(cand);
     const double delta = cand_obj - cur_obj;
-    if (delta <= 0.0 ||
-        (temperature > 0.0 && rng.next_double() < std::exp(-delta / temperature))) {
+    const bool accepted =
+        delta <= 0.0 ||
+        (temperature > 0.0 && rng.next_double() < std::exp(-delta / temperature));
+    bool improved = false;
+    if (accepted) {
       current = std::move(cand);
       cur_obj = cand_obj;
       if (cur_obj < result.best_objective) {
+        improved = true;
         result.best = current;
         result.best_objective = cur_obj;
         result.converged_at = it;
         result.trace.push_back({it, cur_obj});
       }
     }
+    detail::log_anneal_sample(it, cand_obj, temperature, accepted, improved);
+    if (observer) observer(AnnealSample<State>{it, cand_obj, temperature, accepted, improved,
+                                               accepted ? current : cand});
     temperature *= cfg.cooling;
   }
   return result;

@@ -71,7 +71,16 @@ double LinearRegression::r_squared(const std::vector<std::vector<double>>& X,
     ss_res += r * r;
     ss_tot += (y[s] - mean) * (y[s] - mean);
   }
-  return ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  if (ss_tot == 0.0) {
+    // Constant targets: "variance explained" is undefined, and the naive
+    // 1 - ss_res/ss_tot would emit NaN/-inf.  Score a perfect constant fit
+    // as 1 and anything with real residual error as 0.  The tolerance is
+    // relative to the targets' magnitude so ridge-regularized fits (residual
+    // ~1e-17 on y ~ 5) still count as exact.
+    const double tol = 1e-12 * static_cast<double>(y.size()) * (mean * mean + 1e-300);
+    return ss_res <= tol ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
 }
 
 }  // namespace msc::tune

@@ -6,6 +6,7 @@
 #include "comm/decompose.hpp"
 #include "ir/type.hpp"
 #include "prof/counters.hpp"
+#include "prof/log.hpp"
 #include "schedule/schedule.hpp"
 #include "sunway/spm.hpp"
 #include "support/error.hpp"
@@ -191,6 +192,30 @@ TuneResult tune(const ir::StencilDef& st, const machine::MachineModel& m,
   LinearRegression model;
   model.fit(X, y);
   result.model_r2 = model.r_squared(X, y);
+  result.model_weights = model.weights();
+
+  // Replay the training set through the fitted model so a debug log shows
+  // where the regression is trusted and where it is off.
+  if (prof::global_log().enabled(prof::LogLevel::Debug)) {
+    for (std::size_t s = 0; s < X.size(); ++s) {
+      prof::LogEvent ev(prof::LogLevel::Debug, "tune.sample", "train candidate");
+      ev.integer("sample", static_cast<long long>(s))
+          .num("measured_seconds", y[s])
+          .num("predicted_seconds", model.predict(X[s]))
+          .integer("tile0", samples[s].tile[0])
+          .integer("tile1", samples[s].tile[1])
+          .integer("tile2", samples[s].tile[2]);
+      std::string dims;
+      for (int dd : samples[s].mpi_dims) {
+        if (!dims.empty()) dims += "x";
+        dims += std::to_string(dd);
+      }
+      ev.str("mpi_dims", dims);
+    }
+    prof::LogEvent(prof::LogLevel::Debug, "tune.model", "regression fit")
+        .num("r2", result.model_r2)
+        .integer("samples", static_cast<long long>(X.size()));
+  }
 
   // ---- 3: simulated annealing on the fitted model --------------------
   const auto objective = [&](const TuneParams& p) {
@@ -219,7 +244,70 @@ TuneResult tune(const ir::StencilDef& st, const machine::MachineModel& m,
   result.best_seconds = measure_config(st, m, impl, net, cfg, sa.best);
   result.trace = sa.trace;
   result.converged_at = sa.converged_at;
+  result.best_features = features(st, m, impl, net, cfg, sa.best);
+
+  if (prof::global_log().enabled(prof::LogLevel::Info)) {
+    prof::LogEvent(prof::LogLevel::Info, "tune", "search finished")
+        .num("initial_seconds", result.initial_seconds)
+        .num("best_seconds", result.best_seconds)
+        .num("speedup", result.speedup())
+        .num("model_r2", result.model_r2)
+        .integer("converged_at", result.converged_at);
+  }
   return result;
+}
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> names = {
+      "const", "points", "traffic_bytes", "dma_latency", "halo_bytes", "halo_messages"};
+  return names;
+}
+
+workload::Json explain_tune_json(const TuneResult& result) {
+  using workload::Json;
+  Json doc = Json::object();
+  doc["schema"] = Json::string("msc-tune-explain-v1");
+
+  const auto params_json = [](const TuneParams& p) {
+    Json j = Json::object();
+    Json dims = Json::array();
+    for (int d : p.mpi_dims) dims.push_back(Json::integer(d));
+    j["mpi_dims"] = std::move(dims);
+    Json tile = Json::array();
+    for (std::int64_t t : p.tile) tile.push_back(Json::integer(t));
+    j["tile"] = std::move(tile);
+    return j;
+  };
+  doc["initial"] = params_json(result.initial);
+  doc["best"] = params_json(result.best);
+  doc["initial_seconds"] = Json::number(result.initial_seconds);
+  doc["best_seconds"] = Json::number(result.best_seconds);
+  doc["speedup"] = Json::number(result.speedup());
+  doc["model_r2"] = Json::number(result.model_r2);
+  doc["converged_at"] = Json::integer(result.converged_at);
+  doc["train_samples"] = Json::integer(static_cast<long long>(result.candidates.size()));
+
+  // Per-feature attribution of the winner's predicted cost: weight * value,
+  // plus each term's share of the total absolute contribution (the paper's
+  // Fig. 11 "which term dominates" read).
+  const auto& names = feature_names();
+  Json feats = Json::array();
+  double total_abs = 0.0;
+  for (std::size_t i = 0; i < result.model_weights.size() && i < result.best_features.size(); ++i)
+    total_abs += std::fabs(result.model_weights[i] * result.best_features[i]);
+  for (std::size_t i = 0; i < result.model_weights.size(); ++i) {
+    Json f = Json::object();
+    f["name"] = Json::string(i < names.size() ? names[i] : "feature" + std::to_string(i));
+    f["weight"] = Json::number(result.model_weights[i]);
+    const double value = i < result.best_features.size() ? result.best_features[i] : 0.0;
+    f["value"] = Json::number(value);
+    const double contribution = result.model_weights[i] * value;
+    f["contribution_seconds"] = Json::number(contribution);
+    f["share"] = Json::number(total_abs > 0.0 ? std::fabs(contribution) / total_abs : 0.0);
+    feats.push_back(std::move(f));
+  }
+  doc["features"] = std::move(feats);
+  return doc;
 }
 
 }  // namespace msc::tune

@@ -20,6 +20,7 @@
 #include "machine/cost_model.hpp"
 #include "tune/anneal.hpp"
 #include "tune/regression.hpp"
+#include "workload/report.hpp"
 
 namespace msc::tune {
 
@@ -44,6 +45,8 @@ struct TuneResult {
   std::vector<TracePoint> trace; ///< best-so-far predicted time per iteration
   std::vector<CandidateRecord> candidates;  ///< training samples (profiling)
   std::int64_t converged_at = 0;
+  std::vector<double> model_weights;  ///< fitted regression weights
+  std::vector<double> best_features;  ///< feature vector of the winner
   double speedup() const { return initial_seconds / best_seconds; }
 };
 
@@ -70,5 +73,14 @@ double measure_config(const ir::StencilDef& st, const machine::MachineModel& m,
 TuneResult tune(const ir::StencilDef& st, const machine::MachineModel& m,
                 const machine::ImplProfile& impl, const comm::NetworkModel& net,
                 const TuneConfig& cfg);
+
+/// Names of the regression features, index-aligned with
+/// CandidateRecord::features and TuneResult::model_weights.
+const std::vector<std::string>& feature_names();
+
+/// Search explainability (paper Fig. 11): the winning schedule plus the
+/// regression model's per-feature weight/value/contribution breakdown, as a
+/// Json tree ("msc-tune-explain-v1") that round-trips through Json::parse.
+workload::Json explain_tune_json(const TuneResult& result);
 
 }  // namespace msc::tune

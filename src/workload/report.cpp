@@ -141,6 +141,26 @@ std::string Json::dump(int indent) const {
   return "null";
 }
 
+std::string Json::dump_compact() const {
+  switch (kind_) {
+    case Kind::Array: {
+      std::string out = "[";
+      for (std::size_t n = 0; n < elements_.size(); ++n)
+        out += (n ? "," : "") + elements_[n].dump_compact();
+      return out + "]";
+    }
+    case Kind::Object: {
+      std::string out = "{";
+      for (std::size_t n = 0; n < members_.size(); ++n)
+        out += (n ? ",\"" : "\"") + json_escape(members_[n].first) + "\":" +
+               members_[n].second.dump_compact();
+      return out + "}";
+    }
+    default:
+      return dump(1);  // scalars never contain newlines at depth > 0
+  }
+}
+
 namespace {
 
 /// Recursive-descent JSON reader over a string; positions reported in

@@ -42,6 +42,10 @@ class Json {
   /// Serializes with 2-space indentation and a trailing newline at depth 0.
   std::string dump(int indent = 0) const;
 
+  /// Single-line serialization (no indentation or newlines) — the JSON-lines
+  /// form used by the bench-history ledger and the structured logger.
+  std::string dump_compact() const;
+
   /// Parses a JSON document (anything dump() emits, plus general JSON with
   /// the standard escapes).  Throws msc::Error on malformed input.
   static Json parse(const std::string& text);

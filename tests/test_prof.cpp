@@ -10,6 +10,7 @@
 
 #include "prof/bench_report.hpp"
 #include "prof/counters.hpp"
+#include "prof/log.hpp"
 #include "prof/trace.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
@@ -51,6 +52,23 @@ TEST(Counters, KindMismatchThrows) {
   EXPECT_THROW(reg.counter("test.gauge"), Error);
   // Same-kind re-lookup returns the same counter.
   EXPECT_EQ(&reg.counter("test.mono"), &reg.counter("test.mono"));
+}
+
+TEST(Counters, KindMisuseOnIncrementThrows) {
+  // add() on a gauge would silently turn a high-water mark into a sum (and
+  // record_max() on a monotonic would drop increments), so both throw.
+  CounterRegistry reg;
+  auto& mono = reg.counter("test.mono2");
+  auto& g = reg.gauge("test.gauge2");
+  EXPECT_THROW(g.add(1), Error);
+  EXPECT_THROW(mono.record_max(5), Error);
+  // The misuse left the values untouched and the right verbs still work.
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(mono.value(), 0);
+  mono.add(3);
+  g.record_max(9);
+  EXPECT_EQ(mono.value(), 3);
+  EXPECT_EQ(g.value(), 9);
 }
 
 TEST(Counters, ResetZeroesButKeepsReferencesValid) {
@@ -210,11 +228,16 @@ TEST(BenchReportTest, JsonSchemaRoundTrips) {
 }
 
 TEST(BenchReportTest, DirHonorsEnvironment) {
-  // bench_report_dir falls back to the current directory.
+  // Unset, bench_report_dir falls back to the compiled-in repo root (so
+  // reports and the bench-history ledger land somewhere stable).
   const char* old = std::getenv("MSC_BENCH_DIR");
   const std::string saved = old ? old : "";
   ::unsetenv("MSC_BENCH_DIR");
+#ifdef MSC_BENCH_DEFAULT_DIR
+  EXPECT_EQ(bench_report_dir(), MSC_BENCH_DEFAULT_DIR);
+#else
   EXPECT_EQ(bench_report_dir(), ".");
+#endif
   ::setenv("MSC_BENCH_DIR", "/tmp/msc_bench_test", 1);
   EXPECT_EQ(bench_report_dir(), "/tmp/msc_bench_test");
   if (old)
@@ -223,7 +246,110 @@ TEST(BenchReportTest, DirHonorsEnvironment) {
     ::unsetenv("MSC_BENCH_DIR");
 }
 
+// ---- structured logger --------------------------------------------------
+
+/// Captures finished log lines for the duration of a test.
+class LogCapture {
+ public:
+  explicit LogCapture(LogLevel level) {
+    global_log().set_capture([this](const std::string& line) { lines_.push_back(line); });
+    global_log().set_level(level);
+  }
+  ~LogCapture() {
+    global_log().set_level(LogLevel::Off);
+    global_log().set_capture(nullptr);
+  }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+TEST(Log, LevelNamesRoundTrip) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("TRACE"), LogLevel::Trace);
+  EXPECT_EQ(parse_log_level("3"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::Off);
+  EXPECT_STREQ(log_level_name(LogLevel::Warn), "warn");
+  EXPECT_STREQ(log_level_name(LogLevel::Off), "off");
+}
+
+TEST(Log, EventsBelowTheLevelAreDropped) {
+  LogCapture cap(LogLevel::Info);
+  LogEvent(LogLevel::Error, "test", "kept-error");
+  LogEvent(LogLevel::Info, "test", "kept-info");
+  LogEvent(LogLevel::Debug, "test", "dropped");
+  LogEvent(LogLevel::Trace, "test", "dropped too");
+  ASSERT_EQ(cap.lines().size(), 2u);
+  EXPECT_NE(cap.lines()[0].find("kept-error"), std::string::npos);
+  EXPECT_NE(cap.lines()[1].find("kept-info"), std::string::npos);
+}
+
+TEST(Log, LinesAreSingleLineParseableJson) {
+  LogCapture cap(LogLevel::Debug);
+  LogEvent(LogLevel::Debug, "tune.sample", "candidate \"quoted\"")
+      .num("predicted", 0.25)
+      .integer("sample", 7)
+      .str("action", "accept")
+      .boolean("improved", true);
+  ASSERT_EQ(cap.lines().size(), 1u);
+  const std::string& line = cap.lines()[0];
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const Json doc = Json::parse(line);
+  EXPECT_EQ(doc.find("lvl")->as_string(), "debug");
+  EXPECT_EQ(doc.find("comp")->as_string(), "tune.sample");
+  EXPECT_EQ(doc.find("msg")->as_string(), "candidate \"quoted\"");
+  EXPECT_GE(doc.find("seq")->as_integer(), 0);
+  EXPECT_DOUBLE_EQ(doc.find("predicted")->as_number(), 0.25);
+  EXPECT_EQ(doc.find("sample")->as_integer(), 7);
+  EXPECT_EQ(doc.find("action")->as_string(), "accept");
+  EXPECT_TRUE(doc.find("improved")->as_bool());
+}
+
+TEST(Log, SequenceNumbersIncreaseAcrossEvents) {
+  LogCapture cap(LogLevel::Info);
+  LogEvent(LogLevel::Info, "test", "a");
+  LogEvent(LogLevel::Info, "test", "b");
+  ASSERT_EQ(cap.lines().size(), 2u);
+  const auto s0 = Json::parse(cap.lines()[0]).find("seq")->as_integer();
+  const auto s1 = Json::parse(cap.lines()[1]).find("seq")->as_integer();
+  EXPECT_LT(s0, s1);
+}
+
+TEST(Log, ConcurrentWritersProduceWholeLines) {
+  LogCapture cap(LogLevel::Info);
+  ThreadPool pool(4);
+  pool.parallel_tasks(64, [&](std::int64_t idx) {
+    LogEvent(LogLevel::Info, "test.mt", "worker").integer("task", idx);
+  });
+  ASSERT_EQ(cap.lines().size(), 64u);
+  for (const auto& line : cap.lines()) {
+    const Json doc = Json::parse(line);  // each captured line is intact JSON
+    EXPECT_EQ(doc.find("comp")->as_string(), "test.mt");
+  }
+}
+
 // ---- Json parser --------------------------------------------------------
+
+TEST(JsonParse, DumpCompactIsSingleLineAndRoundTrips) {
+  Json j = Json::object();
+  j["name"] = Json::string("x");
+  Json arr = Json::array();
+  arr.push_back(Json::integer(1));
+  arr.push_back(Json::number(2.5));
+  arr.push_back(Json::boolean(false));
+  j["vals"] = std::move(arr);
+  j["nested"] = Json::object();
+  j["nested"]["deep"] = Json::string("line\nbreak");
+  const std::string compact = j.dump_compact();
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+  const Json back = Json::parse(compact);
+  EXPECT_EQ(back.find("name")->as_string(), "x");
+  EXPECT_EQ(back.find("vals")->elements().size(), 3u);
+  EXPECT_DOUBLE_EQ(back.find("vals")->elements()[1].as_number(), 2.5);
+  EXPECT_EQ(back.find("nested")->find("deep")->as_string(), "line\nbreak");
+}
+
 
 TEST(JsonParse, ScalarsAndStructure) {
   const Json doc = Json::parse(

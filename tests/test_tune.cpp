@@ -55,6 +55,31 @@ TEST(Regression, RejectsBadShapes) {
   EXPECT_THROW(model.fit({{1.0}, {1.0, 2.0}}, {1.0, 2.0}), Error);
 }
 
+TEST(Regression, ConstantTargetsScoreFiniteRSquared) {
+  // Constant y: ss_tot is 0 and the naive 1 - ss_res/ss_tot would be NaN
+  // (or -inf).  A model that reproduces the constant must score 1.
+  std::vector<std::vector<double>> X = {{1.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}};
+  std::vector<double> y = {5.0, 5.0, 5.0, 5.0};
+  LinearRegression model;
+  model.fit(X, y);
+  const double r2 = model.r_squared(X, y);
+  EXPECT_TRUE(std::isfinite(r2));
+  EXPECT_DOUBLE_EQ(r2, 1.0);
+}
+
+TEST(Regression, ConstantTargetsWithRealResidualsScoreZero) {
+  // A deliberately wrong model evaluated on constant targets: residuals are
+  // large, so the fit explains nothing — 0, not NaN and not a flattering 1.
+  std::vector<std::vector<double>> X = {{1.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}};
+  std::vector<double> y_fit = {0.0, 10.0, 20.0};
+  LinearRegression model;
+  model.fit(X, y_fit);  // learns y = 10*x
+  const std::vector<double> y_const = {5.0, 5.0, 5.0};
+  const double r2 = model.r_squared(X, y_const);
+  EXPECT_TRUE(std::isfinite(r2));
+  EXPECT_DOUBLE_EQ(r2, 0.0);
+}
+
 TEST(Anneal, FindsMinimumOfConvexFunction) {
   // Minimize (x - 17)^2 over integers via +-1 moves.
   const auto result = anneal<int>(
@@ -82,6 +107,34 @@ TEST(Anneal, DeterministicForFixedSeed) {
   const auto b = anneal<int>(40, obj, nb, {.iterations = 1000, .seed = 3});
   EXPECT_EQ(a.best, b.best);
   EXPECT_EQ(a.trace.size(), b.trace.size());
+}
+
+TEST(Anneal, ObserverSeesEveryProposedMove) {
+  std::int64_t calls = 0, accepted = 0, improved = 0;
+  double last_temperature = -1.0;
+  const auto result = anneal<int>(
+      50, [](const int& x) { return static_cast<double>(x * x); },
+      [](const int& x, Rng& rng) { return x + static_cast<int>(rng.next_int(-2, 2)); },
+      {.iterations = 500, .initial_temperature = 0.5, .cooling = 0.999, .seed = 4},
+      [&](const AnnealSample<int>& s) {
+        EXPECT_EQ(s.iteration, calls + 1);  // every iteration observed, in order
+        EXPECT_GE(s.objective, 0.0);
+        if (last_temperature >= 0.0) {
+          EXPECT_LE(s.temperature, last_temperature);
+        }
+        last_temperature = s.temperature;
+        ++calls;
+        if (s.accepted) ++accepted;
+        if (s.improved_best) {
+          ++improved;
+          EXPECT_TRUE(s.accepted);  // improvements are a subset of accepts
+          EXPECT_EQ(s.candidate * s.candidate, static_cast<int>(s.objective));
+        }
+      });
+  EXPECT_EQ(calls, 500);
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(improved, 0);
+  EXPECT_EQ(result.best, 0);
 }
 
 TEST(Factorizations, EnumeratesAllOrderedTriples) {
@@ -150,6 +203,44 @@ TEST_F(TunerFixture, DeterministicForFixedSeed) {
   EXPECT_EQ(a.best.mpi_dims, b.best.mpi_dims);
   EXPECT_EQ(a.best.tile, b.best.tile);
   EXPECT_DOUBLE_EQ(a.best_seconds, b.best_seconds);
+}
+
+TEST_F(TunerFixture, ExplainJsonRoundTripsAndAttributesCost) {
+  const auto& info = workload::benchmark("3d7pt_star");
+  auto prog = workload::make_program(info, ir::DataType::f64, {512, 128, 128});
+  const auto result = tune(prog->stencil(), machine::sunway_cg(),
+                           machine::profile_msc_sunway(), comm::sunway_network(), config());
+  ASSERT_EQ(result.model_weights.size(), feature_names().size());
+  ASSERT_EQ(result.best_features.size(), feature_names().size());
+
+  // The explain document must survive dump -> parse (the acceptance check).
+  using workload::Json;
+  const Json doc = Json::parse(explain_tune_json(result).dump());
+  EXPECT_EQ(doc.find("schema")->as_string(), "msc-tune-explain-v1");
+  EXPECT_DOUBLE_EQ(doc.find("best_seconds")->as_number(), result.best_seconds);
+  EXPECT_DOUBLE_EQ(doc.find("speedup")->as_number(), result.speedup());
+
+  const Json* feats = doc.find("features");
+  ASSERT_NE(feats, nullptr);
+  ASSERT_EQ(feats->elements().size(), feature_names().size());
+  double share_sum = 0.0, predicted = 0.0;
+  for (std::size_t i = 0; i < feats->elements().size(); ++i) {
+    const Json& f = feats->elements()[i];
+    EXPECT_EQ(f.find("name")->as_string(), feature_names()[i]);
+    EXPECT_DOUBLE_EQ(f.find("contribution_seconds")->as_number(),
+                     f.find("weight")->as_number() * f.find("value")->as_number());
+    share_sum += f.find("share")->as_number();
+    predicted += f.find("contribution_seconds")->as_number();
+  }
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);  // shares partition the absolute total
+  // Contributions sum to the model's prediction for the winner, which the
+  // (high-R^2) model keeps close to the re-measured best time.
+  EXPECT_NEAR(predicted, result.best_seconds, 0.25 * result.best_seconds);
+
+  const Json* best = doc.find("best");
+  ASSERT_NE(best, nullptr);
+  ASSERT_EQ(best->find("mpi_dims")->elements().size(), result.best.mpi_dims.size());
+  EXPECT_EQ(best->find("tile")->elements()[0].as_integer(), result.best.tile[0]);
 }
 
 }  // namespace

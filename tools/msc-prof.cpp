@@ -19,15 +19,19 @@
 
 #include "comm/decompose.hpp"
 #include "comm/halo_exchange.hpp"
+#include "comm/network_model.hpp"
 #include "comm/simmpi.hpp"
 #include "exec/grid.hpp"
+#include "machine/cost_model.hpp"
 #include "machine/machine.hpp"
 #include "prof/bench_report.hpp"
 #include "prof/counters.hpp"
+#include "prof/timeline.hpp"
 #include "prof/trace.hpp"
 #include "sunway/cg_sim.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "tune/tuner.hpp"
 #include "workload/report.hpp"
 #include "workload/stencils.hpp"
 
@@ -42,7 +46,11 @@ void usage() {
       "  --ranks AxB[xC]  also run a simmpi distributed pass (halo counters)\n"
       "  --periodic       make the rank grid periodic in every dimension\n"
       "  --trace <file>   chrome://tracing output (default msc_prof_trace.json)\n"
+      "  --timeline <file> write the per-rank phase timeline (msc-timeline-v1)\n"
       "  --json           also write BENCH_prof_<benchmark>.json\n"
+      "  --explain-tune   run the auto-tuner instead and explain the winning\n"
+      "                   schedule via the regression model's feature weights\n"
+      "  --processes <n>  MPI process count for --explain-tune (default 8)\n"
       "  --list           list the benchmark names and exit\n");
 }
 
@@ -60,8 +68,10 @@ int main(int argc, char** argv) {
   std::string bench_name;
   std::vector<std::int64_t> grid_arg, ranks_arg;
   std::int64_t steps = 4;
-  bool fp32 = false, periodic = false, want_json = false;
+  std::int64_t processes = 8;
+  bool fp32 = false, periodic = false, want_json = false, explain_tune = false;
   std::string trace_path = "msc_prof_trace.json";
+  std::string timeline_path;
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -84,8 +94,14 @@ int main(int argc, char** argv) {
       periodic = true;
     } else if (arg == "--trace") {
       trace_path = next();
+    } else if (arg == "--timeline") {
+      timeline_path = next();
     } else if (arg == "--json") {
       want_json = true;
+    } else if (arg == "--explain-tune") {
+      explain_tune = true;
+    } else if (arg == "--processes") {
+      processes = std::atoll(next());
     } else if (arg == "--list") {
       for (const auto& info : workload::all_benchmarks()) std::printf("%s\n", info.name.c_str());
       return 0;
@@ -114,9 +130,68 @@ int main(int argc, char** argv) {
                                                       : std::array<std::int64_t, 3>{32, 32, 32};
     for (std::size_t d = 0; d < grid_arg.size() && d < 3; ++d) grid[d] = grid_arg[d];
 
+    // ---- --explain-tune: search explainability instead of profiling -----
+    if (explain_tune) {
+      const auto dtype = fp32 ? ir::DataType::f32 : ir::DataType::f64;
+      auto prog = workload::make_program(info, dtype, grid);
+
+      tune::TuneConfig tcfg;
+      tcfg.processes = processes;
+      tcfg.global = {1, 1, 1};
+      for (int d = 0; d < info.ndim; ++d) tcfg.global[static_cast<std::size_t>(d)] =
+          grid[static_cast<std::size_t>(d)];
+      tcfg.train_samples = 32;
+      tcfg.sa_iterations = 3000;
+      tcfg.fp64 = !fp32;
+
+      const auto result = tune::tune(prog->stencil(), machine::sunway_cg(),
+                                     machine::profile_msc_sunway(), comm::sunway_network(), tcfg);
+
+      workload::print_banner(
+          strprintf("msc-prof --explain-tune — %s on %lld processes", bench_name.c_str(),
+                    static_cast<long long>(processes)),
+          "regression feature weights explain the tuned schedule (paper Fig. 11)");
+      auto dims_str = [](const std::vector<int>& dims) {
+        std::string s;
+        for (std::size_t d = 0; d < dims.size(); ++d) s += (d ? "x" : "") + std::to_string(dims[d]);
+        return s;
+      };
+      std::printf("initial: mpi=(%s) tile=(%lld,%lld,%lld) -> %s\n",
+                  dims_str(result.initial.mpi_dims).c_str(),
+                  static_cast<long long>(result.initial.tile[0]),
+                  static_cast<long long>(result.initial.tile[1]),
+                  static_cast<long long>(result.initial.tile[2]),
+                  workload::fmt_seconds(result.initial_seconds).c_str());
+      std::printf("tuned:   mpi=(%s) tile=(%lld,%lld,%lld) -> %s  (%s, model R^2 %.4f)\n",
+                  dims_str(result.best.mpi_dims).c_str(),
+                  static_cast<long long>(result.best.tile[0]),
+                  static_cast<long long>(result.best.tile[1]),
+                  static_cast<long long>(result.best.tile[2]),
+                  workload::fmt_seconds(result.best_seconds).c_str(),
+                  workload::fmt_ratio(result.speedup()).c_str(), result.model_r2);
+
+      const auto explain = tune::explain_tune_json(result);
+      std::printf("\npredicted-cost attribution of the winner:\n");
+      std::printf("  %-14s %13s %13s %16s %7s\n", "feature", "weight", "value",
+                  "contribution", "share");
+      if (const auto* feats = explain.find("features")) {
+        for (const auto& f : feats->elements()) {
+          std::printf("  %-14s %13.4g %13.4g %16s %6.1f%%\n",
+                      f.find("name")->as_string().c_str(), f.find("weight")->as_number(),
+                      f.find("value")->as_number(),
+                      workload::fmt_seconds(f.find("contribution_seconds")->as_number()).c_str(),
+                      100.0 * f.find("share")->as_number());
+        }
+      }
+      std::printf("\n%s", explain.dump().c_str());
+      return 0;
+    }
+
     prof::global_counters().reset();
     prof::global_trace().clear();
     prof::global_trace().set_enabled(true);
+    prof::global_timeline().clear();
+    prof::global_timeline().set_enabled(true);
     const auto wall0 = std::chrono::steady_clock::now();
 
     // ---- Sunway CG simulation pass ------------------------------------
@@ -136,6 +211,12 @@ int main(int argc, char** argv) {
                                 exec::Boundary::ZeroHalo, {}, m);
     };
     const sunway::CgSimResult sim = fp32 ? run_sim(float{}) : run_sim(double{});
+
+    // The CG pass recorded *simulated*-time spans; snapshot them before the
+    // distributed pass overwrites the recorder with wall-clock spans (the
+    // two time bases must never share a recording).
+    const auto sim_cp = prof::critical_path(prof::global_timeline().spans());
+    if (!ranks_arg.empty()) prof::global_timeline().clear();
 
     // ---- optional simmpi distributed pass (halo traffic) --------------
     if (!ranks_arg.empty()) {
@@ -165,6 +246,7 @@ int main(int argc, char** argv) {
     }
 
     prof::global_trace().set_enabled(false);
+    prof::global_timeline().set_enabled(false);
     const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
                             .count();
 
@@ -203,6 +285,23 @@ int main(int argc, char** argv) {
     std::printf("\ncounters:\n");
     for (const auto& [name, value] : reg.snapshot())
       std::printf("  %-32s %lld\n", name.c_str(), static_cast<long long>(value));
+
+    // ---- per-rank phase attribution -----------------------------------
+    std::printf("\ntimeline (Sunway CG, simulated time):\n%s",
+                prof::critical_path_summary(sim_cp).c_str());
+    if (!ranks_arg.empty()) {
+      const auto comm_cp = prof::critical_path(prof::global_timeline().spans());
+      std::printf("\ntimeline (simmpi ranks, wall time):\n%s",
+                  prof::critical_path_summary(comm_cp).c_str());
+    }
+    if (!timeline_path.empty()) {
+      // The recorder holds the most recent pass: the distributed ranks'
+      // wall-clock spans when --ranks was given, else the CG simulated
+      // spans.  Either way one consistent time base per file.
+      prof::global_timeline().write_json(timeline_path);
+      std::printf("\ntimeline file: %s (%zu spans)\n", timeline_path.c_str(),
+                  prof::global_timeline().size());
+    }
 
     prof::global_trace().write_chrome_json(trace_path);
     std::printf("\ntrace: %s (%zu events — load at chrome://tracing)\n", trace_path.c_str(),
