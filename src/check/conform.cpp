@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "resilience/fault_plan.hpp"
 #include "support/strings.hpp"
 #include "workload/report.hpp"
 
@@ -55,6 +56,8 @@ void write_report(const ConformOptions& opts, const ConformReport& report) {
   root["max_ulps"] = workload::Json::integer(static_cast<long long>(opts.max_ulps));
   root["passed"] = workload::Json::integer(report.cases_passed);
   root["failed"] = workload::Json::integer(report.cases_failed);
+  root["faults_injected"] =
+      workload::Json::integer(static_cast<long long>(report.faults_injected));
   root["seconds"] = workload::Json::number(report.seconds);
 
   // Per-oracle tallies across the sweep.
@@ -121,6 +124,17 @@ ConformReport run_conformance(const ConformOptions& opts) {
   oopts.work_dir = opts.work_dir;
   oopts.coeff_perturb = opts.coeff_perturb;
 
+  // Transport fault injection rides inside the simmpi oracle; a fault kind
+  // name becomes a canned message-fault plan, anything else is a plan file.
+  resilience::FaultPlan fault_plan;
+  if (!opts.fault_inject.empty()) {
+    if (const auto kind = resilience::fault_kind_from_name(opts.fault_inject))
+      fault_plan = resilience::make_message_fault_plan(*kind, opts.seed, 3);
+    else
+      fault_plan = resilience::FaultPlan::load_file(opts.fault_inject);
+    oopts.fault_plan = &fault_plan;
+  }
+
   for (int n = 0; n < opts.cases; ++n) {
     const std::uint64_t seed = opts.seed + static_cast<std::uint64_t>(n);
     const CaseSpec spec = random_case(seed);
@@ -142,6 +156,7 @@ ConformReport run_conformance(const ConformOptions& opts) {
       if (!ref.ok) break;
       if (o == Oracle::Reference) continue;
       const OracleRun run = run_oracle(spec, o, oopts);
+      report.faults_injected += run.faults_injected;
       OracleOutcome oo;
       oo.oracle = o;
       oo.seconds = run.seconds;
@@ -201,6 +216,9 @@ ConformReport run_conformance(const ConformOptions& opts) {
 
   std::printf("conformance: %d/%d cases passed (%.2fs)\n", report.cases_passed, opts.cases,
               report.seconds);
+  if (!opts.fault_inject.empty())
+    std::printf("fault injection: %lld transport faults injected into simmpi\n",
+                static_cast<long long>(report.faults_injected));
   if (!opts.report_path.empty()) {
     write_report(opts, report);
     std::printf("report: %s\n", opts.report_path.c_str());
@@ -212,7 +230,9 @@ int conform_exit_code(const ConformOptions& opts, const ConformReport& report) {
   if (!report.ok()) {
     // Genuine mismatches gate — unless this was a deliberate fault-injection
     // self-test, in which case failing cases are exactly what proves the
-    // harness can detect the fault.
+    // harness can detect the fault.  Transport faults (--fault-inject) are
+    // the opposite self-test: the resilient transport must ABSORB them, so
+    // mismatches gate there like anywhere else.
     return opts.coeff_perturb != 0.0 ? 0 : 1;
   }
   if (opts.coeff_perturb != 0.0) {
@@ -223,6 +243,16 @@ int conform_exit_code(const ConformOptions& opts, const ConformReport& report) {
         "conformance: FAULT-INJECTION SELF-TEST FAILED — coeff perturbation %g "
         "was not detected by any oracle\n",
         opts.coeff_perturb);
+    return 1;
+  }
+  if (!opts.fault_inject.empty() && report.faults_injected == 0) {
+    // Same vacuous-pass policy for transport faults: a sweep that never
+    // actually injected anything (e.g. simmpi not in the oracle subset, or
+    // a plan whose filters match no message) proves nothing about recovery.
+    std::printf(
+        "conformance: FAULT-INJECTION SELF-TEST FAILED — transport fault plan "
+        "'%s' injected no faults across the sweep\n",
+        opts.fault_inject.c_str());
     return 1;
   }
   return 0;

@@ -23,6 +23,12 @@ struct ConformOptions {
   std::string work_dir;          ///< scratch dir for compiled backends
   std::string report_path;       ///< empty = no conform_report.json
   double coeff_perturb = 0.0;    ///< fault injection (see OracleOptions)
+  /// Transport fault injection: a fault kind ("drop", "corrupt", "duplicate",
+  /// "delay") or a path to a msc-fault-plan-v1 JSON file.  The plan runs
+  /// inside the simmpi oracle, which must STILL match the reference (the
+  /// resilient transport absorbs the faults); a sweep that injects nothing
+  /// is vacuous and exits nonzero.
+  std::string fault_inject;
   bool verbose = false;
 };
 
@@ -56,6 +62,7 @@ struct ConformReport {
   std::vector<Reproducer> reproducers;
   int cases_passed = 0;
   int cases_failed = 0;
+  std::int64_t faults_injected = 0;  ///< transport faults across the sweep
   double seconds = 0.0;
 
   bool ok() const { return cases_failed == 0; }

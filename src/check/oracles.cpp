@@ -17,6 +17,7 @@
 #include "exec/executor.hpp"
 #include "exec/grid.hpp"
 #include "machine/machine.hpp"
+#include "resilience/fault_plan.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "sunway/cg_sim.hpp"
@@ -94,7 +95,7 @@ OracleRun run_sunway_sim_oracle(const CaseSpec& spec) {
   return run;
 }
 
-OracleRun run_simmpi_oracle(const CaseSpec& spec) {
+OracleRun run_simmpi_oracle(const CaseSpec& spec, const OracleOptions& opts) {
   OracleRun run;
   auto prog = build_program(spec);
   const auto& st = prog->stencil();
@@ -121,6 +122,15 @@ OracleRun run_simmpi_oracle(const CaseSpec& spec) {
                                            global_ext[static_cast<std::size_t>(d) + 1];
 
   comm::SimWorld world(dec.size());
+  std::optional<resilience::FaultInjector> injector;
+  if (opts.fault_plan != nullptr) {
+    injector.emplace(*opts.fault_plan);
+    world.set_fault_injector(&*injector);
+    auto cfg = comm::comm_config_from_env();
+    if (cfg.timeout_ms <= 0.0) cfg.timeout_ms = 30.0;  // keep drop recovery snappy
+    cfg.seed = opts.fault_plan->seed;
+    world.set_comm_config(cfg);
+  }
   double* gathered = run.values.data();
   world.run([&](comm::RankCtx& ctx) {
     const int r = ctx.rank();
@@ -158,6 +168,7 @@ OracleRun run_simmpi_oracle(const CaseSpec& spec) {
     });
   });
 
+  if (injector.has_value()) run.faults_injected = injector->total_injected();
   run.checksum = 0.0;
   for (double v : run.values) run.checksum += v;
   run.ok = true;
@@ -313,7 +324,7 @@ OracleRun run_oracle(const CaseSpec& spec, Oracle o, const OracleOptions& opts) 
       case Oracle::Reference: run = run_reference_oracle(spec); break;
       case Oracle::Scheduled: run = run_scheduled_oracle(spec); break;
       case Oracle::SunwaySim: run = run_sunway_sim_oracle(spec); break;
-      case Oracle::SimMpi: run = run_simmpi_oracle(spec); break;
+      case Oracle::SimMpi: run = run_simmpi_oracle(spec, opts); break;
       default: run = run_compiled_oracle(spec, o, opts); break;
     }
   } catch (const std::exception& e) {

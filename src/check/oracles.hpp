@@ -26,6 +26,10 @@
 
 #include "check/case_gen.hpp"
 
+namespace msc::resilience {
+struct FaultPlan;
+}
+
 namespace msc::check {
 
 enum class Oracle {
@@ -58,6 +62,7 @@ struct OracleRun {
   std::vector<double> values; ///< row-major interior of the final timestep
   double checksum = 0.0;      ///< row-major interior sum
   double seconds = 0.0;       ///< wall time of this oracle run
+  std::int64_t faults_injected = 0;  ///< transport faults (simmpi + fault_plan)
 };
 
 struct OracleOptions {
@@ -67,6 +72,11 @@ struct OracleOptions {
   /// compiled backends before code generation.  Simulates an emitter bug so
   /// the harness (and its tests) can prove divergence is actually caught.
   double coeff_perturb = 0.0;
+  /// Transport fault plan for the simmpi oracle (not owned; nullptr = off).
+  /// Message faults are expected to be absorbed by the resilient transport,
+  /// so the oracle still matches the reference; the injection count lands in
+  /// OracleRun::faults_injected for the vacuous-pass gate.
+  const resilience::FaultPlan* fault_plan = nullptr;
 };
 
 /// Probes once whether `cc` exists on PATH (result cached per compiler).

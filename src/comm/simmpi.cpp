@@ -1,13 +1,41 @@
 #include "comm/simmpi.hpp"
 
+#include <cstddef>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <thread>
 
+#include "prof/counters.hpp"
+#include "prof/log.hpp"
 #include "prof/timeline.hpp"
-#include "support/error.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/fault_plan.hpp"
+#include "support/strings.hpp"
 
 namespace msc::comm {
+
+namespace {
+
+/// Safety timeout when a fault injector is attached but no explicit timeout
+/// was configured: chaos runs must never deadlock.
+constexpr double kInjectorDefaultTimeoutMs = 200.0;
+
+std::chrono::steady_clock::duration ms_duration(double ms) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+CommConfig comm_config_from_env() {
+  CommConfig cfg;
+  if (const char* env = std::getenv("MSC_COMM_TIMEOUT_MS")) {
+    const double ms = std::atof(env);
+    if (ms > 0.0) cfg.timeout_ms = ms;
+  }
+  return cfg;
+}
 
 int RankCtx::size() const { return world_->size(); }
 
@@ -15,13 +43,39 @@ Request RankCtx::isend(int dst, int tag, const void* data, std::int64_t bytes) {
   MSC_CHECK(dst >= 0 && dst < world_->size()) << "isend to invalid rank " << dst;
   MSC_CHECK(bytes >= 0) << "negative payload";
   auto& box = world_->mailbox(rank_, dst);
+  auto* injector = world_->fault_injector();
+  const bool resilient = world_->resilient();
   {
     std::lock_guard lock(box.m);
+    const std::uint64_t seq = box.next_seq[tag]++;
     SimWorld::Message msg;
     msg.tag = tag;
+    msg.seq = seq;
     msg.payload.resize(static_cast<std::size_t>(bytes));
     if (bytes > 0) std::memcpy(msg.payload.data(), data, static_cast<std::size_t>(bytes));
-    box.messages.push_back(std::move(msg));
+    if (resilient) {
+      msg.checksum = resilience::fnv1a(msg.payload.data(), msg.payload.size());
+      // Clean copy for retransmission, before any injected corruption.
+      box.sent[{tag, seq}] = msg;
+      // Evict stale entries of this tag (lockstep exchanges never have more
+      // than a few in flight per stream).
+      for (auto it = box.sent.lower_bound({tag, 0});
+           it != box.sent.end() && it->first.first == tag && it->first.second + 32 <= seq;)
+        it = box.sent.erase(it);
+    }
+    resilience::MessageVerdict verdict;
+    if (injector != nullptr) verdict = injector->on_send(rank_, dst, tag, seq, bytes);
+    if (verdict.corrupt_bit >= 0 && bytes > 0) {
+      const std::size_t bit =
+          static_cast<std::size_t>(verdict.corrupt_bit) % (msg.payload.size() * 8);
+      msg.payload[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+    }
+    if (verdict.delay_ms > 0.0)
+      msg.deliver_at = SimWorld::Clock::now() + ms_duration(verdict.delay_ms);
+    if (!verdict.drop) {
+      if (verdict.duplicate) box.messages.push_back(msg);
+      box.messages.push_back(std::move(msg));
+    }
   }
   box.cv.notify_all();
   Request req;
@@ -50,20 +104,141 @@ void RankCtx::wait(Request& req) {
   // span covers match scanning plus any sleep on the mailbox condvar.
   prof::TimelineScope wait_span(rank_, prof::Phase::Wait);
   auto& box = world_->mailbox(req.peer, rank_);
+  const CommConfig& cfg = world_->comm_config();
+  const bool resilient = world_->resilient();
+  const double timeout_ms = world_->effective_timeout_ms();
+
+  int attempt = 0;
+  bool have_deadline = false;
+  SimWorld::Clock::time_point deadline{};
+
   std::unique_lock lock(box.m);
   for (;;) {
-    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
-      if (it->tag != req.tag) continue;
-      MSC_CHECK(static_cast<std::int64_t>(it->payload.size()) == req.recv_bytes)
+    const std::uint64_t expected = box.delivered[req.tag];
+    const auto now = SimWorld::Clock::now();
+
+    // Scan this tag's stream: discard stale duplicates, pick the in-order
+    // message (reordered future-seq messages stay queued until their turn).
+    // Index-based: deque::erase invalidates every iterator.
+    std::ptrdiff_t match = -1;
+    auto earliest_delay = SimWorld::Clock::time_point::max();
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(box.messages.size());) {
+      const auto& m = box.messages[static_cast<std::size_t>(i)];
+      if (m.tag != req.tag) {
+        ++i;
+        continue;
+      }
+      if (m.seq < expected) {  // duplicate of an already-delivered message
+        box.messages.erase(box.messages.begin() + i);
+        prof::counter("resilience.duplicates_discarded").add(1);
+        continue;
+      }
+      if (m.seq == expected) {
+        if (m.deliver_at > now) {  // injected delay still pending
+          earliest_delay = std::min(earliest_delay, m.deliver_at);
+          ++i;
+          continue;
+        }
+        match = i;
+        break;
+      }
+      ++i;
+    }
+
+    if (match >= 0) {
+      const auto& m = box.messages[static_cast<std::size_t>(match)];
+      if (resilient && m.checksum != resilience::fnv1a(m.payload.data(), m.payload.size())) {
+        // Corrupted in flight: discard and re-request the clean copy.
+        prof::counter("resilience.corrupt_detected").add(1);
+        prof::LogEvent(prof::LogLevel::Warn, "resilience.wait", "corrupt halo discarded")
+            .integer("rank", rank_)
+            .integer("peer", req.peer)
+            .integer("tag", req.tag)
+            .integer("seq", static_cast<long long>(expected));
+        box.messages.erase(box.messages.begin() + match);
+        if (world_->retransmit_locked(box, req.tag, expected))
+          prof::counter("resilience.retries").add(1);
+        continue;  // rescan: the retransmitted clean copy is queued
+      }
+      MSC_CHECK(static_cast<std::int64_t>(m.payload.size()) == req.recv_bytes)
           << "message size mismatch: expected " << req.recv_bytes << " B, got "
-          << it->payload.size() << " B (tag " << req.tag << ")";
-      if (req.recv_bytes > 0)
-        std::memcpy(req.recv_buf, it->payload.data(), it->payload.size());
-      box.messages.erase(it);
+          << m.payload.size() << " B (tag " << req.tag << ")";
+      if (req.recv_bytes > 0) std::memcpy(req.recv_buf, m.payload.data(), m.payload.size());
+      box.messages.erase(box.messages.begin() + match);
+      box.delivered[req.tag] = expected + 1;
       req.done = true;
       return;
     }
-    box.cv.wait(lock);
+
+    // Nothing deliverable.  A failed peer can never be waited out — but a
+    // message it sent before dying may still be recoverable from the
+    // retransmit buffer; only when that is exhausted do we give up.
+    if (world_->rank_failed(req.peer)) {
+      if (resilient && world_->retransmit_locked(box, req.tag, expected)) {
+        prof::counter("resilience.retries").add(1);
+        continue;
+      }
+      throw RankFailed(strprintf("rank %d cannot complete recv: peer rank %d failed "
+                                 "(tag %d, seq %llu)",
+                                 rank_, req.peer, req.tag,
+                                 static_cast<unsigned long long>(expected)),
+                       rank_, req.peer);
+    }
+
+    if (earliest_delay != SimWorld::Clock::time_point::max()) {
+      // The in-order message exists but carries an injected delay: sleep
+      // until it matures (no retry accounting, nothing was lost).
+      box.cv.wait_until(lock, earliest_delay);
+      continue;
+    }
+
+    if (timeout_ms <= 0.0) {  // fault-free fast path: block forever
+      box.cv.wait(lock);
+      continue;
+    }
+
+    if (!have_deadline) {
+      const double window = resilience::retry_wait_ms(
+          cfg.retry, timeout_ms, attempt,
+          resilience::jitter_seed(cfg.seed, rank_, req.peer, req.tag, attempt));
+      deadline = now + ms_duration(window);
+      have_deadline = true;
+    }
+    bool timed_out;
+    if (attempt > 0) {
+      // Backoff sleep of a retry rung: attributed as recovery time.
+      prof::TimelineScope retry_span(rank_, prof::Phase::Retry);
+      timed_out = box.cv.wait_until(lock, deadline) == std::cv_status::timeout;
+    } else {
+      timed_out = box.cv.wait_until(lock, deadline) == std::cv_status::timeout;
+    }
+    if (!timed_out) continue;  // woken: rescan against the same deadline
+
+    have_deadline = false;
+    ++attempt;
+    prof::counter("comm.wait.timeouts").add(1);
+    const auto esc = resilience::escalation_for_attempt(cfg.retry, attempt);
+    if (esc == resilience::Escalation::Abort) {
+      MSC_FAIL() << "halo recv gave up: rank " << rank_ << " waited on peer " << req.peer
+                 << " tag " << req.tag << " seq " << expected << " through "
+                 << cfg.retry.max_retries << " retries + resync (base timeout "
+                 << timeout_ms << " ms); message presumed lost beyond the "
+                 << "retransmit horizon — check the fault plan or raise "
+                 << "MSC_COMM_TIMEOUT_MS";
+    }
+    const bool hit = resilient && world_->retransmit_locked(box, req.tag, expected);
+    prof::counter(esc == resilience::Escalation::Resync ? "resilience.resyncs"
+                                                        : "resilience.retries")
+        .add(1);
+    prof::LogEvent(esc == resilience::Escalation::Resync ? prof::LogLevel::Warn
+                                                         : prof::LogLevel::Info,
+                   "resilience.wait", resilience::escalation_name(esc))
+        .integer("rank", rank_)
+        .integer("peer", req.peer)
+        .integer("tag", req.tag)
+        .integer("seq", static_cast<long long>(expected))
+        .integer("attempt", attempt)
+        .boolean("retransmit_hit", hit);
   }
 }
 
@@ -74,13 +249,38 @@ void RankCtx::wait_all(std::vector<Request>& reqs) {
 void RankCtx::barrier() {
   prof::TimelineScope barrier_span(rank_, prof::Phase::Barrier);
   std::unique_lock lock(world_->barrier_mutex_);
+  const auto throw_if_failed = [this] {
+    const int f = world_->first_failed_rank();
+    if (f >= 0)
+      throw RankFailed(strprintf("rank %d cannot pass barrier: rank %d failed", rank_, f),
+                       rank_, f);
+  };
+  throw_if_failed();
   const std::int64_t gen = world_->barrier_generation_;
   if (++world_->barrier_arrived_ == world_->size()) {
     world_->barrier_arrived_ = 0;
     ++world_->barrier_generation_;
     world_->barrier_cv_.notify_all();
   } else {
-    world_->barrier_cv_.wait(lock, [&] { return world_->barrier_generation_ != gen; });
+    world_->barrier_cv_.wait(lock, [&] {
+      return world_->barrier_generation_ != gen || world_->first_failed_rank() >= 0;
+    });
+    // Completion wins when both raced; otherwise we were woken by a failure.
+    if (world_->barrier_generation_ == gen) throw_if_failed();
+  }
+}
+
+void RankCtx::fault_hook(std::int64_t step) {
+  auto* injector = world_->fault_injector();
+  if (injector == nullptr) return;
+  const double stall = injector->stall_ms(rank_, step);
+  if (stall > 0.0) std::this_thread::sleep_for(ms_duration(stall));
+  if (injector->should_crash(rank_, step)) {
+    world_->declare_failed(rank_);
+    throw RankCrashed(
+        strprintf("rank %d crashed by fault plan at step %lld", rank_,
+                  static_cast<long long>(step)),
+        rank_, step);
   }
 }
 
@@ -88,6 +288,8 @@ SimWorld::SimWorld(int nranks) : nranks_(nranks) {
   MSC_CHECK(nranks >= 1) << "world needs at least one rank";
   mailboxes_.resize(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks));
   for (auto& box : mailboxes_) box = std::make_unique<Mailbox>();
+  failed_.assign(static_cast<std::size_t>(nranks), false);
+  config_ = comm_config_from_env();
 }
 
 SimWorld::Mailbox& SimWorld::mailbox(int src, int dst) {
@@ -95,21 +297,74 @@ SimWorld::Mailbox& SimWorld::mailbox(int src, int dst) {
                      static_cast<std::size_t>(dst)];
 }
 
+double SimWorld::effective_timeout_ms() const {
+  if (config_.timeout_ms > 0.0) return config_.timeout_ms;
+  return injector_ != nullptr ? kInjectorDefaultTimeoutMs : 0.0;
+}
+
+void SimWorld::declare_failed(int rank) {
+  MSC_CHECK(rank >= 0 && rank < nranks_) << "declare_failed on invalid rank " << rank;
+  {
+    std::lock_guard lock(failed_mutex_);
+    failed_[static_cast<std::size_t>(rank)] = true;
+  }
+  prof::counter("resilience.rank_failures").add(1);
+  // Wake every blocked waiter.  Briefly taking each lock orders the wakeup
+  // after any waiter's failed-check, so no sleeper can miss the failure.
+  for (auto& box : mailboxes_) {
+    { std::lock_guard lock(box->m); }
+    box->cv.notify_all();
+  }
+  { std::lock_guard lock(barrier_mutex_); }
+  barrier_cv_.notify_all();
+}
+
+bool SimWorld::rank_failed(int rank) const {
+  std::lock_guard lock(failed_mutex_);
+  return failed_[static_cast<std::size_t>(rank)];
+}
+
+int SimWorld::first_failed_rank() const {
+  std::lock_guard lock(failed_mutex_);
+  for (int r = 0; r < nranks_; ++r)
+    if (failed_[static_cast<std::size_t>(r)]) return r;
+  return -1;
+}
+
+bool SimWorld::retransmit_locked(Mailbox& box, int tag, std::uint64_t seq) {
+  const auto it = box.sent.find({tag, seq});
+  if (it == box.sent.end()) return false;
+  Message copy = it->second;
+  copy.deliver_at = Clock::time_point{};  // immediately deliverable
+  box.messages.push_back(std::move(copy));
+  prof::counter("resilience.retransmits").add(1);
+  return true;
+}
+
 void SimWorld::run(const std::function<void(RankCtx&)>& body) {
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
+  std::vector<char> cascaded(static_cast<std::size_t>(nranks_), 0);
   threads.reserve(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {
-    threads.emplace_back([this, r, &body, &errors] {
+    threads.emplace_back([this, r, &body, &errors, &cascaded] {
       RankCtx ctx(this, r);
       try {
         body(ctx);
+      } catch (const RankFailed&) {
+        // Secondary casualty: this rank only failed because a peer did.
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        cascaded[static_cast<std::size_t>(r)] = 1;
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
       }
     });
   }
   for (auto& t : threads) t.join();
+  // Root cause first: a crash or genuine error beats the RankFailed
+  // cascade it triggered on the survivors.
+  for (std::size_t r = 0; r < errors.size(); ++r)
+    if (errors[r] && !cascaded[r]) std::rethrow_exception(errors[r]);
   for (const auto& e : errors)
     if (e) std::rethrow_exception(e);
 }

@@ -18,6 +18,9 @@ const char* phase_name(Phase phase) {
     case Phase::Compute: return "compute";
     case Phase::Dma: return "dma";
     case Phase::Barrier: return "barrier";
+    case Phase::Retry: return "retry";
+    case Phase::Checkpoint: return "checkpoint";
+    case Phase::Restore: return "restore";
   }
   return "?";
 }

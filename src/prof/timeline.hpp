@@ -33,8 +33,14 @@
 
 namespace msc::prof {
 
-enum class Phase : int { Pack, Post, Send, Wait, Unpack, Compute, Dma, Barrier };
-inline constexpr int kPhaseCount = 8;
+enum class Phase : int {
+  Pack, Post, Send, Wait, Unpack, Compute, Dma, Barrier,
+  // Resilience phases: recovery work is attributed separately so chaos runs
+  // can see how much wall time faults cost (retransmit backoff, snapshot
+  // writes, restore-and-replay restarts).
+  Retry, Checkpoint, Restore,
+};
+inline constexpr int kPhaseCount = 11;
 
 const char* phase_name(Phase phase);
 

@@ -1,0 +1,76 @@
+#pragma once
+
+// Checkpoint/restart state for the distributed time-stepping driver.
+//
+// A checkpoint is the raw byte image of one rank's grid ring (every time
+// slot, halos included) plus the step it was taken at and an FNV-1a
+// checksum.  Because the distributed stepping is deterministic, restoring
+// the ring at step s and replaying s+1..T reproduces the fault-free run
+// bit for bit — which the conformance oracles then verify.
+//
+// The in-memory CheckpointStore is shared by every rank thread of a
+// SimWorld and *survives world restarts*: after a crash takes the world
+// down, the chaos driver spins up a fresh world whose ranks restore from
+// the latest step that every rank managed to checkpoint (the consistent
+// cut).  write_file/read_file round-trip a checkpoint through disk for
+// durable restart; the round-trip is bit-exact by construction.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace msc::resilience {
+
+/// FNV-1a over a byte range (the checkpoint and envelope checksum).
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+struct Checkpoint {
+  int rank = 0;
+  std::int64_t step = -1;          ///< last completed timestep in the image
+  std::vector<std::vector<std::byte>> slots;  ///< padded ring buffers, in slot order
+  std::uint64_t checksum = 0;      ///< FNV-1a over all slots, in order
+
+  std::int64_t total_bytes() const;
+  /// Recomputes the checksum from `slots` (what save/read verify against).
+  std::uint64_t compute_checksum() const;
+};
+
+class CheckpointStore {
+ public:
+  /// Retained checkpoints per rank; older steps are evicted FIFO.
+  explicit CheckpointStore(int keep_per_rank = 2);
+
+  /// Validates the checksum and retains the image (any thread).
+  void save(Checkpoint ck);
+
+  /// Copy of rank's image at `step`; nullopt when absent.
+  std::optional<Checkpoint> load(int rank, std::int64_t step) const;
+
+  /// Latest step for which all of ranks 0..nranks-1 hold a checkpoint
+  /// (the consistent recovery cut); -1 when there is none.
+  std::int64_t consistent_step(int nranks) const;
+
+  void clear();
+
+  std::int64_t checkpoints_written() const;
+  std::int64_t bytes_written() const;
+
+ private:
+  int keep_per_rank_;
+  mutable std::mutex mutex_;
+  std::map<int, std::map<std::int64_t, Checkpoint>> by_rank_;  // rank -> step -> image
+  std::int64_t checkpoints_written_ = 0;
+  std::int64_t bytes_written_ = 0;
+};
+
+/// Writes `ck` to `path` (binary, versioned header); throws on I/O failure.
+void write_checkpoint_file(const std::string& path, const Checkpoint& ck);
+
+/// Reads a checkpoint back; throws on a short/corrupt file or bad checksum.
+Checkpoint read_checkpoint_file(const std::string& path);
+
+}  // namespace msc::resilience

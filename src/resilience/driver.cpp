@@ -1,0 +1,16 @@
+#include "resilience/driver.hpp"
+
+#include <cstdlib>
+
+namespace msc::resilience {
+
+std::int64_t ckpt_every_from_env(std::int64_t fallback) {
+  const char* env = std::getenv("MSC_CKPT_EVERY");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == env) return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace msc::resilience

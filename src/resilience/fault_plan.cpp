@@ -1,0 +1,256 @@
+#include "resilience/fault_plan.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "prof/counters.hpp"
+#include "prof/log.hpp"
+#include "resilience/retry.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace msc::resilience {
+
+namespace {
+
+constexpr const char* kSchema = "msc-fault-plan-v1";
+
+bool is_message_kind(FaultKind k) {
+  return k == FaultKind::Drop || k == FaultKind::Duplicate || k == FaultKind::Delay ||
+         k == FaultKind::Corrupt;
+}
+
+long long int_field(const workload::Json& obj, const char* key, long long fallback) {
+  const auto* v = obj.find(key);
+  return v == nullptr ? fallback : v->as_integer();
+}
+
+double num_field(const workload::Json& obj, const char* key, double fallback) {
+  const auto* v = obj.find(key);
+  return v == nullptr ? fallback : v->as_number();
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Drop: return "drop";
+    case FaultKind::Duplicate: return "duplicate";
+    case FaultKind::Delay: return "delay";
+    case FaultKind::Corrupt: return "corrupt";
+    case FaultKind::Stall: return "stall";
+    case FaultKind::Crash: return "crash";
+  }
+  return "?";
+}
+
+std::optional<FaultKind> fault_kind_from_name(const std::string& name) {
+  for (FaultKind k : {FaultKind::Drop, FaultKind::Duplicate, FaultKind::Delay,
+                      FaultKind::Corrupt, FaultKind::Stall, FaultKind::Crash})
+    if (name == fault_kind_name(k)) return k;
+  return std::nullopt;
+}
+
+bool FaultPlan::has_message_rules() const {
+  for (const auto& r : rules)
+    if (is_message_kind(r.kind)) return true;
+  return false;
+}
+
+bool FaultPlan::has_rank_rules() const {
+  for (const auto& r : rules)
+    if (r.kind == FaultKind::Stall || r.kind == FaultKind::Crash) return true;
+  return false;
+}
+
+workload::Json FaultPlan::to_json() const {
+  using workload::Json;
+  Json root = Json::object();
+  root["schema"] = Json::string(kSchema);
+  root["seed"] = Json::integer(static_cast<long long>(seed));
+  Json& list = root["rules"];
+  list = Json::array();
+  for (const auto& r : rules) {
+    Json j = Json::object();
+    j["kind"] = Json::string(fault_kind_name(r.kind));
+    if (is_message_kind(r.kind)) {
+      j["src"] = Json::integer(r.src);
+      j["dst"] = Json::integer(r.dst);
+      j["tag"] = Json::integer(r.tag);
+      j["probability"] = Json::number(r.probability);
+      j["max_count"] = Json::integer(static_cast<long long>(r.max_count));
+      if (r.kind == FaultKind::Delay) j["delay_ms"] = Json::number(r.delay_ms);
+      if (r.kind == FaultKind::Corrupt) j["bit"] = Json::integer(r.bit);
+    } else {
+      j["rank"] = Json::integer(r.rank);
+      j["at_step"] = Json::integer(static_cast<long long>(r.at_step));
+      if (r.kind == FaultKind::Stall) j["delay_ms"] = Json::number(r.delay_ms);
+    }
+    list.push_back(std::move(j));
+  }
+  return root;
+}
+
+FaultPlan FaultPlan::from_json(const workload::Json& doc) {
+  MSC_CHECK(doc.is_object()) << "fault plan must be a JSON object";
+  const auto* schema = doc.find("schema");
+  MSC_CHECK(schema != nullptr && schema->as_string() == kSchema)
+      << "fault plan schema must be '" << kSchema << "'";
+  FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(int_field(doc, "seed", 1));
+  const auto* rules = doc.find("rules");
+  MSC_CHECK(rules != nullptr && rules->is_array()) << "fault plan needs a 'rules' array";
+  for (const auto& j : rules->elements()) {
+    MSC_CHECK(j.is_object()) << "fault rule must be an object";
+    const auto* kind = j.find("kind");
+    MSC_CHECK(kind != nullptr) << "fault rule needs a 'kind'";
+    const auto k = fault_kind_from_name(kind->as_string());
+    MSC_CHECK(k.has_value()) << "unknown fault kind '" << kind->as_string() << "'";
+    FaultRule r;
+    r.kind = *k;
+    r.src = static_cast<int>(int_field(j, "src", -1));
+    r.dst = static_cast<int>(int_field(j, "dst", -1));
+    r.tag = static_cast<int>(int_field(j, "tag", -1));
+    r.probability = num_field(j, "probability", 1.0);
+    MSC_CHECK(r.probability >= 0.0 && r.probability <= 1.0)
+        << "fault probability must be in [0,1], got " << r.probability;
+    r.max_count = int_field(j, "max_count", -1);
+    r.delay_ms = num_field(j, "delay_ms", 2.0);
+    MSC_CHECK(r.delay_ms >= 0.0) << "negative fault delay";
+    r.bit = static_cast<int>(int_field(j, "bit", 0));
+    r.rank = static_cast<int>(int_field(j, "rank", -1));
+    r.at_step = int_field(j, "at_step", 0);
+    if (r.kind == FaultKind::Stall || r.kind == FaultKind::Crash) {
+      MSC_CHECK(r.rank >= 0) << fault_kind_name(r.kind) << " rule needs a 'rank'";
+    }
+    plan.rules.push_back(r);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  return from_json(workload::Json::parse(text));
+}
+
+FaultPlan FaultPlan::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MSC_CHECK(in.good()) << "cannot read fault plan '" << path << "'";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+FaultPlan make_message_fault_plan(FaultKind kind, std::uint64_t seed, std::int64_t max_count) {
+  MSC_CHECK(is_message_kind(kind))
+      << "make_message_fault_plan covers message kinds only, not '"
+      << fault_kind_name(kind) << "'";
+  FaultPlan plan;
+  plan.seed = seed;
+  FaultRule r;
+  r.kind = kind;
+  r.max_count = max_count;
+  r.delay_ms = 2.0;
+  r.bit = 17;  // mid-mantissa flip: corrupts the value without making it NaN
+  plan.rules.push_back(r);
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  fired_.assign(plan_.rules.size(), 0);
+}
+
+bool FaultInjector::rule_fires_locked(FaultRule& rule, std::size_t rule_index, int src,
+                                      int dst, int tag, std::uint64_t seq) {
+  if (rule.src >= 0 && rule.src != src) return false;
+  if (rule.dst >= 0 && rule.dst != dst) return false;
+  if (rule.tag >= 0 && rule.tag != tag) return false;
+  if (rule.max_count >= 0 && fired_[rule_index] >= rule.max_count) return false;
+  if (rule.probability < 1.0) {
+    // Deterministic coin: the decision depends only on the plan seed and the
+    // message identity, never on thread scheduling.
+    Rng coin(jitter_seed(plan_.seed ^ (0x9e3779b97f4a7c15ULL * (rule_index + 1)), src, dst,
+                         tag, static_cast<int>(seq & 0x7fffffff)));
+    if (coin.next_double() >= rule.probability) return false;
+  }
+  fired_[rule_index] += 1;
+  return true;
+}
+
+void FaultInjector::tally_locked(FaultKind kind) {
+  injected_by_kind_[static_cast<int>(kind)] += 1;
+  prof::counter(std::string("resilience.faults.") + fault_kind_name(kind)).add(1);
+}
+
+MessageVerdict FaultInjector::on_send(int src, int dst, int tag, std::uint64_t seq,
+                                      std::int64_t payload_bytes) {
+  MessageVerdict verdict;
+  std::lock_guard lock(mutex_);
+  for (std::size_t n = 0; n < plan_.rules.size(); ++n) {
+    FaultRule& r = plan_.rules[n];
+    if (!is_message_kind(r.kind)) continue;
+    if (r.kind == FaultKind::Corrupt && payload_bytes == 0) continue;
+    if (!rule_fires_locked(r, n, src, dst, tag, seq)) continue;
+    switch (r.kind) {
+      case FaultKind::Drop: verdict.drop = true; break;
+      case FaultKind::Duplicate: verdict.duplicate = true; break;
+      case FaultKind::Delay: verdict.delay_ms = r.delay_ms; break;
+      case FaultKind::Corrupt: verdict.corrupt_bit = r.bit; break;
+      default: break;
+    }
+    tally_locked(r.kind);
+    prof::LogEvent(prof::LogLevel::Debug, "resilience.inject", fault_kind_name(r.kind))
+        .integer("src", src)
+        .integer("dst", dst)
+        .integer("tag", tag)
+        .integer("seq", static_cast<long long>(seq));
+    return verdict;  // first firing rule wins
+  }
+  return verdict;
+}
+
+bool FaultInjector::should_crash(int rank, std::int64_t step) {
+  std::lock_guard lock(mutex_);
+  for (std::size_t n = 0; n < plan_.rules.size(); ++n) {
+    FaultRule& r = plan_.rules[n];
+    if (r.kind != FaultKind::Crash || r.rank != rank || r.at_step != step) continue;
+    if (fired_[n] > 0) continue;  // crash once; restarts replay crash-free
+    fired_[n] += 1;
+    tally_locked(FaultKind::Crash);
+    prof::LogEvent(prof::LogLevel::Warn, "resilience.inject", "crash")
+        .integer("rank", rank)
+        .integer("step", static_cast<long long>(step));
+    return true;
+  }
+  return false;
+}
+
+double FaultInjector::stall_ms(int rank, std::int64_t step) {
+  std::lock_guard lock(mutex_);
+  for (std::size_t n = 0; n < plan_.rules.size(); ++n) {
+    FaultRule& r = plan_.rules[n];
+    if (r.kind != FaultKind::Stall || r.rank != rank || r.at_step != step) continue;
+    if (fired_[n] > 0) continue;
+    fired_[n] += 1;
+    tally_locked(FaultKind::Stall);
+    prof::LogEvent(prof::LogLevel::Info, "resilience.inject", "stall")
+        .integer("rank", rank)
+        .integer("step", static_cast<long long>(step))
+        .num("delay_ms", r.delay_ms);
+    return r.delay_ms;
+  }
+  return 0.0;
+}
+
+std::int64_t FaultInjector::injected(FaultKind kind) const {
+  std::lock_guard lock(mutex_);
+  return injected_by_kind_[static_cast<int>(kind)];
+}
+
+std::int64_t FaultInjector::total_injected() const {
+  std::lock_guard lock(mutex_);
+  std::int64_t total = 0;
+  for (std::int64_t v : injected_by_kind_) total += v;
+  return total;
+}
+
+}  // namespace msc::resilience

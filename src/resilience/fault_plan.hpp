@@ -1,0 +1,121 @@
+#pragma once
+
+// Deterministic, seeded fault injection for the simulated MPI runtime.
+//
+// A FaultPlan is a list of rules; each rule matches a subset of the
+// point-to-point traffic (by src/dst rank and tag, -1 = any) or a rank's
+// time-stepping (crash/stall at a step) and fires with a probability decided
+// by hashing (seed, src, dst, tag, seq) — so a given plan injects the exact
+// same faults into the exact same messages on every run.  The chaos CLI,
+// msc-conform --fault-inject, and the unit tests all speak this one
+// vocabulary (schema "msc-fault-plan-v1"):
+//
+//   {"schema": "msc-fault-plan-v1", "seed": 7, "rules": [
+//     {"kind": "drop",      "src": -1, "dst": -1, "tag": -1,
+//      "probability": 1.0, "max_count": 2},
+//     {"kind": "corrupt",   "bit": 12, "max_count": 1},
+//     {"kind": "delay",     "delay_ms": 5.0, "probability": 0.5},
+//     {"kind": "duplicate", "probability": 0.25},
+//     {"kind": "stall",     "rank": 0, "at_step": 2, "delay_ms": 20.0},
+//     {"kind": "crash",     "rank": 1, "at_step": 3}
+//   ]}
+//
+// The FaultInjector is the runtime engine: SimWorld consults it on every
+// send (message verdict) and the distributed drivers consult it at every
+// step start (crash/stall).  Crash and stall rules fire at most once and
+// stay consumed across world restarts, which is what lets checkpoint/
+// restart recovery replay the remaining timesteps fault-free.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/report.hpp"
+
+namespace msc::resilience {
+
+enum class FaultKind { Drop, Duplicate, Delay, Corrupt, Stall, Crash };
+
+const char* fault_kind_name(FaultKind kind);
+std::optional<FaultKind> fault_kind_from_name(const std::string& name);
+
+struct FaultRule {
+  FaultKind kind = FaultKind::Drop;
+  // Message-rule matchers (-1 = any).  Crash/stall use `rank`/`at_step`.
+  int src = -1;
+  int dst = -1;
+  int tag = -1;
+  double probability = 1.0;       ///< per-message fire chance (deterministic)
+  std::int64_t max_count = -1;    ///< total fires across the run; -1 = unbounded
+  double delay_ms = 2.0;          ///< Delay / Stall duration
+  int bit = 0;                    ///< Corrupt: payload bit index to flip
+  int rank = -1;                  ///< Stall / Crash victim
+  std::int64_t at_step = 0;       ///< Stall / Crash trigger timestep
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  bool has_message_rules() const;
+  bool has_rank_rules() const;  ///< any crash/stall rule
+
+  workload::Json to_json() const;
+  static FaultPlan from_json(const workload::Json& doc);
+  static FaultPlan parse(const std::string& text);
+  static FaultPlan load_file(const std::string& path);
+};
+
+/// Canonical single-kind message plan shared by msc-conform --fault-inject
+/// and the chaos smoke matrix: a bounded burst of `kind` over all traffic.
+FaultPlan make_message_fault_plan(FaultKind kind, std::uint64_t seed,
+                                  std::int64_t max_count = 3);
+
+/// What the transport should do with one send.
+struct MessageVerdict {
+  bool drop = false;
+  bool duplicate = false;
+  double delay_ms = 0.0;
+  int corrupt_bit = -1;  ///< >= 0: flip this payload bit (mod payload size)
+};
+
+/// Runtime fault engine; thread-safe, shared by every rank thread of a
+/// SimWorld and surviving across restarts of the same scenario.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Message verdict for send (src -> dst, tag, seq).  First matching rule
+  /// that fires wins; fires are tallied per kind and into the prof counters
+  /// (resilience.faults.<kind>).
+  MessageVerdict on_send(int src, int dst, int tag, std::uint64_t seq,
+                         std::int64_t payload_bytes);
+
+  /// True exactly once when a crash rule matches (rank, step); consumed
+  /// permanently so a restarted world replays crash-free.
+  bool should_crash(int rank, std::int64_t step);
+
+  /// Stall duration for (rank, step); fires once per matching rule.
+  double stall_ms(int rank, std::int64_t step);
+
+  /// Total fires of one kind / across all kinds.
+  std::int64_t injected(FaultKind kind) const;
+  std::int64_t total_injected() const;
+
+ private:
+  bool rule_fires_locked(FaultRule& rule, std::size_t rule_index, int src, int dst, int tag,
+                         std::uint64_t seq);
+  void tally_locked(FaultKind kind);
+
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  std::vector<std::int64_t> fired_;             // per rule
+  std::int64_t injected_by_kind_[6] = {0, 0, 0, 0, 0, 0};
+};
+
+}  // namespace msc::resilience

@@ -1,0 +1,158 @@
+// msc-chaos — fault-injection sweep over the distributed stencil stack.
+//
+// Runs every scenario of the chaos matrix ({3d7pt_star, heat2d} x rank
+// counts x fault kinds), each one twice: fault-free for the oracle grid,
+// then under a deterministic FaultPlan with retry/retransmit and
+// checkpoint/restart active.  A scenario passes only when the recovered
+// grid is bit-identical to the fault-free one AND at least one fault was
+// actually injected (vacuous sweeps fail loudly).
+//
+//   $ msc-chaos --smoke                      # CI subset (drop/corrupt/crash)
+//   $ msc-chaos --seed 7 --report chaos.json # full matrix + JSON report
+//   $ msc-chaos --only heat2d                # filter by label substring
+//   $ msc-chaos --list                       # print the matrix and exit
+//
+// Always writes BENCH_chaos_overhead.json (msc-bench-v1) into $MSC_BENCH_DIR
+// so msc-bench-diff can gate recovery overhead against the history ledger.
+// Exit codes: 0 all scenarios recovered, 1 any failure, 2 usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "prof/bench_report.hpp"
+#include "resilience/chaos.hpp"
+#include "support/strings.hpp"
+#include "workload/report.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: msc-chaos [options]\n"
+      "  --smoke           CI subset: 2 ranks, drop/corrupt/crash only\n"
+      "  --seed <n>        fault-plan + jitter seed (default 1)\n"
+      "  --only <substr>   run only scenarios whose label contains <substr>\n"
+      "  --report <path>   write the msc-chaos-v1 JSON report here\n"
+      "  --list            print the scenario matrix and exit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false, list_only = false;
+  std::uint64_t seed = 1;
+  std::string only, report_path;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "msc-chaos: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--only") {
+      only = next();
+    } else if (arg == "--report") {
+      report_path = next();
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "msc-chaos: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  auto matrix = msc::resilience::chaos_matrix(smoke, seed);
+  if (!only.empty()) {
+    std::vector<msc::resilience::ChaosScenario> kept;
+    for (const auto& sc : matrix)
+      if (sc.label().find(only) != std::string::npos) kept.push_back(sc);
+    matrix.swap(kept);
+  }
+  if (matrix.empty()) {
+    std::fprintf(stderr, "msc-chaos: no scenarios match\n");
+    return 2;
+  }
+  if (list_only) {
+    for (const auto& sc : matrix) std::printf("%s\n", sc.label().c_str());
+    return 0;
+  }
+
+  std::printf("msc-chaos: %zu scenario%s (%s matrix, seed %llu)\n", matrix.size(),
+              matrix.size() == 1 ? "" : "s", smoke ? "smoke" : "full",
+              static_cast<unsigned long long>(seed));
+
+  std::vector<msc::resilience::ChaosResult> results;
+  int failed = 0;
+  double fault_free_total = 0.0, chaos_total = 0.0;
+  for (const auto& sc : matrix) {
+    const auto r = msc::resilience::run_chaos_scenario(sc);
+    fault_free_total += r.fault_free_seconds;
+    chaos_total += r.chaos_seconds;
+    std::printf("  %-28s %s  attempts %d  injected %lld  retries %lld  restores %lld"
+                "  %.3fs -> %.3fs%s%s\n",
+                sc.label().c_str(), r.ok ? "ok  " : "FAIL", r.attempts,
+                static_cast<long long>(r.faults_injected),
+                static_cast<long long>(r.retries), static_cast<long long>(r.restores),
+                r.fault_free_seconds, r.chaos_seconds, r.note.empty() ? "" : "  — ",
+                r.note.c_str());
+    failed += r.ok ? 0 : 1;
+    results.push_back(r);
+  }
+  std::printf("msc-chaos: %d/%zu recovered bit-exactly\n",
+              static_cast<int>(results.size()) - failed, results.size());
+
+  if (!report_path.empty()) {
+    msc::workload::write_file(report_path,
+                              msc::resilience::chaos_report(results).dump() + "\n");
+    std::printf("msc-chaos: report written to %s\n", report_path.c_str());
+  }
+
+  // Bench report: deterministic recovery counters per scenario plus an
+  // overall recovery-efficiency metric the history ledger can gate.
+  msc::prof::BenchReport bench("chaos_overhead", "3d7pt_star,heat2d");
+  bench.set_config("mode", smoke ? "smoke" : "full");
+  bench.set_config("seed", static_cast<long long>(seed));
+  bench.set_config("scenarios", static_cast<long long>(results.size()));
+  for (const auto& r : results) {
+    msc::workload::Json row = msc::workload::Json::object();
+    row["label"] = msc::workload::Json::string(r.scenario.label());
+    row["recovered"] = msc::workload::Json::integer(r.ok ? 1 : 0);
+    row["attempts"] = msc::workload::Json::integer(r.attempts);
+    row["faults_injected"] = msc::workload::Json::integer(r.faults_injected);
+    row["retries"] = msc::workload::Json::integer(r.retries);
+    row["retransmits"] = msc::workload::Json::integer(r.retransmits);
+    row["checkpoints"] = msc::workload::Json::integer(r.checkpoints);
+    row["restores"] = msc::workload::Json::integer(r.restores);
+    bench.add_result(std::move(row));
+  }
+  {
+    msc::workload::Json row = msc::workload::Json::object();
+    row["label"] = msc::workload::Json::string("overall");
+    row["pass_ratio"] = msc::workload::Json::number(
+        results.empty() ? 0.0
+                        : static_cast<double>(static_cast<int>(results.size()) - failed) /
+                              static_cast<double>(results.size()));
+    row["recovery_efficiency"] = msc::workload::Json::number(
+        chaos_total > 0.0 ? fault_free_total / chaos_total : 0.0);
+    bench.add_result(std::move(row));
+  }
+  bench.set_wall_seconds(fault_free_total + chaos_total);
+  const std::string bench_path = bench.write();
+  std::printf("msc-chaos: bench report written to %s\n", bench_path.c_str());
+
+  return failed == 0 ? 0 : 1;
+}

@@ -39,6 +39,12 @@ void usage() {
       "                           (harness self-test: exits 0 iff an oracle\n"
       "                           detects the fault; an undetected fault is\n"
       "                           a vacuous pass and exits 1)\n"
+      "  --fault-inject <f>       inject transport faults into the simmpi\n"
+      "                           oracle: a kind (drop, corrupt, duplicate,\n"
+      "                           delay) or a msc-fault-plan-v1 JSON file.\n"
+      "                           The resilient transport must absorb them\n"
+      "                           (simmpi still matches the reference); a\n"
+      "                           sweep injecting zero faults exits 1\n"
       "  --check-golden <dir>     diff codegen output against the snapshots\n"
       "  --update-golden <dir>    rewrite the snapshots (review the diff!)\n"
       "  -v                       per-case progress\n"
@@ -85,6 +91,8 @@ int main(int argc, char** argv) {
       opts.work_dir = next();
     } else if (arg == "--inject-coeff-error") {
       opts.coeff_perturb = std::atof(next());
+    } else if (arg == "--fault-inject") {
+      opts.fault_inject = next();
     } else if (arg == "--check-golden") {
       check_dir = next();
     } else if (arg == "--update-golden") {
@@ -123,7 +131,7 @@ int main(int argc, char** argv) {
       }
       ran_golden = true;
     }
-    if (!ran_golden || opts.coeff_perturb != 0.0) {
+    if (!ran_golden || opts.coeff_perturb != 0.0 || !opts.fault_inject.empty()) {
       const auto report = msc::check::run_conformance(opts);
       // conform_exit_code also fails a fault-injection run that tripped no
       // oracle, so the CI self-test cannot pass vacuously.
