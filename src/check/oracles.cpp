@@ -1,5 +1,6 @@
 #include "check/oracles.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -144,14 +145,35 @@ OracleRun run_simmpi_oracle(const CaseSpec& spec, const OracleOptions& opts) {
     for (int d = 0; d < spec.ndim; ++d)
       off[static_cast<std::size_t>(d)] = dec.local_offset(r, d);
 
+    // Scatter/gather move whole contiguous rows: the local grid, the global
+    // grid, and the flat gather target are all row-major with a stride-1
+    // last dimension.
+    const int nd = spec.ndim;
+    const std::int64_t row = local.extent(nd - 1);
+    const auto each_row = [&](auto&& fn) {
+      std::array<std::int64_t, 3> c{0, 0, 0};
+      if (nd == 1) {
+        fn(c);
+      } else if (nd == 2) {
+        for (c[0] = 0; c[0] < local.extent(0); ++c[0]) fn(c);
+      } else {
+        for (c[0] = 0; c[0] < local.extent(0); ++c[0])
+          for (c[1] = 0; c[1] < local.extent(1); ++c[1]) fn(c);
+      }
+    };
+    const auto global_of = [&](std::array<std::int64_t, 3> c) {
+      for (int d = 0; d < nd; ++d)
+        c[static_cast<std::size_t>(d)] += off[static_cast<std::size_t>(d)];
+      return c;
+    };
+
     for (int back = 0; back < st.time_window() - 1; ++back) {
       const int gslot = global.slot_for_time(-back);
       const int lslot = local.slot_for_time(-back);
-      local.for_each_interior([&](std::array<std::int64_t, 3> c) {
-        std::array<std::int64_t, 3> g = c;
-        for (int d = 0; d < spec.ndim; ++d)
-          g[static_cast<std::size_t>(d)] += off[static_cast<std::size_t>(d)];
-        local.at(lslot, c) = global.at(gslot, g);
+      double* ldata = local.slot_data(lslot);
+      const double* gdata = global.slot_data(gslot);
+      each_row([&](std::array<std::int64_t, 3> c) {
+        std::copy_n(gdata + global.index(global_of(c)), row, ldata + local.index(c));
       });
     }
 
@@ -159,12 +181,13 @@ OracleRun run_simmpi_oracle(const CaseSpec& spec, const OracleOptions& opts) {
 
     // Disjoint global regions per rank: no synchronization needed.
     const int fslot = local.slot_for_time(spec.timesteps);
-    local.for_each_interior([&](std::array<std::int64_t, 3> c) {
+    const double* fdata = local.slot_data(fslot);
+    each_row([&](std::array<std::int64_t, 3> c) {
+      const auto g = global_of(c);
       std::int64_t idx = 0;
-      for (int d = 0; d < spec.ndim; ++d)
-        idx += (c[static_cast<std::size_t>(d)] + off[static_cast<std::size_t>(d)]) *
-               gstride[static_cast<std::size_t>(d)];
-      gathered[idx] = local.at(fslot, c);
+      for (int d = 0; d < nd; ++d)
+        idx += g[static_cast<std::size_t>(d)] * gstride[static_cast<std::size_t>(d)];
+      std::copy_n(fdata + local.index(c), row, gathered + idx);
     });
   });
 

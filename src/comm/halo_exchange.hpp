@@ -281,33 +281,30 @@ DistRunStats run_distributed_overlapped(RankCtx& ctx, const CartDecomp& dec,
   for (int back = 1; back < st.time_window(); ++back)
     exchange_halo(ctx, dec, local, local.slot_for_time(t_begin - back));
 
-  // Region sweep over [lo, hi) of interior coordinates.
+  // Region sweep over [lo, hi) of interior coordinates: contiguous last-dim
+  // rows through the compiled row kernels (same per-point term order as the
+  // full-grid sweep, so region decomposition cannot change any value).
   const auto sweep_region = [&](std::int64_t t, std::array<std::int64_t, 3> lo,
                                 std::array<std::int64_t, 3> hi) {
     T* out = local.slot_data(local.slot_for_time(t));
-    std::vector<exec::detail::ResolvedTerm> terms;
-    for (const auto& lt : lin->terms) {
-      std::int64_t delta = 0;
-      for (int d = 0; d < nd; ++d)
-        delta += lt.offset[static_cast<std::size_t>(d)] * local.stride(d);
-      terms.push_back(
-          {lt.coeff, delta, local.slot_data(local.slot_for_time(t + lt.time_offset))});
-    }
-    std::array<std::int64_t, 3> c{0, 0, 0};
+    const auto terms = exec::resolve_terms(*lin, local, t);
+    const auto last = static_cast<std::size_t>(nd - 1);
+    const std::int64_t n = hi[last] - lo[last];
+    if (n <= 0) return std::int64_t{0};
     std::int64_t points = 0;
-    auto body = [&](std::array<std::int64_t, 3> g) {
-      exec::detail::sweep_point_linear(out, local.index(g), terms);
-      ++points;
+    auto row = [&](std::array<std::int64_t, 3> c) {
+      c[last] = lo[last];
+      exec::detail::sweep_row(out, local.index(c), n, terms);
+      points += n;
     };
+    std::array<std::int64_t, 3> c = lo;
     if (nd == 1) {
-      for (c[0] = lo[0]; c[0] < hi[0]; ++c[0]) body(c);
+      row(c);
     } else if (nd == 2) {
-      for (c[0] = lo[0]; c[0] < hi[0]; ++c[0])
-        for (c[1] = lo[1]; c[1] < hi[1]; ++c[1]) body(c);
+      for (c[0] = lo[0]; c[0] < hi[0]; ++c[0]) row(c);
     } else {
       for (c[0] = lo[0]; c[0] < hi[0]; ++c[0])
-        for (c[1] = lo[1]; c[1] < hi[1]; ++c[1])
-          for (c[2] = lo[2]; c[2] < hi[2]; ++c[2]) body(c);
+        for (c[1] = lo[1]; c[1] < hi[1]; ++c[1]) row(c);
     }
     return points;
   };

@@ -1,85 +1,6 @@
 #include "exec/executor.hpp"
 
-#include <algorithm>
-
-#include "ir/type.hpp"
-#include "support/error.hpp"
-
 namespace msc::exec {
-
-LoopPlan build_loop_plan(const schedule::Schedule& sched) {
-  const auto& kernel = sched.kernel();
-  LoopPlan plan;
-  plan.ndim = kernel.output()->ndim();
-  for (int d = 0; d < plan.ndim; ++d)
-    plan.extent[static_cast<std::size_t>(d)] = kernel.output()->extent(d);
-
-  for (const auto& ax : sched.axes()) {
-    LoopLevel lv;
-    lv.dim = ax.dim;
-    lv.trip = ax.trip_count();
-    lv.tile = ax.tile_size;
-    lv.parallel = ax.parallel;
-    lv.threads = ax.num_threads;
-    switch (ax.role) {
-      case ir::AxisRole::Original: lv.kind = LoopLevel::Kind::Original; break;
-      case ir::AxisRole::Outer: lv.kind = LoopLevel::Kind::Outer; break;
-      case ir::AxisRole::Inner: lv.kind = LoopLevel::Kind::Inner; break;
-    }
-    if (lv.parallel) plan.parallel_depth = static_cast<int>(plan.levels.size());
-    plan.levels.push_back(lv);
-  }
-
-  // Coverage check: each dimension must appear either as an Original axis
-  // or as an Outer+Inner pair.
-  for (int d = 0; d < plan.ndim; ++d) {
-    bool orig = false, outer = false, inner = false;
-    for (const auto& lv : plan.levels) {
-      if (lv.dim != d) continue;
-      orig |= lv.kind == LoopLevel::Kind::Original;
-      outer |= lv.kind == LoopLevel::Kind::Outer;
-      inner |= lv.kind == LoopLevel::Kind::Inner;
-    }
-    MSC_CHECK(orig || (outer && inner))
-        << "schedule of kernel '" << kernel.name() << "' does not cover dimension " << d;
-  }
-
-  // An Inner axis must appear below its Outer partner, or coordinates would
-  // be assembled from a stale tile base.
-  for (int d = 0; d < plan.ndim; ++d) {
-    int outer_at = -1, inner_at = -1;
-    for (std::size_t n = 0; n < plan.levels.size(); ++n) {
-      if (plan.levels[n].dim != d) continue;
-      if (plan.levels[n].kind == LoopLevel::Kind::Outer) outer_at = static_cast<int>(n);
-      if (plan.levels[n].kind == LoopLevel::Kind::Inner) inner_at = static_cast<int>(n);
-    }
-    MSC_CHECK(outer_at < 0 || inner_at > outer_at)
-        << "schedule of kernel '" << kernel.name() << "': inner axis of dimension " << d
-        << " was reordered above its outer axis";
-  }
-
-  // Staging positions + per-tile traffic for the cache pipeline.
-  const auto esz = static_cast<std::int64_t>(ir::dtype_size(kernel.output()->dtype()));
-  for (const auto& buf : sched.caches()) {
-    const int depth = sched.compute_at_depth(buf);
-    if (depth < 0) continue;
-    if (buf.is_read) {
-      plan.read_stage_depth = depth;
-      plan.tile_bytes_read = sched.spm_tile_elements() * esz;
-    } else {
-      plan.write_stage_depth = depth;
-      std::int64_t elems = 1;
-      for (int d = 0; d < plan.ndim; ++d) elems *= sched.tile_extent(d);
-      plan.tile_bytes_write = elems * esz;
-    }
-  }
-  if (plan.read_stage_depth >= 0) {
-    plan.tiles_per_step = 1;
-    for (int n = 0; n <= plan.read_stage_depth; ++n)
-      plan.tiles_per_step *= plan.levels[static_cast<std::size_t>(n)].trip;
-  }
-  return plan;
-}
 
 std::optional<LinearKernel> linearize_stencil(const ir::StencilDef& st,
                                               const Bindings& bindings) {

@@ -5,11 +5,16 @@
 //  * run_reference — serial, definition-order sweep straight off the IR;
 //    the ground truth for correctness checks (paper §5.1 measures relative
 //    error of generated code against exactly such a serial version).
-//  * run_scheduled — interprets the kernel's Schedule: tiled/reordered
-//    loop nests, a parallel axis executed on the process thread pool, and
-//    staging statistics for the cache_read/cache_write pipeline.
+//  * run_scheduled — executes the kernel's Schedule through the compiled
+//    row-sweep engine (sweep.hpp): the loop nest is lowered once to a flat
+//    clamped tile list and every tile's innermost dimension runs as a
+//    stride-1 row loop; a parallel schedule chunks whole tiles over the
+//    process thread pool.
+//  * run_scheduled_interpreted — the retired per-point recursive nest
+//    interpreter, retained as the differential baseline the sweep engine
+//    is tested (and benchmarked) against.
 //
-// Both compute timesteps t_begin..t_end (inclusive) of a StencilDef,
+// All compute timesteps t_begin..t_end (inclusive) of a StencilDef,
 // writing the output of step t into the state grid's ring slot for t and
 // reading the slots of t-1, t-2, ... per the stencil's time terms.  The
 // caller seeds the initial slots (t_begin-1 .. t_begin-window+1).
@@ -22,6 +27,7 @@
 #include "exec/eval.hpp"
 #include "exec/grid.hpp"
 #include "exec/linearize.hpp"
+#include "exec/sweep.hpp"
 #include "ir/stencil.hpp"
 #include "prof/counters.hpp"
 #include "prof/trace.hpp"
@@ -42,67 +48,21 @@ struct ExecStats {
   std::int64_t staged_bytes_out = 0;
 };
 
-/// One level of the interpreted loop nest, distilled from the Schedule.
-struct LoopLevel {
-  enum class Kind { Original, Outer, Inner };
-  Kind kind = Kind::Original;
-  int dim = 0;
-  std::int64_t trip = 0;   ///< iteration count of this level
-  std::int64_t tile = 0;   ///< Outer levels: iterations covered per block
-  bool parallel = false;
-  int threads = 1;
-};
-
-/// Interpreter-ready digest of a Schedule.
-struct LoopPlan {
-  std::vector<LoopLevel> levels;
-  std::array<std::int64_t, 3> extent{1, 1, 1};
-  int ndim = 0;
-  int parallel_depth = -1;     ///< nest index of the parallel level, or -1
-  int read_stage_depth = -1;   ///< compute_at depth of the read buffer, or -1
-  int write_stage_depth = -1;  ///< compute_at depth of the write buffer, or -1
-  std::int64_t tile_bytes_read = 0;   ///< staged bytes per tile (incl. halo)
-  std::int64_t tile_bytes_write = 0;  ///< staged bytes per tile (interior)
-  std::int64_t tiles_per_step = 0;    ///< DMA tile count per sweep (0 if no staging)
-};
-
-/// Builds the digest; validates that the schedule covers the whole kernel
-/// iteration space.
-LoopPlan build_loop_plan(const schedule::Schedule& sched);
-
 /// The stencil's combined affine form: every (kernel, time term) pair
 /// flattened to weighted linear terms against the single state grid.
 /// nullopt when any member kernel leaves the affine fragment.
 std::optional<LinearKernel> linearize_stencil(const ir::StencilDef& st,
                                               const Bindings& bindings);
 
-namespace detail {
-
-/// Per-term precomputation: linear memory delta + resolved source slot.
-struct ResolvedTerm {
-  double coeff;
-  std::int64_t delta;  ///< linear index offset within a slot
-  const void* src;     ///< slot base pointer for the current timestep
-};
-
-template <typename T>
-void sweep_point_linear(T* out_base, std::int64_t out_idx,
-                        const std::vector<ResolvedTerm>& terms) {
-  double acc = 0.0;
-  for (const auto& term : terms)
-    acc += term.coeff * static_cast<double>(static_cast<const T*>(term.src)[out_idx + term.delta]);
-  out_base[out_idx] = static_cast<T>(acc);
-}
-
-}  // namespace detail
-
 /// Read-only auxiliary grids (coefficient fields etc.) keyed by tensor
 /// name; the caller owns them and has filled their halos.
 template <typename T>
 using AuxGrids = std::map<std::string, const GridStorage<T>*>;
 
-/// Serial reference executor (ground truth).  Stencils whose kernels read
-/// auxiliary grids supply them via `aux`.
+/// Serial reference executor (ground truth).  Affine stencils run through
+/// the row-sweep engine on a single full-interior tile; stencils outside
+/// the affine fragment fall back to the per-point expression evaluator.
+/// Stencils whose kernels read auxiliary grids supply them via `aux`.
 template <typename T>
 void run_reference(const ir::StencilDef& st, GridStorage<T>& state, std::int64_t t_begin,
                    std::int64_t t_end, Boundary bc, const Bindings& bindings = {},
@@ -117,23 +77,22 @@ void run_reference(const ir::StencilDef& st, GridStorage<T>& state, std::int64_t
     state.fill_halo(state.slot_for_time(t_begin - back), bc);
 
   const auto lin = linearize_stencil(st, bindings);
+  SweepPlan plan;
+  if (lin.has_value()) {
+    std::array<std::int64_t, 3> extent{1, 1, 1};
+    for (int d = 0; d < state.ndim(); ++d) extent[static_cast<std::size_t>(d)] = state.extent(d);
+    plan = full_sweep(state.ndim(), extent);
+  }
 
   for (std::int64_t t = t_begin; t <= t_end; ++t) {
     const int out_slot = state.slot_for_time(t);
     T* out = state.slot_data(out_slot);
 
     if (lin.has_value()) {
-      std::vector<detail::ResolvedTerm> terms;
-      terms.reserve(lin->terms.size());
-      for (const auto& lt : lin->terms) {
-        std::int64_t delta = 0;
-        for (int d = 0; d < state.ndim(); ++d) delta += lt.offset[static_cast<std::size_t>(d)] * state.stride(d);
-        terms.push_back({lt.coeff, delta, state.slot_data(state.slot_for_time(t + lt.time_offset))});
-      }
-      state.for_each_interior([&](std::array<std::int64_t, 3> c) {
-        detail::sweep_point_linear(out, state.index(c), terms);
-      });
-      if (stats != nullptr) stats->flops += 2 * static_cast<std::int64_t>(terms.size()) * state.tensor()->interior_points();
+      const auto terms = resolve_terms(*lin, state, t);
+      const SweepStats swept = run_sweep(plan, state, out, terms);
+      if (stats != nullptr)
+        stats->flops += 2 * static_cast<std::int64_t>(terms.size()) * swept.points;
     } else {
       // Generic path: evaluate each time term's kernel RHS per point.
       state.for_each_interior([&](std::array<std::int64_t, 3> c) {
@@ -169,7 +128,7 @@ void run_reference(const ir::StencilDef& st, GridStorage<T>& state, std::int64_t
 }
 
 /// Scheduled executor: same numerics as run_reference, loop structure and
-/// parallelism from `sched`.
+/// parallelism from `sched`, lowered once to the compiled row sweep.
 template <typename T>
 void run_scheduled(const ir::StencilDef& st, const schedule::Schedule& sched,
                    GridStorage<T>& state, std::int64_t t_begin, std::int64_t t_end, Boundary bc,
@@ -184,6 +143,7 @@ void run_scheduled(const ir::StencilDef& st, const schedule::Schedule& sched,
   for (int d = 0; d < plan.ndim; ++d)
     MSC_CHECK(plan.extent[static_cast<std::size_t>(d)] == state.extent(d))
         << "schedule extent mismatch in dim " << d;
+  const SweepPlan sweep = lower_sweep(plan);
 
   for (int back = 1; back < st.time_window(); ++back)
     state.fill_halo(state.slot_for_time(t_begin - back), bc);
@@ -194,14 +154,53 @@ void run_scheduled(const ir::StencilDef& st, const schedule::Schedule& sched,
     const int out_slot = state.slot_for_time(t);
     T* out = state.slot_data(out_slot);
 
-    std::vector<detail::ResolvedTerm> terms;
-    terms.reserve(lin->terms.size());
-    for (const auto& lt : lin->terms) {
-      std::int64_t delta = 0;
-      for (int d = 0; d < state.ndim(); ++d)
-        delta += lt.offset[static_cast<std::size_t>(d)] * state.stride(d);
-      terms.push_back({lt.coeff, delta, state.slot_data(state.slot_for_time(t + lt.time_offset))});
+    const auto terms = resolve_terms(*lin, state, t);
+    const SweepStats swept = run_sweep(sweep, state, out, terms);
+
+    state.fill_halo(out_slot, bc);
+    const std::int64_t step_points = swept.points;
+    const std::int64_t step_flops = 2 * static_cast<std::int64_t>(terms.size()) * step_points;
+    prof::counter("exec.points_updated").add(step_points);
+    prof::counter("exec.flops").add(step_flops);
+    prof::counter("exec.timesteps").add(1);
+    if (stats != nullptr) {
+      ++stats->timesteps;
+      stats->points_updated += step_points;
+      stats->flops += step_flops;
+      stats->tiles_executed += plan.tiles_per_step;
+      stats->staged_bytes_in += plan.tiles_per_step * plan.tile_bytes_read;
+      stats->staged_bytes_out += plan.tiles_per_step * plan.tile_bytes_write;
     }
+  }
+}
+
+/// The retired per-point interpreter: recurses through the schedule's loop
+/// nest once per output element.  Numerically identical to run_scheduled;
+/// kept as the baseline the sweep engine is differentially tested against
+/// and the "before" side of bench_host_executor's speedup measurement.
+template <typename T>
+void run_scheduled_interpreted(const ir::StencilDef& st, const schedule::Schedule& sched,
+                               GridStorage<T>& state, std::int64_t t_begin, std::int64_t t_end,
+                               Boundary bc, const Bindings& bindings = {},
+                               ExecStats* stats = nullptr) {
+  MSC_CHECK(t_begin <= t_end) << "empty time range";
+  const auto lin = linearize_stencil(st, bindings);
+  MSC_CHECK(lin.has_value())
+      << "run_scheduled_interpreted requires an affine stencil";
+
+  const LoopPlan plan = build_loop_plan(sched);
+  MSC_CHECK(plan.ndim == state.ndim()) << "plan rank mismatch";
+  for (int d = 0; d < plan.ndim; ++d)
+    MSC_CHECK(plan.extent[static_cast<std::size_t>(d)] == state.extent(d))
+        << "schedule extent mismatch in dim " << d;
+
+  for (int back = 1; back < st.time_window(); ++back)
+    state.fill_halo(state.slot_for_time(t_begin - back), bc);
+
+  for (std::int64_t t = t_begin; t <= t_end; ++t) {
+    const int out_slot = state.slot_for_time(t);
+    T* out = state.slot_data(out_slot);
+    const auto terms = resolve_terms(*lin, state, t);
 
     // Recursive nest interpreter.  `base` accumulates tile origins from
     // Outer levels; Inner/Original levels produce final coordinates.
@@ -244,15 +243,11 @@ void run_scheduled(const ir::StencilDef& st, const schedule::Schedule& sched,
     run_nest(run_nest, 0, {0, 0, 0}, {0, 0, 0});
 
     state.fill_halo(out_slot, bc);
-    const std::int64_t step_points = state.tensor()->interior_points();
-    const std::int64_t step_flops = 2 * static_cast<std::int64_t>(terms.size()) * step_points;
-    prof::counter("exec.points_updated").add(step_points);
-    prof::counter("exec.flops").add(step_flops);
-    prof::counter("exec.timesteps").add(1);
     if (stats != nullptr) {
+      const std::int64_t step_points = state.tensor()->interior_points();
       ++stats->timesteps;
       stats->points_updated += step_points;
-      stats->flops += step_flops;
+      stats->flops += 2 * static_cast<std::int64_t>(terms.size()) * step_points;
       stats->tiles_executed += plan.tiles_per_step;
       stats->staged_bytes_in += plan.tiles_per_step * plan.tile_bytes_read;
       stats->staged_bytes_out += plan.tiles_per_step * plan.tile_bytes_write;

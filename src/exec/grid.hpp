@@ -16,6 +16,13 @@
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
+#ifdef __linux__
+#include <sys/mman.h>
+#ifndef MADV_COLLAPSE
+#define MADV_COLLAPSE 25  // kernel ≥ 6.1; absent from older glibc headers
+#endif
+#endif
+
 namespace msc::exec {
 
 /// Halo boundary handling between timesteps.
@@ -28,6 +35,16 @@ enum class Boundary {
 template <typename T>
 class GridStorage {
  public:
+  /// Per-slot base-address stagger: ring slots of the same tensor must not
+  /// be congruent modulo the 4 KiB page, or every term's load stream and
+  /// the output store stream of a sweep land in the same L1 cache sets
+  /// (4K aliasing) and throughput halves.  Five cache lines keeps 64-byte
+  /// alignment while decorrelating the page offsets.  Slot bases are
+  /// rounded up to a page boundary first so the page offsets are exactly
+  /// `slot * kSlotStaggerBytes` — deterministic, not at the mercy of
+  /// whatever the allocator hands back after earlier churn.
+  static constexpr std::size_t kSlotStaggerBytes = 320;
+  static constexpr std::size_t kPageBytes = 4096;
   explicit GridStorage(ir::Tensor tensor) : tensor_(std::move(tensor)) {
     MSC_CHECK(tensor_ != nullptr) << "GridStorage needs a tensor";
     MSC_CHECK(sizeof(T) == ir::dtype_size(tensor_->dtype()))
@@ -44,8 +61,38 @@ class GridStorage {
     padded_points_ = padded;
     slots_.reserve(static_cast<std::size_t>(tensor_->time_window()));
     for (int s = 0; s < tensor_->time_window(); ++s)
-      slots_.emplace_back(static_cast<std::size_t>(padded) * sizeof(T));
+      slots_.emplace_back(static_cast<std::size_t>(padded) * sizeof(T) +
+                          static_cast<std::size_t>(s) * kSlotStaggerBytes +
+                          kPageBytes);
+    for (int s = 0; s < slots(); ++s) advise_hugepages(s);
   }
+
+  // Payload lives at a page-aligned offset that depends on each buffer's
+  // own address, so a byte-for-byte buffer copy would land the data at the
+  // wrong offset in the new allocation — copy slot payloads explicitly.
+  GridStorage(const GridStorage& other)
+      : tensor_(other.tensor_),
+        ndim_(other.ndim_),
+        halo_(other.halo_),
+        extent_(other.extent_),
+        stride_(other.stride_),
+        padded_points_(other.padded_points_) {
+    slots_.reserve(other.slots_.size());
+    for (const auto& buf : other.slots_) slots_.emplace_back(buf.size());
+    for (int s = 0; s < slots(); ++s) {
+      advise_hugepages(s);
+      std::copy_n(other.slot_data(s), padded_points_, slot_data(s));
+    }
+  }
+  GridStorage& operator=(const GridStorage& other) {
+    if (this != &other) {
+      GridStorage tmp(other);
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+  GridStorage(GridStorage&&) noexcept = default;
+  GridStorage& operator=(GridStorage&&) noexcept = default;
 
   const ir::Tensor& tensor() const { return tensor_; }
   int ndim() const { return ndim_; }
@@ -63,11 +110,11 @@ class GridStorage {
 
   T* slot_data(int slot) {
     MSC_CHECK(slot >= 0 && slot < slots()) << "bad slot " << slot;
-    return slots_[static_cast<std::size_t>(slot)].template as<T>().data();
+    return reinterpret_cast<T*>(slot_base(slot));
   }
   const T* slot_data(int slot) const {
     MSC_CHECK(slot >= 0 && slot < slots()) << "bad slot " << slot;
-    return slots_[static_cast<std::size_t>(slot)].template as<T>().data();
+    return reinterpret_cast<const T*>(slot_base(slot));
   }
 
   /// Linear index of interior coordinate (coords exclude the halo shift).
@@ -84,11 +131,15 @@ class GridStorage {
   }
 
   /// Fills the interior of `slot` with deterministic pseudo-random values
-  /// in [-1, 1] (substitute for the paper's /data/rand.data).
+  /// in [-1, 1] (substitute for the paper's /data/rand.data).  Row-based:
+  /// rows are visited row-major, so the Rng consumes draws in exactly the
+  /// per-point order and the values stay bit-identical.
   void fill_random(int slot, std::uint64_t seed) {
     Rng rng(seed);
-    for_each_interior([&](std::array<std::int64_t, 3> c) {
-      at(slot, c) = static_cast<T>(rng.next_real(-1.0, 1.0));
+    T* data = slot_data(slot);
+    for_each_interior_row([&](std::int64_t base, std::int64_t len) {
+      T* row = data + base;
+      for (std::int64_t i = 0; i < len; ++i) row[i] = static_cast<T>(rng.next_real(-1.0, 1.0));
     });
   }
 
@@ -108,19 +159,43 @@ class GridStorage {
   std::vector<double> interior_values(int slot) const {
     std::vector<double> out;
     out.reserve(static_cast<std::size_t>(tensor_->interior_points()));
-    for_each_interior([&](std::array<std::int64_t, 3> c) {
-      out.push_back(static_cast<double>(at(slot, c)));
+    const T* data = slot_data(slot);
+    for_each_interior_row([&](std::int64_t base, std::int64_t len) {
+      const T* row = data + base;
+      for (std::int64_t i = 0; i < len; ++i) out.push_back(static_cast<double>(row[i]));
     });
     return out;
   }
 
   /// Row-major interior sum of `slot` — matches the checksum accumulation
-  /// order of the generated backends bit for bit.
+  /// order of the generated backends bit for bit (row sweep preserves the
+  /// exact per-point summation order).
   double interior_checksum(int slot) const {
     double sum = 0.0;
-    for_each_interior(
-        [&](std::array<std::int64_t, 3> c) { sum += static_cast<double>(at(slot, c)); });
+    const T* data = slot_data(slot);
+    for_each_interior_row([&](std::int64_t base, std::int64_t len) {
+      const T* row = data + base;
+      for (std::int64_t i = 0; i < len; ++i) sum += static_cast<double>(row[i]);
+    });
     return sum;
+  }
+
+  /// Invokes fn(base, len) on every contiguous interior row: `base` is the
+  /// linear index of the row's first element, `len` the last-dim extent.
+  /// Rows are visited row-major, so a per-element loop inside fn touches
+  /// the interior in exactly for_each_interior order (stride(ndim-1) == 1).
+  template <typename Fn>
+  void for_each_interior_row(Fn&& fn) const {
+    const std::int64_t len = extent_[static_cast<std::size_t>(ndim_ - 1)];
+    std::array<std::int64_t, 3> c{0, 0, 0};
+    if (ndim_ == 1) {
+      fn(index(c), len);
+    } else if (ndim_ == 2) {
+      for (c[0] = 0; c[0] < extent_[0]; ++c[0]) fn(index(c), len);
+    } else {
+      for (c[0] = 0; c[0] < extent_[0]; ++c[0])
+        for (c[1] = 0; c[1] < extent_[1]; ++c[1]) fn(index(c), len);
+    }
   }
 
   /// Invokes fn on every interior coordinate (row-major, last dim fastest).
@@ -140,26 +215,65 @@ class GridStorage {
   }
 
  private:
+  /// Large slots want 2 MiB TLB entries: a sweep streams several planes from
+  /// every ring slot at once, and when the allocator hands back recycled
+  /// 4 KiB-paged memory the page walks cost ~25% of sweep throughput.
+  /// MADV_HUGEPAGE covers pages not yet faulted, MADV_COLLAPSE converts
+  /// recycled ones; both are best-effort and free to fail (old kernels,
+  /// THP disabled) — correctness never depends on them.
+  void advise_hugepages(int slot) {
+#ifdef __linux__
+    constexpr std::size_t kHugeBytes = std::size_t{2} << 20;
+    auto& buf = slots_[static_cast<std::size_t>(slot)];
+    if (buf.size() < kHugeBytes) return;
+    auto lo = reinterpret_cast<std::uintptr_t>(buf.data());
+    auto hi = lo + buf.size();
+    lo = (lo + kPageBytes - 1) & ~(kPageBytes - 1);
+    hi &= ~(kPageBytes - 1);
+    if (lo >= hi) return;
+    void* base = reinterpret_cast<void*>(lo);
+    (void)::madvise(base, hi - lo, MADV_HUGEPAGE);
+    (void)::madvise(base, hi - lo, MADV_COLLAPSE);
+#endif
+  }
+
+  std::byte* slot_base(int slot) const {
+    const auto s = static_cast<std::size_t>(slot);
+    auto base = reinterpret_cast<std::uintptr_t>(slots_[s].data());
+    base = (base + kPageBytes - 1) & ~(kPageBytes - 1);
+    return reinterpret_cast<std::byte*>(base + s * kSlotStaggerBytes);
+  }
+
   void zero_halo(int slot) {
-    // Zero everything that is not interior: iterate the padded box and skip
-    // the interior region.  Halo volume is small, so clarity over speed.
+    // Row-based: rows whose outer coordinates lie in the halo shell are
+    // zeroed whole; interior rows only zero their last-dim edge cells.
+    // (The old padded-box point scan visited every cell per step and cost
+    // as much as the sweep it framed.)
     T* data = slot_data(slot);
-    std::array<std::int64_t, 3> p{0, 0, 0};  // padded coords
-    const auto in_interior = [&](int d) {
-      return p[static_cast<std::size_t>(d)] >= halo_ &&
-             p[static_cast<std::size_t>(d)] < extent_[static_cast<std::size_t>(d)] + halo_;
+    const auto lastd = static_cast<std::size_t>(ndim_ - 1);
+    const std::int64_t row = extent_[lastd] + 2 * halo_;
+    const auto edges = [&](std::int64_t base) {
+      std::fill_n(data + base, halo_, T{});
+      std::fill_n(data + base + halo_ + extent_[lastd], halo_, T{});
     };
-    iterate_padded([&](std::array<std::int64_t, 3> pc) {
-      p = pc;
-      for (int d = 0; d < ndim_; ++d)
-        if (!in_interior(d)) {
-          std::int64_t idx = 0;
-          for (int e = 0; e < ndim_; ++e)
-            idx += pc[static_cast<std::size_t>(e)] * stride_[static_cast<std::size_t>(e)];
-          data[idx] = T{};
-          return;
+    const auto full = [&](std::int64_t base) { std::fill_n(data + base, row, T{}); };
+    const auto is_halo = [&](std::int64_t p, int d) {
+      return p < halo_ || p >= extent_[static_cast<std::size_t>(d)] + halo_;
+    };
+    if (ndim_ == 1) {
+      edges(0);
+    } else if (ndim_ == 2) {
+      for (std::int64_t p0 = 0; p0 < extent_[0] + 2 * halo_; ++p0) {
+        const std::int64_t base = p0 * stride_[0];
+        is_halo(p0, 0) ? full(base) : edges(base);
+      }
+    } else {
+      for (std::int64_t p0 = 0; p0 < extent_[0] + 2 * halo_; ++p0)
+        for (std::int64_t p1 = 0; p1 < extent_[1] + 2 * halo_; ++p1) {
+          const std::int64_t base = p0 * stride_[0] + p1 * stride_[1];
+          is_halo(p0, 0) || is_halo(p1, 1) ? full(base) : edges(base);
         }
-    });
+    }
   }
 
   void periodic_halo(int slot) {

@@ -1,0 +1,381 @@
+#pragma once
+
+// Compiled row-sweep engine: the shared hot path of every host executor.
+//
+// Instead of interpreting a schedule's loop nest once per point (a closure
+// call, a coordinate array, and an index multiply per output element), the
+// plan is lowered ONCE into a flat list of tile descriptors whose innermost
+// dimension is a stride-1 row loop over raw typed pointers:
+//
+//   build_loop_plan  — Schedule -> LoopPlan (validated loop-nest digest)
+//   lower_sweep      — LoopPlan -> SweepPlan (flat clamped tile list;
+//                      remainder tiles are clamped here, not per iteration)
+//   resolve_terms    — LinearKernel x GridStorage -> per-term base pointer
+//                      + linear delta for one output timestep
+//   run_sweep        — sweeps every tile; rows dispatch to term-count-
+//                      templated inner kernels (1..8 terms fully unrolled,
+//                      generic fallback above), parallel tiles chunked over
+//                      the process pool with per-thread stats merged once
+//                      at the end (no shared-counter contention).
+//
+// Numerics are bit-identical to the retired per-point interpreter: each
+// output element accumulates its terms in the same order with the same
+// `acc += coeff * (double)src[idx + delta]` expression shape, and every
+// element is written exactly once (input slots are distinct ring slots), so
+// the spatial visit order cannot change any value.  The conformance harness
+// (src/check) pins this against golden snapshots.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "exec/grid.hpp"
+#include "exec/linearize.hpp"
+#include "schedule/schedule.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+// The row kernels' stride-1 loops carry no loop dependence: every output
+// element is written exactly once and the input slots are distinct ring
+// slots, so an output row never aliases an input row.  The compiler cannot
+// prove that (all it sees is T* vs const T*), so we assert it per loop —
+// SIMD lanes are independent points and the per-point term accumulation
+// order is untouched, which keeps results bit-identical.
+#if defined(__clang__)
+#define MSC_SWEEP_IVDEP _Pragma("clang loop vectorize(assume_safety)")
+#elif defined(__GNUC__)
+#define MSC_SWEEP_IVDEP _Pragma("GCC ivdep")
+#else
+#define MSC_SWEEP_IVDEP
+#endif
+
+namespace msc::exec {
+
+/// One level of the loop nest, distilled from the Schedule.
+struct LoopLevel {
+  enum class Kind { Original, Outer, Inner };
+  Kind kind = Kind::Original;
+  int dim = 0;
+  std::int64_t trip = 0;   ///< iteration count of this level
+  std::int64_t tile = 0;   ///< Outer levels: iterations covered per block
+  bool parallel = false;
+  int threads = 1;
+};
+
+/// Validated digest of a Schedule (also carries the staging model the
+/// cache_read/cache_write pipeline accounts DMA traffic with).
+struct LoopPlan {
+  std::vector<LoopLevel> levels;
+  std::array<std::int64_t, 3> extent{1, 1, 1};
+  int ndim = 0;
+  int parallel_depth = -1;     ///< nest index of the parallel level, or -1
+  int read_stage_depth = -1;   ///< compute_at depth of the read buffer, or -1
+  int write_stage_depth = -1;  ///< compute_at depth of the write buffer, or -1
+  std::int64_t tile_bytes_read = 0;   ///< staged bytes per tile (incl. halo)
+  std::int64_t tile_bytes_write = 0;  ///< staged bytes per tile (interior)
+  std::int64_t tiles_per_step = 0;    ///< DMA tile count per sweep (0 if no staging)
+};
+
+/// Builds the digest; validates that the schedule covers the whole kernel
+/// iteration space.
+LoopPlan build_loop_plan(const schedule::Schedule& sched);
+
+/// One contiguous block of interior points: the unit of parallel work.
+/// Bounds are interior coordinates, already clamped to the grid extents at
+/// lowering time — the inner loops carry no per-iteration bounds checks.
+struct SweepTile {
+  std::array<std::int64_t, 3> lo{0, 0, 0};  ///< inclusive
+  std::array<std::int64_t, 3> hi{1, 1, 1};  ///< exclusive
+};
+
+/// A lowered sweep: the flat tile decomposition of one timestep's
+/// iteration space plus its parallel execution policy.
+struct SweepPlan {
+  std::vector<SweepTile> tiles;
+  std::array<std::int64_t, 3> extent{1, 1, 1};
+  int ndim = 0;
+  bool parallel = false;  ///< chunk tiles over the process thread pool
+  int threads = 1;        ///< hint from the schedule's parallel level
+};
+
+/// Lowers a LoopPlan to the flat tile list.  Tiled dimensions keep their
+/// schedule tile extents; untiled dimensions span the full extent, except
+/// that an untiled parallel axis is split into ~thread-count blocks so the
+/// tile list exposes at least as much parallelism as the schedule asked
+/// for.  Remainder tiles are clamped here.
+SweepPlan lower_sweep(const LoopPlan& plan);
+
+/// Trivial serial plan: the whole interior as one tile of full rows (used
+/// by run_reference, the grid utilities, and region sweeps).
+SweepPlan full_sweep(int ndim, std::array<std::int64_t, 3> extent);
+
+/// Tallies of one run_sweep invocation, merged from per-thread locals.
+struct SweepStats {
+  std::int64_t points = 0;
+  std::int64_t rows = 0;
+  std::int64_t tiles = 0;
+};
+
+namespace detail {
+
+/// Per-term precomputation for one output timestep: coefficient, linear
+/// memory delta, and the *typed* base pointer of the resolved input slot.
+template <typename T>
+struct ResolvedTerm {
+  double coeff = 0.0;
+  std::int64_t delta = 0;   ///< linear index offset within a slot
+  const T* src = nullptr;   ///< slot base pointer for the current timestep
+};
+
+/// Single-point accumulation (kept for the per-point interpreter and as
+/// the executable definition of the term accumulation order).
+template <typename T>
+inline void sweep_point_linear(T* out_base, std::int64_t out_idx,
+                               const std::vector<ResolvedTerm<T>>& terms) {
+  double acc = 0.0;
+  for (const auto& term : terms)
+    acc += term.coeff * static_cast<double>(term.src[out_idx + term.delta]);
+  out_base[out_idx] = static_cast<T>(acc);
+}
+
+/// Fused per-point accumulation keeps one register per term stream; past
+/// ~16 streams the vectorizer runs out and falls back to near-scalar code
+/// (measured cliff: 566 → 118 Mpt/s between N=16 and N=17 on the build
+/// host).  Wider kernels instead accumulate through an in-L1 row buffer,
+/// one clean two-stream axpy loop per term.
+inline constexpr std::size_t kFusedTermLimit = 16;
+inline constexpr std::int64_t kSweepChunk = 256;
+
+/// Computes `n` contiguous outputs at `o` from per-term row pointers.
+/// Both formulations accumulate each point's terms in k order through an
+/// exact double, so results are bit-identical to sweep_point_linear.
+template <typename T, std::size_t N>
+inline void sweep_span_fixed(T* o, const std::array<const T*, N>& src,
+                             const std::array<double, N>& coeff, std::int64_t n) {
+  if constexpr (N <= kFusedTermLimit) {
+    MSC_SWEEP_IVDEP
+    for (std::int64_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < N; ++k)
+        acc += coeff[k] * static_cast<double>(src[k][i]);
+      o[i] = static_cast<T>(acc);
+    }
+  } else {
+    double buf[kSweepChunk];
+    for (std::int64_t at = 0; at < n; at += kSweepChunk) {
+      const std::int64_t m = std::min<std::int64_t>(kSweepChunk, n - at);
+      MSC_SWEEP_IVDEP
+      for (std::int64_t i = 0; i < m; ++i)
+        buf[i] = coeff[0] * static_cast<double>(src[0][at + i]);
+      for (std::size_t k = 1; k < N; ++k) {
+        MSC_SWEEP_IVDEP
+        for (std::int64_t i = 0; i < m; ++i)
+          buf[i] += coeff[k] * static_cast<double>(src[k][at + i]);
+      }
+      MSC_SWEEP_IVDEP
+      for (std::int64_t i = 0; i < m; ++i) o[at + i] = static_cast<T>(buf[i]);
+    }
+  }
+}
+
+/// Row kernel, term count fixed at compile time: term base pointers and
+/// coefficients are hoisted out of the loop, the N-term accumulation fully
+/// unrolls, and the i-loop is a pure stride-1 sweep the compiler can
+/// vectorize (accumulation order per point matches sweep_point_linear, so
+/// results stay bit-identical).
+template <typename T, std::size_t N>
+inline void sweep_row_fixed(T* out, std::int64_t base, std::int64_t n,
+                            const ResolvedTerm<T>* terms) {
+  std::array<const T*, N> src;
+  std::array<double, N> coeff;
+  for (std::size_t k = 0; k < N; ++k) {
+    src[k] = terms[k].src + base + terms[k].delta;
+    coeff[k] = terms[k].coeff;
+  }
+  sweep_span_fixed<T, N>(out + base, src, coeff, n);
+}
+
+/// Generic fallback for stencils with more than 8 terms.  The term base
+/// pointers and coefficients are still hoisted out of the i-loop — into
+/// thread-local flat arrays reused across rows — so the per-point cost is
+/// the same loads-and-fmas as the fixed kernels, just with a runtime trip
+/// count (roughly 7x the naive read-the-struct-per-point loop this
+/// replaced).
+template <typename T>
+inline void sweep_row_generic(T* out, std::int64_t base, std::int64_t n,
+                              const std::vector<ResolvedTerm<T>>& terms) {
+  static thread_local std::vector<const T*> src_buf;
+  static thread_local std::vector<double> coeff_buf;
+  const std::size_t nt = terms.size();
+  if (src_buf.size() < nt) {
+    src_buf.resize(nt);
+    coeff_buf.resize(nt);
+  }
+  const T** src = src_buf.data();
+  double* coeff = coeff_buf.data();
+  for (std::size_t k = 0; k < nt; ++k) {
+    src[k] = terms[k].src + base + terms[k].delta;
+    coeff[k] = terms[k].coeff;
+  }
+  T* o = out + base;
+  MSC_SWEEP_IVDEP
+  for (std::int64_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < nt; ++k)
+      acc += coeff[k] * static_cast<double>(src[k][i]);
+    o[i] = static_cast<T>(acc);
+  }
+}
+
+/// Term counts with a dedicated fully-unrolled kernel.  32 covers every
+/// (time term x offset) combination of the standard workloads up to
+/// 3d13pt_star with a two-deep time window (a compile-time trip count is
+/// worth ~3x over the runtime loop: the compiler unrolls and pipelines the
+/// term accumulation instead of looping over it per point).
+inline constexpr std::size_t kMaxFixedTerms = 32;
+
+template <typename T>
+using RowFn = void (*)(T*, std::int64_t, std::int64_t, const ResolvedTerm<T>*);
+
+template <typename T, std::size_t... I>
+constexpr std::array<RowFn<T>, sizeof...(I)> make_row_table(std::index_sequence<I...>) {
+  return {{&sweep_row_fixed<T, I + 1>...}};
+}
+
+/// Sweeps one contiguous row of `n` outputs starting at linear index
+/// `base`, dispatching on the term count.  Defined out of line (sweep.cpp)
+/// so the unrolled kernels are compiled exactly once, in a translation
+/// unit that holds nothing else hot — GCC's unrolling and SLP budgets are
+/// per-TU, and header-inlined copies came out measurably worse in TUs
+/// that also instantiate the interpreter.
+template <typename T>
+void sweep_row(T* out, std::int64_t base, std::int64_t n,
+               const std::vector<ResolvedTerm<T>>& terms);
+
+extern template void sweep_row<float>(float*, std::int64_t, std::int64_t,
+                                      const std::vector<ResolvedTerm<float>>&);
+extern template void sweep_row<double>(double*, std::int64_t, std::int64_t,
+                                       const std::vector<ResolvedTerm<double>>&);
+
+/// acc[i] += coeff * src[i] over one contiguous row — the staged-buffer
+/// accumulation primitive shared by the CG simulators (expression shape
+/// matches the per-point form bit for bit).
+template <typename T>
+inline void axpy_row(double* acc, const T* src, double coeff, std::int64_t n) {
+  MSC_SWEEP_IVDEP
+  for (std::int64_t i = 0; i < n; ++i)
+    acc[i] += coeff * static_cast<double>(src[i]);
+}
+
+/// Invokes fn(base) for every row of `tile` (base = linear index of the
+/// row's first element) and tallies rows/points.  Returns the row length.
+template <typename T, typename Fn>
+inline void tile_rows(const SweepTile& tile, const GridStorage<T>& state, std::int64_t n,
+                      SweepStats& stats, Fn&& fn) {
+  const int nd = state.ndim();
+  const auto last = static_cast<std::size_t>(nd - 1);
+  auto row = [&](std::array<std::int64_t, 3> c) {
+    c[last] = tile.lo[last];
+    fn(state.index(c));
+    ++stats.rows;
+    stats.points += n;
+  };
+  std::array<std::int64_t, 3> c = tile.lo;
+  if (nd == 1) {
+    row(c);
+  } else if (nd == 2) {
+    for (c[0] = tile.lo[0]; c[0] < tile.hi[0]; ++c[0]) row(c);
+  } else {
+    for (c[0] = tile.lo[0]; c[0] < tile.hi[0]; ++c[0])
+      for (c[1] = tile.lo[1]; c[1] < tile.hi[1]; ++c[1]) row(c);
+  }
+}
+
+/// Tile kernel with the term count fixed at compile time: the term arrays
+/// are hoisted OUT of the row loop (built once per tile), so a row costs
+/// only its base-index computation before the unrolled stride-1 sweep.
+template <typename T, std::size_t N>
+void sweep_tile_fixed(const SweepTile& tile, const GridStorage<T>& state, T* out,
+                      const std::vector<ResolvedTerm<T>>& terms, SweepStats& stats,
+                      std::int64_t n) {
+  std::array<const T*, N> src;
+  std::array<double, N> coeff;
+  for (std::size_t k = 0; k < N; ++k) {
+    src[k] = terms[k].src + terms[k].delta;
+    coeff[k] = terms[k].coeff;
+  }
+  tile_rows(tile, state, n, stats, [&](std::int64_t base) {
+    std::array<const T*, N> row;
+    for (std::size_t k = 0; k < N; ++k) row[k] = src[k] + base;
+    sweep_span_fixed<T, N>(out + base, row, coeff, n);
+  });
+}
+
+template <typename T>
+using TileFn = void (*)(const SweepTile&, const GridStorage<T>&, T*,
+                        const std::vector<ResolvedTerm<T>>&, SweepStats&, std::int64_t);
+
+template <typename T, std::size_t... I>
+constexpr std::array<TileFn<T>, sizeof...(I)> make_tile_table(std::index_sequence<I...>) {
+  return {{&sweep_tile_fixed<T, I + 1>...}};
+}
+
+/// Sweeps every row of one tile, dispatching once per tile on the term
+/// count (1..kMaxFixedTerms get a fully-unrolled kernel).
+template <typename T>
+inline void sweep_tile(const SweepTile& tile, const GridStorage<T>& state, T* out,
+                       const std::vector<ResolvedTerm<T>>& terms, SweepStats& stats) {
+  static constexpr auto kTable =
+      make_tile_table<T>(std::make_index_sequence<kMaxFixedTerms>{});
+  const auto last = static_cast<std::size_t>(state.ndim() - 1);
+  const std::int64_t n = tile.hi[last] - tile.lo[last];
+  if (n <= 0) return;
+  const std::size_t nt = terms.size();
+  if (nt - 1 < kMaxFixedTerms) {
+    kTable[nt - 1](tile, state, out, terms, stats, n);
+  } else {
+    tile_rows(tile, state, n, stats,
+              [&](std::int64_t base) { sweep_row_generic(out, base, n, terms); });
+  }
+}
+
+}  // namespace detail
+
+/// Resolves every LinearKernel term against the grid's ring slots for
+/// output timestep `t`: linear delta from the per-dim offsets and strides,
+/// typed base pointer from the term's time offset.
+template <typename T>
+std::vector<detail::ResolvedTerm<T>> resolve_terms(const LinearKernel& lin,
+                                                   const GridStorage<T>& state,
+                                                   std::int64_t t) {
+  std::vector<detail::ResolvedTerm<T>> terms;
+  terms.reserve(lin.terms.size());
+  for (const auto& lt : lin.terms) {
+    std::int64_t delta = 0;
+    for (int d = 0; d < state.ndim(); ++d)
+      delta += lt.offset[static_cast<std::size_t>(d)] * state.stride(d);
+    terms.push_back({lt.coeff, delta, state.slot_data(state.slot_for_time(t + lt.time_offset))});
+  }
+  return terms;
+}
+
+/// Executes one timestep: every tile of `plan`, rows through the unrolled
+/// kernels, chunked over the process pool when the plan is parallel.
+/// Per-chunk stats are merged exactly once per chunk.  Out-of-line for the
+/// same reason as detail::sweep_row — one canonical, well-optimized copy
+/// of the tile kernels, independent of what else the caller's TU contains.
+template <typename T>
+SweepStats run_sweep(const SweepPlan& plan, const GridStorage<T>& state, T* out,
+                     const std::vector<detail::ResolvedTerm<T>>& terms);
+
+extern template SweepStats run_sweep<float>(const SweepPlan&, const GridStorage<float>&,
+                                            float*,
+                                            const std::vector<detail::ResolvedTerm<float>>&);
+extern template SweepStats run_sweep<double>(
+    const SweepPlan&, const GridStorage<double>&, double*,
+    const std::vector<detail::ResolvedTerm<double>>&);
+
+}  // namespace msc::exec

@@ -211,27 +211,31 @@ CgSimResult run_cg_sim(const ir::StencilDef& st, const schedule::Schedule& sched
           for (int d = 0; d < nd; ++d)
             tdelta += term.offset[static_cast<std::size_t>(d)] *
                       lstride[static_cast<std::size_t>(d)];
+          // Contiguous last-dim rows in both buffers (lstride/wstride last
+          // component is 1): accumulate row-at-a-time via axpy_row, same
+          // per-point expression shape as before, so bit-identical.
+          std::array<std::int64_t, 3> wstride{1, 1, 1};
+          for (int d = nd - 2; d >= 0; --d)
+            wstride[static_cast<std::size_t>(d)] =
+                wstride[static_cast<std::size_t>(d + 1)] * tsize[static_cast<std::size_t>(d + 1)];
+          const std::int64_t row = tsize[static_cast<std::size_t>(nd - 1)];
           std::array<std::int64_t, 3> p{0, 0, 0};
-          auto accumulate_point = [&](std::array<std::int64_t, 3> q) {
-            std::int64_t lidx = 0, widx = 0;
-            std::int64_t wstride = 1;
-            for (int d = nd - 1; d >= 0; --d) {
-              lidx += (q[static_cast<std::size_t>(d)] + radius) *
-                      lstride[static_cast<std::size_t>(d)];
-              widx += q[static_cast<std::size_t>(d)] * wstride;
-              wstride *= tsize[static_cast<std::size_t>(d)];
+          auto accumulate_row = [&](std::array<std::int64_t, 3> q) {
+            std::int64_t lbase = radius + tdelta, wbase = 0;
+            for (int d = 0; d < nd - 1; ++d) {
+              lbase += (q[static_cast<std::size_t>(d)] + radius) *
+                       lstride[static_cast<std::size_t>(d)];
+              wbase += q[static_cast<std::size_t>(d)] * wstride[static_cast<std::size_t>(d)];
             }
-            wacc[widx] += term.coeff * static_cast<double>(rbuf[lidx + tdelta]);
+            exec::detail::axpy_row(wacc + wbase, rbuf + lbase, term.coeff, row);
           };
           if (nd == 1) {
-            for (p[0] = 0; p[0] < tsize[0]; ++p[0]) accumulate_point(p);
+            accumulate_row(p);
           } else if (nd == 2) {
-            for (p[0] = 0; p[0] < tsize[0]; ++p[0])
-              for (p[1] = 0; p[1] < tsize[1]; ++p[1]) accumulate_point(p);
+            for (p[0] = 0; p[0] < tsize[0]; ++p[0]) accumulate_row(p);
           } else {
             for (p[0] = 0; p[0] < tsize[0]; ++p[0])
-              for (p[1] = 0; p[1] < tsize[1]; ++p[1])
-                for (p[2] = 0; p[2] < tsize[2]; ++p[2]) accumulate_point(p);
+              for (p[1] = 0; p[1] < tsize[1]; ++p[1]) accumulate_row(p);
           }
           flops += 2 * tsize[0] * (nd > 1 ? tsize[1] : 1) * (nd > 2 ? tsize[2] : 1);
         }

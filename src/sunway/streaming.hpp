@@ -150,10 +150,11 @@ CgSimResult run_cg_sim_streamed(const ir::StencilDef& st, const schedule::Schedu
                   .template as<T>()
                   .data();
           const std::int64_t delta = term.offset[1] * pi + term.offset[2];
+          // Row-at-a-time accumulation (same expression shape per point →
+          // bit-identical to the per-point loop this replaces).
           for (std::int64_t j = 0; j < sj; ++j)
-            for (std::int64_t i = 0; i < si; ++i)
-              acc[j * si + i] += term.coeff *
-                                 static_cast<double>(plane[(j + r) * pi + (i + r) + delta]);
+            exec::detail::axpy_row(acc + j * si, plane + (j + r) * pi + r + delta, term.coeff,
+                                   si);
           flops += 2 * sj * si;
         }
 
