@@ -13,10 +13,11 @@
 #include <cstdio>
 #include <string>
 
+#include "verify.hpp"
+
 #include "exec/executor.hpp"
 #include "prof/bench_report.hpp"
 #include "prof/counters.hpp"
-#include "support/error.hpp"
 #include "support/table.hpp"
 #include "workload/report.hpp"
 #include "workload/stencils.hpp"
@@ -71,24 +72,19 @@ Measured measure(const workload::BenchmarkInfo& info, std::array<std::int64_t, 3
   const auto& st = prog->stencil();
   const auto& sched = prog->primary_schedule();
 
-  const auto seed_grid = [&](exec::GridStorage<double>& g) {
-    for (int s = 0; s < g.slots(); ++s) g.fill_random(s, 1);
-  };
-
-  // Equality check first: same seed, one path each, bit-identical interiors.
-  {
-    exec::GridStorage<double> gi(st.state()), gc(st.state());
-    seed_grid(gi);
-    seed_grid(gc);
-    exec::run_scheduled_interpreted(st, sched, gi, 1, kSteps, exec::Boundary::ZeroHalo);
-    exec::run_scheduled(st, sched, gc, 1, kSteps, exec::Boundary::ZeroHalo);
-    const int fs = gi.slot_for_time(kSteps);
-    MSC_CHECK(exec::max_relative_error(gi, fs, gc, fs) == 0.0)
-        << info.name << ": compiled sweep diverged from the interpreter";
-  }
+  // Equality check first, once, before any timing (bench/verify.hpp).
+  bench::require_bit_identical<double>(
+      st,
+      [&](exec::GridStorage<double>& g) {
+        exec::run_scheduled_interpreted(st, sched, g, 1, kSteps, exec::Boundary::ZeroHalo);
+      },
+      [&](exec::GridStorage<double>& g) {
+        exec::run_scheduled(st, sched, g, 1, kSteps, exec::Boundary::ZeroHalo);
+      },
+      info.name.c_str());
 
   exec::GridStorage<double> g(st.state());
-  seed_grid(g);
+  for (int s = 0; s < g.slots(); ++s) g.fill_random(s, 1);
   const double points =
       static_cast<double>(st.state()->interior_points()) * static_cast<double>(kSteps);
 

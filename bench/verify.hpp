@@ -1,0 +1,37 @@
+#pragma once
+
+// Pre-timing correctness gate shared by the host benches.  Every bench that
+// times two execution paths against each other must first prove they compute
+// the same grids — a perf number for a wrong kernel is worthless — and the
+// check must run exactly once, before any timing, so it never pollutes the
+// measured loop.  This helper owns that protocol: seed two grids identically,
+// run each path once, and demand bit-identity in every ring slot.
+
+#include <cstdint>
+
+#include "exec/executor.hpp"
+#include "support/error.hpp"
+
+namespace msc::bench {
+
+/// Runs `oracle` and `candidate` once each from identically seeded grids and
+/// checks every ring slot bitwise.  Both callables receive a freshly seeded
+/// `exec::GridStorage<T>&` and must advance it over the same time range.
+/// Aborts (MSC_CHECK) on the first diverging slot.
+template <typename T, typename Oracle, typename Candidate>
+void require_bit_identical(const ir::StencilDef& st, Oracle&& oracle, Candidate&& candidate,
+                           const char* what, std::uint64_t seed = 1) {
+  exec::GridStorage<T> go(st.state()), gc(st.state());
+  for (int s = 0; s < go.slots(); ++s) {
+    go.fill_random(s, seed + static_cast<std::uint64_t>(s));
+    gc.fill_random(s, seed + static_cast<std::uint64_t>(s));
+  }
+  oracle(go);
+  candidate(gc);
+  for (int s = 0; s < go.slots(); ++s)
+    MSC_CHECK(exec::max_relative_error(go, s, gc, s) == 0.0)
+        << what << ": candidate diverged from the oracle in ring slot " << s
+        << "; refusing to time a wrong kernel";
+}
+
+}  // namespace msc::bench

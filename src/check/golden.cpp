@@ -32,17 +32,6 @@ tile 16 32
 parallel 8
 )";
 
-std::unique_ptr<dsl::Program> golden_program(const GoldenCase& gc) {
-  if (gc.program == "heat2d") return frontend::program_from_spec(kHeat2dSpec);
-  const auto& info = workload::benchmark(gc.program);
-  auto prog = workload::make_program(info, ir::DataType::f64, {20, 20, 20});
-  // Sunway-family targets snapshot the SPM pipeline schedule; host targets
-  // the Matrix (OpenMP) one.
-  const bool sunway_family = gc.target == "sunway" || gc.target == "openacc";
-  workload::apply_msc_schedule(*prog, info, sunway_family ? "sunway" : "matrix", {4, 4, 8});
-  return prog;
-}
-
 std::string read_file(const fs::path& p) {
   std::ifstream in(p, std::ios::binary);
   MSC_CHECK(in.good()) << "cannot read " << p.string();
@@ -68,6 +57,17 @@ std::string first_diff(const std::string& want, const std::string& got) {
 }
 
 }  // namespace
+
+std::unique_ptr<dsl::Program> golden_program(const GoldenCase& gc) {
+  if (gc.program == "heat2d") return frontend::program_from_spec(kHeat2dSpec);
+  const auto& info = workload::benchmark(gc.program);
+  auto prog = workload::make_program(info, ir::DataType::f64, {20, 20, 20});
+  // Sunway-family targets snapshot the SPM pipeline schedule; host targets
+  // the Matrix (OpenMP) one.
+  const bool sunway_family = gc.target == "sunway" || gc.target == "openacc";
+  workload::apply_msc_schedule(*prog, info, sunway_family ? "sunway" : "matrix", {4, 4, 8});
+  return prog;
+}
 
 const std::vector<GoldenCase>& golden_matrix() {
   static const std::vector<GoldenCase> matrix = [] {

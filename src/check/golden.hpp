@@ -7,8 +7,11 @@
 // `msc-conform --update-golden` and the diff reviewed in the commit.
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "dsl/program.hpp"
 
 namespace msc::check {
 
@@ -22,6 +25,13 @@ struct GoldenCase {
 
 /// The full matrix: {3d7pt_star, heat2d} x {c, openmp, sunway, openacc}.
 const std::vector<GoldenCase>& golden_matrix();
+
+/// The DSL program of one matrix cell: heat2d from the pinned spec above
+/// the snapshots, 3d7pt_star from the workload registry with the target
+/// family's schedule.  Exposed so numeric pins (the temporal engine's
+/// golden checksums in test_sweep) run the exact programs the snapshot
+/// matrix pins, not lookalikes that could drift independently.
+std::unique_ptr<dsl::Program> golden_program(const GoldenCase& gc);
 
 /// Emits the sources of one matrix cell (file name -> contents), with
 /// normalized deterministic output (no timestamps, fixed ordering).

@@ -46,6 +46,10 @@ KernelHandle& KernelHandle::unroll(const std::string& axis, int factor) {
   sched_->unroll(axis, factor);
   return *this;
 }
+KernelHandle& KernelHandle::time_tile(std::int64_t depth, std::int64_t width) {
+  sched_->time_tile(depth, width);
+  return *this;
+}
 KernelHandle& KernelHandle::cache_read(const std::string& tensor, const std::string& buffer,
                                        const std::string& scope) {
   sched_->cache_read(tensor, buffer, scope);

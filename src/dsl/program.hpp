@@ -87,6 +87,7 @@ class KernelHandle {
   KernelHandle& parallel(const std::string& axis, int num_threads);
   KernelHandle& vectorize(const std::string& axis);
   KernelHandle& unroll(const std::string& axis, int factor);
+  KernelHandle& time_tile(std::int64_t depth, std::int64_t width = 0);
   KernelHandle& cache_read(const std::string& tensor, const std::string& buffer,
                            const std::string& scope = "global");
   KernelHandle& cache_write(const std::string& buffer, const std::string& scope = "global");

@@ -28,6 +28,7 @@
 #include "exec/grid.hpp"
 #include "exec/linearize.hpp"
 #include "exec/sweep.hpp"
+#include "exec/temporal_sweep.hpp"
 #include "ir/stencil.hpp"
 #include "prof/counters.hpp"
 #include "prof/trace.hpp"
@@ -171,6 +172,93 @@ void run_scheduled(const ir::StencilDef& st, const schedule::Schedule& sched,
       stats->staged_bytes_in += plan.tiles_per_step * plan.tile_bytes_read;
       stats->staged_bytes_out += plan.tiles_per_step * plan.tile_bytes_write;
     }
+  }
+}
+
+/// What run_scheduled_temporal actually executed: either the wedge
+/// decomposition it ran, or — when the boundary condition needs a per-step
+/// halo exchange — the reason it fell back to the per-step engine.  A
+/// fallback is never silent: `fallback_reason` says why and the
+/// sweep.temporal.fallback counter ticks.
+struct TemporalExecInfo {
+  bool temporal = false;          ///< wedge engine ran (vs reported fallback)
+  std::string fallback_reason;    ///< non-empty iff temporal == false
+  std::int64_t blocks = 0;        ///< time blocks executed (incl. remainder)
+  std::int64_t wedges = 0;        ///< wedge count of a full-depth block
+  std::int64_t wedge_depth = 0;   ///< timesteps fused per full block
+  std::int64_t wedge_width = 0;   ///< dim-0 rows per wedge
+  std::int64_t dep_span = 0;      ///< wedges a step may read behind itself
+};
+
+/// Temporal executor: same numerics as run_scheduled — bit-identical for
+/// every dtype and time depth — but sweeps time-skewed wedges of
+/// time_tile() timesteps per pass (temporal_sweep.hpp) so a wedge's rows
+/// stay cache-resident across the whole time window.  Boundaries other
+/// than ZeroHalo need a fresh halo every step, which a multi-step wedge
+/// cannot see: those fall back to run_scheduled and report it via `info`.
+template <typename T>
+void run_scheduled_temporal(const ir::StencilDef& st, const schedule::Schedule& sched,
+                            GridStorage<T>& state, std::int64_t t_begin, std::int64_t t_end,
+                            Boundary bc, const Bindings& bindings = {},
+                            ExecStats* stats = nullptr, TemporalExecInfo* info = nullptr,
+                            const TemporalOptions& topts = {}) {
+  MSC_CHECK(t_begin <= t_end) << "empty time range";
+  if (bc != Boundary::ZeroHalo) {
+    if (info != nullptr) {
+      info->temporal = false;
+      info->fallback_reason = std::string("boundary '") + boundary_name(bc) +
+                              "' needs a per-step halo exchange";
+    }
+    prof::counter("sweep.temporal.fallback").add(1);
+    run_scheduled(st, sched, state, t_begin, t_end, bc, bindings, stats);
+    return;
+  }
+
+  const auto lin = linearize_stencil(st, bindings);
+  MSC_CHECK(lin.has_value())
+      << "run_scheduled_temporal requires an affine stencil (use run_reference otherwise)";
+
+  const LoopPlan plan = build_loop_plan(sched);
+  MSC_CHECK(plan.ndim == state.ndim()) << "plan rank mismatch";
+  for (int d = 0; d < plan.ndim; ++d)
+    MSC_CHECK(plan.extent[static_cast<std::size_t>(d)] == state.extent(d))
+        << "schedule extent mismatch in dim " << d;
+
+  const TemporalPlan tplan =
+      lower_temporal(plan, st.time_window(), st.max_radius(), t_begin, t_end, topts);
+  if (info != nullptr) {
+    info->temporal = true;
+    info->fallback_reason.clear();
+    info->blocks = tplan.blocks();
+    info->wedges = static_cast<std::int64_t>(tplan.full.wedges.size());
+    info->wedge_depth = tplan.wedge_depth;
+    info->wedge_width = tplan.wedge_width;
+    info->dep_span = tplan.dep_span;
+  }
+
+  // Zero halos are idempotent: zero every ring slot's halo once up front.
+  // Sweeps never write halo cells, so every read — and the final grid,
+  // halos included — sees exactly the halo state the per-step engines
+  // produce with their per-step fill.
+  for (int s = 0; s < state.slots(); ++s) state.fill_halo(s, bc);
+
+  prof::TraceScope scope("run_scheduled_temporal", "exec");
+  scope.arg("t_begin", static_cast<double>(t_begin));
+  scope.arg("t_end", static_cast<double>(t_end));
+  const SweepStats swept = run_temporal_sweep(tplan, *lin, state, topts.pool);
+
+  const std::int64_t nsteps = t_end - t_begin + 1;
+  const std::int64_t flops = 2 * static_cast<std::int64_t>(lin->terms.size()) * swept.points;
+  prof::counter("exec.points_updated").add(swept.points);
+  prof::counter("exec.flops").add(flops);
+  prof::counter("exec.timesteps").add(nsteps);
+  if (stats != nullptr) {
+    stats->timesteps += nsteps;
+    stats->points_updated += swept.points;
+    stats->flops += flops;
+    stats->tiles_executed += plan.tiles_per_step * nsteps;
+    stats->staged_bytes_in += plan.tiles_per_step * plan.tile_bytes_read * nsteps;
+    stats->staged_bytes_out += plan.tiles_per_step * plan.tile_bytes_write * nsteps;
   }
 }
 

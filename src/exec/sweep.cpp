@@ -12,6 +12,8 @@ LoopPlan build_loop_plan(const schedule::Schedule& sched) {
   plan.ndim = kernel.output()->ndim();
   for (int d = 0; d < plan.ndim; ++d)
     plan.extent[static_cast<std::size_t>(d)] = kernel.output()->extent(d);
+  plan.time_depth = sched.time_tile_depth();
+  plan.time_width = sched.time_tile_width();
 
   for (const auto& ax : sched.axes()) {
     LoopLevel lv;

@@ -77,6 +77,8 @@ struct LoopPlan {
   std::int64_t tile_bytes_read = 0;   ///< staged bytes per tile (incl. halo)
   std::int64_t tile_bytes_write = 0;  ///< staged bytes per tile (interior)
   std::int64_t tiles_per_step = 0;    ///< DMA tile count per sweep (0 if no staging)
+  std::int64_t time_depth = 1;        ///< time_tile(): timesteps fused per wedge block
+  std::int64_t time_width = 0;        ///< time_tile(): wedge rows of dim 0 (0 = auto)
 };
 
 /// Builds the digest; validates that the schedule covers the whole kernel

@@ -132,6 +132,14 @@ Schedule& Schedule::unroll(const std::string& axis, int factor) {
   return *this;
 }
 
+Schedule& Schedule::time_tile(std::int64_t depth, std::int64_t width) {
+  MSC_CHECK(depth >= 1) << "time_tile depth must be >= 1, got " << depth;
+  MSC_CHECK(width >= 0) << "time_tile width must be >= 0, got " << width;
+  time_depth_ = depth;
+  time_width_ = width;
+  return *this;
+}
+
 Schedule& Schedule::cache_read(const std::string& tensor, const std::string& buffer,
                                const std::string& scope) {
   bool reads_tensor = false;
@@ -261,6 +269,8 @@ std::string Schedule::to_string() const {
     if (!c.compute_at.empty()) out << " compute_at=" << c.compute_at;
     out << "\n";
   }
+  if (time_depth_ > 1)
+    out << "time_tile depth=" << time_depth_ << " width=" << time_width_ << "\n";
   return out.str();
 }
 

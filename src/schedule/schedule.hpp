@@ -77,6 +77,13 @@ class Schedule {
   /// (classic stencil optimization next to vectorization, §1/§2.1).
   Schedule& unroll(const std::string& axis, int factor);
 
+  /// Temporal wedge blocking for the host sweep engine: fuse `depth`
+  /// timesteps per pass over time-skewed wedges of `width` rows of
+  /// dimension 0 (0 = derive the width from the dim-0 tile at lowering).
+  /// depth == 1 disables temporal blocking (the default).  Re-applying
+  /// overrides the previous setting, so the tuner can search the knob.
+  Schedule& time_tile(std::int64_t depth, std::int64_t width = 0);
+
   // ---- caching primitives ----------------------------------------------
 
   /// Binds input tensor `tensor` to an SPM read buffer.
@@ -95,6 +102,11 @@ class Schedule {
   /// Tile size applied to dimension `dim`, or the full extent when the
   /// dimension was never split.
   std::int64_t tile_extent(int dim) const;
+
+  /// Temporal wedge parameters set by time_tile(); depth 1 / width 0 when
+  /// the schedule carries no temporal blocking.
+  std::int64_t time_tile_depth() const { return time_depth_; }
+  std::int64_t time_tile_width() const { return time_width_; }
 
   /// Index of the parallel axis in the current nest, or -1.
   int parallel_axis_index() const;
@@ -130,6 +142,8 @@ class Schedule {
   ir::KernelPtr kernel_;
   ir::AxisList axes_;
   std::vector<CacheBuffer> caches_;
+  std::int64_t time_depth_ = 1;
+  std::int64_t time_width_ = 0;
 };
 
 using SchedulePtr = std::shared_ptr<Schedule>;

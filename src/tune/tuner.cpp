@@ -40,6 +40,12 @@ TuneParams clamp(const ir::StencilDef& st, const machine::MachineModel& m,
     auto& t = p.tile[static_cast<std::size_t>(d)];
     t = std::clamp<std::int64_t>(t, 1, ext[static_cast<std::size_t>(d)]);
   }
+  // Temporal wedges exploit a cache hierarchy; the scratchpad pipeline
+  // stages per step, so cache-less machines always run per-step sweeps.
+  p.time_tile = m.cache_less()
+                    ? 1
+                    : std::clamp<std::int64_t>(p.time_tile, 1,
+                                               std::max<std::int64_t>(1, cfg.timesteps));
   if (m.cache_less()) {
     const std::int64_t r = st.max_radius();
     const auto esz = static_cast<std::int64_t>(cfg.fp64 ? 8 : 4);
@@ -108,15 +114,25 @@ std::vector<double> features(const ir::StencilDef& st, const machine::MachineMod
 
   std::int64_t points = 1;
   for (int d = 0; d < nd; ++d) points *= ext[static_cast<std::size_t>(d)];
+  const double tscale = temporal_traffic_scale(p.time_tile, st.max_radius(), p.tile[0]);
   return {1.0,
           static_cast<double>(points),
           static_cast<double>(kc.traffic_bytes),
           kc.dma_latency_seconds,
           static_cast<double>(cc.bytes_per_rank),
-          static_cast<double>(cc.messages_per_rank)};
+          static_cast<double>(cc.messages_per_rank),
+          tscale * static_cast<double>(kc.traffic_bytes)};
 }
 
 }  // namespace
+
+double temporal_traffic_scale(std::int64_t depth, std::int64_t skew, std::int64_t width) {
+  if (depth <= 1) return 1.0;
+  const double d = static_cast<double>(depth);
+  const double w = static_cast<double>(std::max<std::int64_t>(width, 1));
+  const double scale = 1.0 / d + (d - 1.0) * static_cast<double>(skew) / w;
+  return std::clamp(scale, 0.0, 1.0);
+}
 
 std::vector<std::vector<int>> factorizations(int n, int ndim) {
   MSC_CHECK(n >= 1 && ndim >= 1) << "bad factorization request";
@@ -146,7 +162,20 @@ double measure_config(const ir::StencilDef& st, const machine::MachineModel& m,
   comm::CartDecomp dec(params.mpi_dims, global);
   const auto cc = comm::halo_exchange_cost(
       net, dec, st.max_radius(), static_cast<std::int64_t>(cfg.fp64 ? 8 : 4));
-  return kc.seconds + cc.seconds * static_cast<double>(cfg.timesteps);
+
+  // Temporal wedge fusion keeps a wedge's working set cache-resident across
+  // its time window, cutting the *exposed* memory time per sweep to the
+  // modelled traffic fraction; compute time is untouched, so the saving is
+  // capped at whatever memory time the per-step sweep actually exposes.
+  double kernel_seconds = kc.seconds;
+  if (params.time_tile > 1) {
+    const double scale =
+        temporal_traffic_scale(params.time_tile, st.max_radius(), params.tile[0]);
+    const double exposed = std::max(0.0, kc.seconds_per_step - kc.compute_seconds);
+    const double saved = std::min((1.0 - scale) * kc.memory_seconds, exposed);
+    kernel_seconds -= static_cast<double>(cfg.timesteps) * saved;
+  }
+  return kernel_seconds + cc.seconds * static_cast<double>(cfg.timesteps);
 }
 
 TuneResult tune(const ir::StencilDef& st, const machine::MachineModel& m,
@@ -168,6 +197,10 @@ TuneResult tune(const ir::StencilDef& st, const machine::MachineModel& m,
   result.initial_seconds = measure_config(st, m, impl, net, cfg, result.initial);
 
   // ---- 1/2: sample configurations and fit the regression model -------
+  // Temporal fusion only exists on cache machines; keeping every time_tile
+  // draw behind this flag keeps cache-less searches (and their Rng streams)
+  // exactly as before.
+  const bool temporal_ok = !m.cache_less();
   Rng rng(cfg.seed);
   std::vector<std::vector<double>> X;
   std::vector<double> y;
@@ -181,6 +214,13 @@ TuneResult tune(const ir::StencilDef& st, const machine::MachineModel& m,
       const std::int64_t e = ext[static_cast<std::size_t>(d)];
       const std::int64_t max_pow = static_cast<std::int64_t>(std::floor(std::log2(e)));
       p.tile[static_cast<std::size_t>(d)] = std::int64_t{1} << rng.next_int(0, max_pow);
+    }
+    if (temporal_ok) {
+      const std::int64_t max_tt = std::min<std::int64_t>(
+          std::max<std::int64_t>(cfg.timesteps, 1), 32);
+      const auto max_pow =
+          static_cast<std::int64_t>(std::floor(std::log2(static_cast<double>(max_tt))));
+      p.time_tile = std::int64_t{1} << rng.next_int(0, max_pow);
     }
     p = clamp(st, m, cfg, p);
     X.push_back(features(st, m, impl, net, cfg, p));
@@ -223,7 +263,10 @@ TuneResult tune(const ir::StencilDef& st, const machine::MachineModel& m,
   };
   const auto neighbor = [&](const TuneParams& p, Rng& r) {
     TuneParams q = p;
-    if (r.next_double() < 0.3) {
+    if (temporal_ok && r.next_double() < 0.2) {
+      q.time_tile =
+          r.next_double() < 0.5 ? std::max<std::int64_t>(1, q.time_tile / 2) : q.time_tile * 2;
+    } else if (r.next_double() < 0.3) {
       q.mpi_dims = factor_list[static_cast<std::size_t>(
           r.next_int(0, static_cast<std::int64_t>(factor_list.size()) - 1))];
     } else {
@@ -259,7 +302,8 @@ TuneResult tune(const ir::StencilDef& st, const machine::MachineModel& m,
 
 const std::vector<std::string>& feature_names() {
   static const std::vector<std::string> names = {
-      "const", "points", "traffic_bytes", "dma_latency", "halo_bytes", "halo_messages"};
+      "const",      "points",        "traffic_bytes",         "dma_latency",
+      "halo_bytes", "halo_messages", "temporal_traffic_bytes"};
   return names;
 }
 
@@ -276,6 +320,7 @@ workload::Json explain_tune_json(const TuneResult& result) {
     Json tile = Json::array();
     for (std::int64_t t : p.tile) tile.push_back(Json::integer(t));
     j["tile"] = std::move(tile);
+    j["time_tile"] = Json::integer(p.time_tile);
     return j;
   };
   doc["initial"] = params_json(result.initial);

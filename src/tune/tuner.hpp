@@ -24,10 +24,12 @@
 
 namespace msc::tune {
 
-/// Search point: one tile size per dimension + the MPI grid shape.
+/// Search point: one tile size per dimension + the MPI grid shape + the
+/// temporal wedge depth (timesteps fused per wedge; 1 = per-step sweeps).
 struct TuneParams {
   std::array<std::int64_t, 3> tile{1, 1, 1};
   std::vector<int> mpi_dims;
+  std::int64_t time_tile = 1;
 };
 
 /// One sampled training configuration: what the regression model saw.
@@ -62,6 +64,13 @@ struct TuneConfig {
 
 /// All factorizations of `n` into `ndim` ordered positive factors.
 std::vector<std::vector<int>> factorizations(int n, int ndim);
+
+/// Fraction of the per-step main-memory traffic the temporal wedge engine
+/// still pays when fusing `depth` timesteps with dim-0 wedges `width` rows
+/// wide and a per-step skew of `skew` rows: one cold read amortised over the
+/// window (1/depth) plus the skew overlap the sliding footprint re-reads
+/// ((depth-1)*skew/width), clamped to [0, 1].  depth <= 1 returns 1.
+double temporal_traffic_scale(std::int64_t depth, std::int64_t skew, std::int64_t width);
 
 /// End-to-end time of one configuration under the cost models (the tuner's
 /// ground truth; also used to validate the regression fit).

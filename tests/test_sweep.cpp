@@ -8,14 +8,19 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <numeric>
+#include <sstream>
 #include <vector>
 
 #include "check/case_gen.hpp"
+#include "check/golden.hpp"
 #include "dsl/program.hpp"
 #include "exec/executor.hpp"
 #include "exec/grid.hpp"
 #include "exec/sweep.hpp"
+#include "exec/temporal_sweep.hpp"
 #include "support/rng.hpp"
 
 namespace msc::exec {
@@ -168,6 +173,74 @@ TEST(SweepVsInterpreter, Fp32BitIdentical) {
   k.tile({8, 8}).reorder({"j_outer", "i_outer", "j_inner", "i_inner"});
   prog->def_stencil("st", B, 0.5 * k[prog->t() - 1] + 0.5 * k[prog->t() - 2]);
   expect_paths_bit_identical<float>(prog->stencil(), prog->primary_schedule(), 4, 7);
+}
+
+// ---- temporal engine pinned against committed golden checksums ------------
+
+// The golden-matrix programs {3d7pt_star, heat2d} run through the
+// per-step sweep engine from a fixed seed; their per-slot interior
+// checksums are committed in tests/golden/temporal_pin.txt (hexfloat, so
+// the comparison is exact).  The test then reruns both programs through
+// the temporal engine at wedge depths 2 and 8 and requires bit-identical
+// slots — proving the temporal engine cannot drift from the per-step
+// engine's committed outputs.  Regenerate (after a reviewed numeric
+// change only) with MSC_UPDATE_TEMPORAL_PIN=1.
+TEST(TemporalGoldenPin, EngineMatchesCommittedChecksums) {
+  const std::int64_t steps = 8;
+  const std::string pin_path = std::string(MSC_GOLDEN_DIR) + "/temporal_pin.txt";
+
+  std::vector<std::string> lines;
+  for (const char* name : {"3d7pt_star", "heat2d"}) {
+    auto prog = check::golden_program({name, "openmp"});
+    const auto& st = prog->stencil();
+    const auto& sched = prog->primary_schedule();
+
+    GridStorage<double> base(st.state());
+    for (int s = 0; s < base.slots(); ++s)
+      base.fill_random(s, 4242 + static_cast<std::uint64_t>(s));
+    run_scheduled(st, sched, base, 1, steps, Boundary::ZeroHalo);
+
+    for (std::int64_t depth : {2, 8}) {
+      GridStorage<double> temporal(st.state());
+      for (int s = 0; s < temporal.slots(); ++s)
+        temporal.fill_random(s, 4242 + static_cast<std::uint64_t>(s));
+      TemporalOptions opts;
+      opts.wedge_depth = depth;
+      TemporalExecInfo info;
+      run_scheduled_temporal(st, sched, temporal, 1, steps, Boundary::ZeroHalo, {}, nullptr,
+                             &info, opts);
+      ASSERT_TRUE(info.temporal) << info.fallback_reason;
+      for (int s = 0; s < base.slots(); ++s)
+        ASSERT_EQ(base.interior_values(s), temporal.interior_values(s))
+            << name << " wedge depth " << depth << " slot " << s;
+    }
+
+    for (int s = 0; s < base.slots(); ++s) {
+      std::ostringstream line;
+      line << name << " slot" << s << " " << std::hexfloat << base.interior_checksum(s);
+      lines.push_back(line.str());
+    }
+  }
+
+  if (std::getenv("MSC_UPDATE_TEMPORAL_PIN") != nullptr) {
+    std::ofstream out(pin_path);
+    out << "# msc-temporal-pin-v1: per-slot interior checksums (hexfloat) of the\n"
+           "# per-step sweep engine on the golden-matrix programs, seed 4242,\n"
+           "# 8 timesteps.  The temporal engine must reproduce them bit for bit;\n"
+           "# regenerate with MSC_UPDATE_TEMPORAL_PIN=1 after a reviewed change.\n";
+    for (const auto& l : lines) out << l << "\n";
+    ASSERT_TRUE(out.good()) << "cannot write " << pin_path;
+    GTEST_SKIP() << "temporal pin regenerated at " << pin_path;
+  }
+
+  std::ifstream in(pin_path);
+  ASSERT_TRUE(in.good()) << "missing " << pin_path
+                         << "; regenerate with MSC_UPDATE_TEMPORAL_PIN=1";
+  std::vector<std::string> want;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty() && line[0] != '#') want.push_back(line);
+  EXPECT_EQ(want, lines) << "numeric drift against the committed temporal pin";
 }
 
 // ---- wide kernels (row-accumulator formulation) --------------------------

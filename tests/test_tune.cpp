@@ -241,6 +241,51 @@ TEST_F(TunerFixture, ExplainJsonRoundTripsAndAttributesCost) {
   ASSERT_NE(best, nullptr);
   ASSERT_EQ(best->find("mpi_dims")->elements().size(), result.best.mpi_dims.size());
   EXPECT_EQ(best->find("tile")->elements()[0].as_integer(), result.best.tile[0]);
+  // Sunway is cache-less: temporal fusion must stay off and say so.
+  EXPECT_EQ(best->find("time_tile")->as_integer(), 1);
+}
+
+TEST(TemporalTrafficScale, AmortisesColdReadAndChargesSkewOverlap) {
+  // No fusion = full per-step traffic.
+  EXPECT_DOUBLE_EQ(temporal_traffic_scale(1, 1, 16), 1.0);
+  // Depth-8 window over 16-row wedges, radius 1: one cold read amortised
+  // over 8 steps plus 7 skew rows re-read per 16-row wedge.
+  EXPECT_DOUBLE_EQ(temporal_traffic_scale(8, 1, 16), 1.0 / 8.0 + 7.0 / 16.0);
+  // Wider wedges pay proportionally less skew overlap.
+  EXPECT_LT(temporal_traffic_scale(8, 1, 64), temporal_traffic_scale(8, 1, 8));
+  // A skew overlap wider than the wedge clamps at "no saving", never >1.
+  EXPECT_DOUBLE_EQ(temporal_traffic_scale(4, 8, 2), 1.0);
+}
+
+TEST_F(TunerFixture, TimeTileSavesOnlyExposedMemoryTime) {
+  const auto& info = workload::benchmark("3d7pt_star");
+  auto prog = workload::make_program(info, ir::DataType::f64, {512, 128, 128});
+  const auto cfg = config();
+  TuneParams p;
+  p.mpi_dims = {8, 1, 1};
+  p.tile = {4, 64, 64};
+  const double per_step = measure_config(prog->stencil(), machine::matrix_sn(),
+                                         machine::profile_msc_cpu(), comm::sunway_network(),
+                                         cfg, p);
+  p.time_tile = 8;
+  const double fused = measure_config(prog->stencil(), machine::matrix_sn(),
+                                      machine::profile_msc_cpu(), comm::sunway_network(),
+                                      cfg, p);
+  // Fusion can only shave exposed memory time — never below compute time,
+  // never negative, and monotonically no worse than per-step.
+  EXPECT_LE(fused, per_step);
+  EXPECT_GT(fused, 0.0);
+  // Degenerate wedge (skew overlap >= width) saves nothing.
+  p.tile[0] = 1;
+  p.time_tile = 4;
+  const double degenerate_fused = measure_config(prog->stencil(), machine::matrix_sn(),
+                                                 machine::profile_msc_cpu(),
+                                                 comm::sunway_network(), cfg, p);
+  p.time_tile = 1;
+  const double degenerate = measure_config(prog->stencil(), machine::matrix_sn(),
+                                           machine::profile_msc_cpu(),
+                                           comm::sunway_network(), cfg, p);
+  EXPECT_DOUBLE_EQ(degenerate_fused, degenerate);
 }
 
 }  // namespace
