@@ -6,9 +6,8 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <limits>
-#include <map>
-#include <mutex>
 #include <sstream>
 
 #include "codegen/codegen.hpp"
@@ -18,8 +17,10 @@
 #include "exec/executor.hpp"
 #include "exec/grid.hpp"
 #include "machine/machine.hpp"
+#include "exec/aot_backend.hpp"
 #include "resilience/fault_plan.hpp"
 #include "support/error.hpp"
+#include "support/shell.hpp"
 #include "support/strings.hpp"
 #include "sunway/cg_sim.hpp"
 
@@ -198,25 +199,38 @@ OracleRun run_simmpi_oracle(const CaseSpec& spec, const OracleOptions& opts) {
   return run;
 }
 
-// ---- compiled-backend oracles --------------------------------------------
+// ---- the AOT dlopen oracle ------------------------------------------------
 
-struct ExecOutput {
-  bool ok = false;
-  std::string output;
-};
-
-ExecOutput shell(const std::string& cmd) {
-  ExecOutput r;
-  FILE* pipe = popen(cmd.c_str(), "r");
-  if (pipe == nullptr) {
-    r.output = "popen failed";
-    return r;
+OracleRun run_aot_oracle(const CaseSpec& spec, const OracleOptions& opts) {
+  OracleRun run;
+  if (!compiler_available(opts.cc)) {
+    run.skipped = true;
+    run.note = "no host C compiler ('" + opts.cc + "') on PATH";
+    return run;
   }
-  char buf[512];
-  while (fgets(buf, sizeof buf, pipe) != nullptr) r.output += buf;
-  r.ok = pclose(pipe) == 0;
-  return r;
+  auto prog = build_program(spec);
+  exec::GridStorage<double> state(prog->stencil().state());
+  seed_state(state);
+
+  exec::AotOptions aopts;
+  aopts.cc = opts.cc;
+  if (!opts.work_dir.empty())
+    aopts.cache_dir =
+        (std::filesystem::path(opts.work_dir) / "aot_cache").string();
+  exec::AotExecInfo info;
+  exec::run_scheduled_aot(prog->stencil(), prog->primary_schedule(), state, 1, spec.timesteps,
+                          exec::Boundary::ZeroHalo, prog->bindings(), nullptr, &info, aopts);
+  // A fallback result would vacuously match the scheduled oracle — the AOT
+  // oracle only passes when the dlopen'd module actually ran.
+  if (!info.aot) {
+    run.note = "aot fallback: " + info.fallback_reason;
+    return run;
+  }
+  finish(run, state, spec.timesteps);
+  return run;
 }
+
+// ---- compiled-backend oracles --------------------------------------------
 
 /// Parses "checksum X" + one value per line, as printed with the
 /// emit_grid_dump hook enabled.
@@ -268,27 +282,48 @@ OracleRun run_compiled_oracle(const CaseSpec& spec, Oracle o, const OracleOption
     std::fclose(f);
   }
 
+  // Every filesystem path is shell-quoted: work dirs (and the system temp
+  // dir) legitimately contain spaces and shell metacharacters.
   std::string sources, flags;
   if (o == Oracle::GenC) {
-    sources = (dir / result.main_file).string();
+    sources = shell_quote((dir / result.main_file).string());
   } else if (o == Oracle::GenOpenMp) {
-    sources = (dir / result.main_file).string();
+    sources = shell_quote((dir / result.main_file).string());
     flags = "-fopenmp";
   } else {  // athread host-sim: master + slave against the emitted shim
-    sources = (dir / (prog->name() + "_master.c")).string() + " " +
-              (dir / (prog->name() + "_slave.c")).string();
+    sources = shell_quote((dir / (prog->name() + "_master.c")).string()) + " " +
+              shell_quote((dir / (prog->name() + "_slave.c")).string());
     flags = "-DMSC_HOST_SIM -pthread";
   }
   const std::string exe = (dir / "prog").string();
-  const auto r = shell(opts.cc + " -O2 -std=c99 " + flags + " -o " + exe + " " + sources +
-                       " -lm 2>&1 && " + exe + " " + std::to_string(spec.timesteps) +
-                       " --dump");
-  if (!r.ok) {
-    run.note = "compile/run failed: " + r.output;
+
+  // Compile and run are separate stages so their diagnostics stay apart:
+  // the compile captures its own stderr inline, the run redirects stderr to
+  // a file (its stdout is the grid dump the parser needs clean).
+  const auto compiled = run_shell(shell_quote(opts.cc) + " -O2 -std=c99 " + flags + " -o " +
+                                  shell_quote(exe) + " " + sources + " -lm 2>&1");
+  if (!compiled.ok) {
+    run.note = "compile failed (" + compiled.describe() + "): " + compiled.output;
+    return run;
+  }
+
+  // `exec` replaces the popen shell with the program, so pclose sees the
+  // program's own wait status: a signal death decodes as a signal instead
+  // of being laundered into the shell's 128+N exit convention.
+  const fs::path errfile = dir / "run.stderr";
+  const auto ran = run_shell("exec " + shell_quote(exe) + " " +
+                             std::to_string(spec.timesteps) + " --dump 2>" +
+                             shell_quote(errfile.string()));
+  if (!ran.ok) {
+    run.note = (ran.signaled ? "run crashed (" : "run failed (") + ran.describe() + ")";
+    std::ifstream errs(errfile);
+    std::ostringstream captured;
+    captured << errs.rdbuf();
+    if (!captured.str().empty()) run.note += ": " + captured.str();
     return run;
   }
   std::string err;
-  if (!parse_dump(r.output, run, prog->stencil().state()->interior_points(), &err)) {
+  if (!parse_dump(ran.output, run, prog->stencil().state()->interior_points(), &err)) {
     run.note = err;
     return run;
   }
@@ -307,6 +342,7 @@ const char* oracle_name(Oracle o) {
     case Oracle::AthreadSim: return "athread";
     case Oracle::SunwaySim: return "sunway-sim";
     case Oracle::SimMpi: return "simmpi";
+    case Oracle::Aot: return "aot";
   }
   return "?";
 }
@@ -314,7 +350,7 @@ const char* oracle_name(Oracle o) {
 const std::vector<Oracle>& all_oracles() {
   static const std::vector<Oracle> all = {
       Oracle::Reference, Oracle::Scheduled, Oracle::GenC,   Oracle::GenOpenMp,
-      Oracle::AthreadSim, Oracle::SunwaySim, Oracle::SimMpi,
+      Oracle::AthreadSim, Oracle::SunwaySim, Oracle::SimMpi, Oracle::Aot,
   };
   return all;
 }
@@ -326,17 +362,14 @@ std::optional<Oracle> oracle_from_name(const std::string& name) {
 }
 
 bool oracle_needs_cc(Oracle o) {
-  return o == Oracle::GenC || o == Oracle::GenOpenMp || o == Oracle::AthreadSim;
+  return o == Oracle::GenC || o == Oracle::GenOpenMp || o == Oracle::AthreadSim ||
+         o == Oracle::Aot;
 }
 
 bool compiler_available(const std::string& cc) {
-  static std::mutex m;
-  static std::map<std::string, bool> cache;
-  std::lock_guard<std::mutex> lock(m);
-  auto it = cache.find(cc);
-  if (it == cache.end())
-    it = cache.emplace(cc, shell(cc + " --version >/dev/null 2>&1 && echo ok").ok).first;
-  return it->second;
+  // One probe cache for the whole process: the AOT backend (src/exec) and
+  // the oracles gate on the same host_cc_available result.
+  return host_cc_available(cc);
 }
 
 OracleRun run_oracle(const CaseSpec& spec, Oracle o, const OracleOptions& opts) {
@@ -348,6 +381,7 @@ OracleRun run_oracle(const CaseSpec& spec, Oracle o, const OracleOptions& opts) 
       case Oracle::Scheduled: run = run_scheduled_oracle(spec); break;
       case Oracle::SunwaySim: run = run_sunway_sim_oracle(spec); break;
       case Oracle::SimMpi: run = run_simmpi_oracle(spec, opts); break;
+      case Oracle::Aot: run = run_aot_oracle(spec, opts); break;
       default: run = run_compiled_oracle(spec, o, opts); break;
     }
   } catch (const std::exception& e) {

@@ -13,6 +13,9 @@
 //   sunway-sim   — the functional SW26010 core-group simulator (SPM + DMA)
 //   simmpi       — cartesian decomposition over the simulated MPI runtime
 //                  with real halo exchanges, gathered back to the global grid
+//   aot          — the AOT dlopen host backend (exec/aot_backend): the plan
+//                  is emitted as specialized C, compiled with the host cc,
+//                  dlopen'd and dispatched in-process; skipped when no cc
 //
 // All oracles seed the state grid identically (seed 42 + 0x51ed2701 * slot,
 // the scheme shared by Program::input and the generated mains), so agreeing
@@ -40,6 +43,7 @@ enum class Oracle {
   AthreadSim,
   SunwaySim,
   SimMpi,
+  Aot,
 };
 
 /// CLI name of an oracle ("reference", "c", "athread", ...).
@@ -69,8 +73,9 @@ struct OracleOptions {
   std::string work_dir;       ///< scratch dir for compiled backends
   std::string cc = "cc";      ///< host C compiler driver
   /// Fault-injection hook: added to the first emitted coefficient of the
-  /// compiled backends before code generation.  Simulates an emitter bug so
-  /// the harness (and its tests) can prove divergence is actually caught.
+  /// popen'd compiled backends (c / openmp / athread) before code
+  /// generation.  Simulates an emitter bug so the harness (and its tests)
+  /// can prove divergence is actually caught.
   double coeff_perturb = 0.0;
   /// Transport fault plan for the simmpi oracle (not owned; nullptr = off).
   /// Message faults are expected to be absorbed by the resilient transport,

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "codegen/codegen.hpp"
+#include "exec/aot_backend.hpp"
 #include "ir/printer.hpp"
 #include "ir/simplify.hpp"
 #include "ir/verifier.hpp"
@@ -273,8 +274,14 @@ RunResult Program::run(std::int64_t t_begin, std::int64_t t_end, exec::Boundary 
         if constexpr (!std::is_same_v<std::decay_t<decltype(s)>, std::monostate>) {
           using T = std::decay_t<decltype(*s.slot_data(0))>;
           if (affine) {
-            exec::run_scheduled(stencil(), sched, s, t_begin, t_end, bc, bindings_,
-                                &result.stats);
+            if (backend_ == HostBackend::Aot) {
+              last_aot_info_ = {};
+              exec::run_scheduled_aot(stencil(), sched, s, t_begin, t_end, bc, bindings_,
+                                      &result.stats, &last_aot_info_);
+            } else {
+              exec::run_scheduled(stencil(), sched, s, t_begin, t_end, bc, bindings_,
+                                  &result.stats);
+            }
           } else {
             exec::AuxGrids<T> aux;
             for (const auto& [name, var] : aux_storage_)

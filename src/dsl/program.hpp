@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "dsl/expr.hpp"
+#include "exec/aot_info.hpp"
 #include "exec/executor.hpp"
 #include "exec/grid.hpp"
 #include "ir/kernel.hpp"
@@ -117,6 +118,12 @@ struct RunResult {
   double seconds = 0.0;  ///< host wall-clock of the sweep loop
 };
 
+/// Host execution engine used by Program::run for affine stencils.
+enum class HostBackend {
+  Sweep,  ///< in-process compiled row-sweep engine (default)
+  Aot,    ///< AOT-specialized C compiled with the host cc and dlopen'd
+};
+
 class Program {
  public:
   explicit Program(std::string name);
@@ -177,6 +184,17 @@ class Program {
   RunResult run(std::int64_t t_begin, std::int64_t t_end,
                 exec::Boundary bc = exec::Boundary::ZeroHalo);
 
+  /// Selects the host engine run() dispatches affine stencils to.  The Aot
+  /// backend compiles a specialized kernel with the host cc and falls back
+  /// to the sweep engine (recorded in last_aot_info()) when it cannot run.
+  void set_backend(HostBackend b) { backend_ = b; }
+  HostBackend backend() const { return backend_; }
+
+  /// Provenance of the most recent run() under HostBackend::Aot: whether
+  /// the dlopen'd module ran, the compile-cache verdict, plan hash, and
+  /// any fallback reason.
+  const exec::AotExecInfo& last_aot_info() const { return last_aot_info_; }
+
   /// Executes with the serial reference executor into a *separate* copy of
   /// the state, then reports the max relative error of the last scheduled
   /// run — the paper's §5.1 correctness check.
@@ -228,6 +246,8 @@ class Program {
   StorageVariant state_;
   std::map<std::string, StorageVariant> aux_storage_;
   std::int64_t last_t_end_ = 0;
+  HostBackend backend_ = HostBackend::Sweep;
+  exec::AotExecInfo last_aot_info_;
 };
 
 }  // namespace msc::dsl

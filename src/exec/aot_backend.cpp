@@ -1,0 +1,287 @@
+#include "exec/aot_backend.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include "codegen/aot_kernel.hpp"
+#include "prof/counters.hpp"
+#include "support/shell.hpp"
+#include "support/strings.hpp"
+
+namespace msc::exec {
+
+namespace detail {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::atomic<int> g_live_modules{0};
+
+/// FNV-1a 64 over the cache-key material.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Probes (once per cc, cached) which optional flags the driver accepts.
+/// The AOT module is compiled in the same numerics environment as the
+/// sweep engine TU: -ffp-contract=off always, plus the host-ISA flags
+/// when the driver knows them.
+std::string compile_flags(const std::string& cc) {
+  static std::mutex m;
+  static std::map<std::string, std::string> cache;
+  std::lock_guard<std::mutex> lock(m);
+  auto it = cache.find(cc);
+  if (it != cache.end()) return it->second;
+  std::string flags = "-O2 -std=c99 -fPIC -shared -ffp-contract=off";
+  for (const char* probe : {"-march=native", "-mprefer-vector-width=256"}) {
+    const auto r = run_shell(shell_quote(cc) + " " + probe +
+                             " -E -x c /dev/null >/dev/null 2>&1");
+    if (r.ok) flags += std::string(" ") + probe;
+  }
+  cache.emplace(cc, flags);
+  return flags;
+}
+
+fs::path default_cache_dir() { return fs::temp_directory_path() / "msc_aot_cache"; }
+
+/// In-memory registry so concurrent users of the same plan share one
+/// dlopen handle.  Weak: a module is dlclose'd as soon as its last user
+/// releases it (executor teardown), which tests pin via AotModule::live().
+std::mutex g_registry_mutex;
+std::map<std::string, std::weak_ptr<AotModule>>& registry() {
+  static std::map<std::string, std::weak_ptr<AotModule>> r;
+  return r;
+}
+
+std::shared_ptr<AotModule> open_module(const std::string& path, std::string* why) {
+  void* handle = dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* err = dlerror();
+    *why = strprintf("dlopen failed: %s", err != nullptr ? err : "unknown error");
+    return nullptr;
+  }
+  auto mod = std::make_shared<AotModule>(handle, path);
+  const auto sym = [&](const char* name) { return dlsym(handle, name); };
+  auto* abi_fn = reinterpret_cast<int (*)()>(sym("msc_aot_abi"));
+  auto* run_fn = reinterpret_cast<AotModule::RunFn>(sym("msc_aot_run"));
+  auto* pp_fn = reinterpret_cast<long (*)()>(sym("msc_aot_padded_points"));
+  auto* win_fn = reinterpret_cast<int (*)()>(sym("msc_aot_window"));
+  if (abi_fn == nullptr || run_fn == nullptr || pp_fn == nullptr || win_fn == nullptr) {
+    *why = "module is missing msc_aot_* symbols";
+    return nullptr;  // mod dtor dlcloses
+  }
+  if (abi_fn() != codegen::kMscAotAbiVersion) {
+    *why = strprintf("module ABI %d != expected %d", abi_fn(), codegen::kMscAotAbiVersion);
+    return nullptr;
+  }
+  mod->run = run_fn;
+  mod->padded_points = static_cast<std::int64_t>(pp_fn());
+  mod->window = win_fn();
+  return mod;
+}
+
+bool write_file(const fs::path& p, const std::string& text, std::string* why) {
+  std::FILE* f = std::fopen(p.string().c_str(), "w");
+  if (f == nullptr) {
+    *why = "cannot write " + p.string();
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) *why = "short write to " + p.string();
+  return ok;
+}
+
+}  // namespace
+
+AotModule::AotModule(void* handle, std::string path)
+    : handle_(handle), path_(std::move(path)) {
+  ++g_live_modules;
+}
+
+AotModule::~AotModule() {
+  if (handle_ != nullptr) dlclose(handle_);
+  --g_live_modules;
+}
+
+int AotModule::live() { return g_live_modules.load(); }
+
+std::shared_ptr<AotModule> load_aot_module(const ir::StencilDef& st,
+                                           const schedule::Schedule& sched,
+                                           const Bindings& bindings, const AotOptions& opts,
+                                           AotExecInfo* info, std::string* why) {
+  const auto lin = linearize_stencil(st, bindings);
+  if (!lin.has_value()) {
+    *why = "stencil is not affine (no linear form to specialize)";
+    return nullptr;
+  }
+  const auto spec = codegen::make_aot_spec(st, sched, *lin);
+  const std::string source = codegen::gen_aot_kernel(spec);
+  const std::string flags = compile_flags(opts.cc);
+  const std::string hash = strprintf(
+      "%016llx", static_cast<unsigned long long>(fnv1a(
+                     source + "\n" + flags + "\nabi " +
+                     std::to_string(codegen::kMscAotAbiVersion))));
+  if (info != nullptr) info->plan_hash = hash;
+
+  const fs::path dir = opts.cache_dir.empty() ? default_cache_dir() : fs::path(opts.cache_dir);
+  const fs::path src = dir / (hash + ".c");
+  const fs::path so = dir / (hash + ".so");
+  if (info != nullptr) info->module_path = so.string();
+
+  // Shared in-process handle for the same plan (bench loops, parallel
+  // oracles): no second dlopen of an already-open module.
+  if (!opts.force_recompile) {
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    if (auto mod = registry()[hash].lock()) {
+      if (info != nullptr) info->cache_hit = true;
+      prof::counter("aot.cache.mem_hit").add(1);
+      return mod;
+    }
+  }
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+
+  // On-disk hit: dlopen the cached object; a stale or corrupt one (failed
+  // dlopen / ABI check) is deleted and rebuilt below instead of erroring.
+  if (!opts.force_recompile && fs::exists(so)) {
+    std::string stale_why;
+    if (auto mod = open_module(so.string(), &stale_why)) {
+      if (info != nullptr) info->cache_hit = true;
+      prof::counter("aot.cache.disk_hit").add(1);
+      std::lock_guard<std::mutex> lock(g_registry_mutex);
+      registry()[hash] = mod;
+      return mod;
+    }
+    prof::counter("aot.cache.stale_evicted").add(1);
+    fs::remove(so, ec);
+  }
+
+  if (!write_file(src, source, why)) return nullptr;
+  const fs::path tmp = so.string() + strprintf(".tmp.%d", static_cast<int>(::getpid()));
+  const auto r = run_shell(shell_quote(opts.cc) + " " + flags + " -o " +
+                           shell_quote(tmp.string()) + " " + shell_quote(src.string()) +
+                           " -lm 2>&1");
+  prof::counter("aot.compile").add(1);
+  if (!r.ok) {
+    fs::remove(tmp, ec);
+    *why = "compile failed (" + r.describe() + "): " + r.output;
+    return nullptr;
+  }
+  fs::rename(tmp, so, ec);  // atomic publish: concurrent compiles both win
+  if (ec) {
+    fs::remove(tmp, ec);
+    *why = "cannot publish " + so.string();
+    return nullptr;
+  }
+
+  auto mod = open_module(so.string(), why);
+  if (mod == nullptr) return nullptr;
+  prof::counter("aot.dlopen").add(1);
+  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  registry()[hash] = mod;
+  return mod;
+}
+
+}  // namespace detail
+
+template <typename T>
+void run_scheduled_aot(const ir::StencilDef& st, const schedule::Schedule& sched,
+                       GridStorage<T>& state, std::int64_t t_begin, std::int64_t t_end,
+                       Boundary bc, const Bindings& bindings, ExecStats* stats,
+                       AotExecInfo* info, const AotOptions& opts) {
+  MSC_CHECK(t_begin <= t_end) << "empty time range";
+
+  const auto fallback = [&](const std::string& reason) {
+    if (info != nullptr) {
+      info->aot = false;
+      info->fallback_reason = reason;
+    }
+    prof::counter("aot.fallback").add(1);
+    run_scheduled(st, sched, state, t_begin, t_end, bc, bindings, stats);
+  };
+
+  if (bc != Boundary::ZeroHalo) {
+    fallback(std::string("boundary '") + boundary_name(bc) +
+             "' needs a per-step halo exchange");
+    return;
+  }
+  if (!host_cc_available(opts.cc)) {
+    fallback("no host C compiler ('" + opts.cc + "') on PATH");
+    return;
+  }
+
+  // Same schedule validation as run_scheduled: the baked extents must be
+  // the grid's (the module's own padded_points check below re-pins this).
+  const LoopPlan plan = build_loop_plan(sched);
+  MSC_CHECK(plan.ndim == state.ndim()) << "plan rank mismatch";
+  for (int d = 0; d < plan.ndim; ++d)
+    MSC_CHECK(plan.extent[static_cast<std::size_t>(d)] == state.extent(d))
+        << "schedule extent mismatch in dim " << d;
+
+  std::string why;
+  auto mod = detail::load_aot_module(st, sched, bindings, opts, info, &why);
+  if (mod == nullptr) {
+    fallback(why);
+    return;
+  }
+  MSC_CHECK(mod->padded_points == state.padded_points())
+      << "AOT module geometry mismatch: " << mod->padded_points << " padded points vs grid "
+      << state.padded_points();
+  MSC_CHECK(mod->window == state.slots())
+      << "AOT module window " << mod->window << " vs grid " << state.slots();
+
+  // The kernel writes interior cells only, so zeroing every ring slot's
+  // halo once up front is equivalent to the per-step fill of run_scheduled
+  // (zero halos are idempotent) — same reasoning as the temporal engine.
+  for (int s = 0; s < state.slots(); ++s) state.fill_halo(s, bc);
+
+  std::vector<void*> slots;
+  slots.reserve(static_cast<std::size_t>(state.slots()));
+  for (int s = 0; s < state.slots(); ++s) slots.push_back(state.slot_data(s));
+
+  prof::TraceScope scope("run_scheduled_aot", "exec");
+  scope.arg("t_begin", static_cast<double>(t_begin));
+  scope.arg("t_end", static_cast<double>(t_end));
+  mod->run(slots.data(), static_cast<long>(t_begin), static_cast<long>(t_end));
+  if (info != nullptr) info->aot = true;
+
+  const auto lin = linearize_stencil(st, bindings);
+  const std::int64_t nsteps = t_end - t_begin + 1;
+  const std::int64_t points = st.state()->interior_points() * nsteps;
+  const std::int64_t flops =
+      2 * static_cast<std::int64_t>(lin.has_value() ? lin->terms.size() : 0) * points;
+  prof::counter("exec.points_updated").add(points);
+  prof::counter("exec.flops").add(flops);
+  prof::counter("exec.timesteps").add(nsteps);
+  if (stats != nullptr) {
+    stats->timesteps += nsteps;
+    stats->points_updated += points;
+    stats->flops += flops;
+  }
+}
+
+template void run_scheduled_aot<float>(const ir::StencilDef&, const schedule::Schedule&,
+                                       GridStorage<float>&, std::int64_t, std::int64_t,
+                                       Boundary, const Bindings&, ExecStats*, AotExecInfo*,
+                                       const AotOptions&);
+template void run_scheduled_aot<double>(const ir::StencilDef&, const schedule::Schedule&,
+                                        GridStorage<double>&, std::int64_t, std::int64_t,
+                                        Boundary, const Bindings&, ExecStats*, AotExecInfo*,
+                                        const AotOptions&);
+
+}  // namespace msc::exec

@@ -1,0 +1,91 @@
+#pragma once
+
+// The AOT dlopen host backend: per lowered plan, emit a specialized C
+// kernel (codegen/aot_kernel.hpp), compile it with the host cc into a
+// shared object, dlopen it, and dispatch timesteps through the compiled
+// entry point.  The pipeline is
+//
+//   linearize -> make_aot_spec -> gen_aot_kernel     (emit)
+//   -> <cache_dir>/<hash>.c -> cc -shared -> <hash>.so  (compile, cached)
+//   -> dlopen + symbol/ABI checks                    (load)
+//   -> msc_aot_run(slot_ptrs, t_begin, t_end)        (dispatch)
+//
+// The compile cache is keyed by an FNV-1a hash over the *generated source
+// text*, the compile command flags, and the emitter ABI version — so any
+// change to the codegen output, the flags, or the ABI lands on a new key
+// and stale shared objects are never reused.  A cached .so that fails to
+// dlopen or fails its ABI checks is deleted and rebuilt once.
+//
+// Fallback discipline mirrors run_scheduled_temporal: boundaries other
+// than ZeroHalo, a missing host cc, or a failed compile fall back to
+// run_scheduled and report why through AotExecInfo — never silently.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "exec/aot_info.hpp"
+#include "exec/executor.hpp"
+#include "exec/grid.hpp"
+#include "ir/stencil.hpp"
+#include "schedule/schedule.hpp"
+
+namespace msc::exec {
+
+namespace detail {
+
+/// RAII over one dlopen'd kernel module; dlclose on destruction.  The
+/// live() count exists so tests can pin the teardown contract (no handle
+/// leaks across runs).
+class AotModule {
+ public:
+  AotModule(void* handle, std::string path);
+  ~AotModule();
+  AotModule(const AotModule&) = delete;
+  AotModule& operator=(const AotModule&) = delete;
+
+  using RunFn = void (*)(void* const*, long, long);
+  RunFn run = nullptr;
+  std::int64_t padded_points = 0;
+  int window = 0;
+  const std::string& path() const { return path_; }
+
+  /// Number of AotModule instances currently holding a dlopen handle.
+  static int live();
+
+ private:
+  void* handle_ = nullptr;
+  std::string path_;
+};
+
+/// Emits, compiles (or reuses), and loads the module for one stencil +
+/// schedule.  Returns nullptr with `why` set on any failure — callers
+/// decide whether that means skip, fallback, or error.
+std::shared_ptr<AotModule> load_aot_module(const ir::StencilDef& st,
+                                           const schedule::Schedule& sched,
+                                           const Bindings& bindings, const AotOptions& opts,
+                                           AotExecInfo* info, std::string* why);
+
+}  // namespace detail
+
+/// AOT executor: same numerics as run_scheduled — bit-identical for every
+/// dtype — dispatched through the dlopen'd specialized kernel.  Boundaries
+/// other than ZeroHalo, a missing cc, or a compile failure fall back to
+/// run_scheduled and report it via `info` (and the aot.fallback counter).
+template <typename T>
+void run_scheduled_aot(const ir::StencilDef& st, const schedule::Schedule& sched,
+                       GridStorage<T>& state, std::int64_t t_begin, std::int64_t t_end,
+                       Boundary bc, const Bindings& bindings = {}, ExecStats* stats = nullptr,
+                       AotExecInfo* info = nullptr, const AotOptions& opts = {});
+
+extern template void run_scheduled_aot<float>(const ir::StencilDef&, const schedule::Schedule&,
+                                              GridStorage<float>&, std::int64_t, std::int64_t,
+                                              Boundary, const Bindings&, ExecStats*,
+                                              AotExecInfo*, const AotOptions&);
+extern template void run_scheduled_aot<double>(const ir::StencilDef&,
+                                               const schedule::Schedule&, GridStorage<double>&,
+                                               std::int64_t, std::int64_t, Boundary,
+                                               const Bindings&, ExecStats*, AotExecInfo*,
+                                               const AotOptions&);
+
+}  // namespace msc::exec

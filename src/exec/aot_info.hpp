@@ -1,0 +1,31 @@
+#pragma once
+
+// Lightweight AOT backend types shared with the DSL layer.
+//
+// dsl/program.hpp stores an AotExecInfo on every Program so callers can
+// inspect what the AOT backend did (cache provenance, fallback reason)
+// after run().  Keeping these structs in their own header lets the DSL
+// include just the plain-data types — pulling the full exec/aot_backend.hpp
+// (dlopen module machinery, template dispatch) into every DSL consumer
+// measurably perturbed code generation of unrelated hot kernels.
+
+#include <string>
+
+namespace msc::exec {
+
+struct AotOptions {
+  std::string cc = "cc";        ///< host C compiler driver
+  std::string cache_dir;        ///< empty = <tmp>/msc_aot_cache
+  bool force_recompile = false; ///< ignore (and overwrite) cached objects
+};
+
+/// What run_scheduled_aot actually executed, plus cache provenance.
+struct AotExecInfo {
+  bool aot = false;             ///< compiled module ran (vs reported fallback)
+  std::string fallback_reason;  ///< non-empty iff aot == false
+  bool cache_hit = false;       ///< reused an on-disk .so (no cc invocation)
+  std::string plan_hash;        ///< cache key of the emitted kernel
+  std::string module_path;      ///< the dlopen'd shared object
+};
+
+}  // namespace msc::exec

@@ -346,6 +346,18 @@ inline void sweep_tile(const SweepTile& tile, const GridStorage<T>& state, T* ou
 
 }  // namespace detail
 
+/// Which inner-kernel family a term count routes to in the sweep engine:
+/// "fused" (one register stream per term, <= kFusedTermLimit), "chunked"
+/// (in-L1 row-buffer axpy passes, <= kMaxFixedTerms), or "generic" (the
+/// runtime-trip fallback above that).  Exists so tests can pin the >16-term
+/// cliff — programs like 2d121pt_box (242 terms) must route "generic" here
+/// and take the AOT dlopen backend for specialized code.
+inline const char* sweep_route(std::size_t nterms) {
+  if (nterms <= detail::kFusedTermLimit) return "fused";
+  if (nterms <= detail::kMaxFixedTerms) return "chunked";
+  return "generic";
+}
+
 /// Resolves every LinearKernel term against the grid's ring slots for
 /// output timestep `t`: linear delta from the per-dim offsets and strides,
 /// typed base pointer from the term's time offset.

@@ -1,0 +1,66 @@
+#include "support/shell.hpp"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include <sys/wait.h>
+
+#include "support/strings.hpp"
+
+namespace msc {
+
+std::string ShellResult::describe() const {
+  if (!started) return "popen failed";
+  if (signaled) return strprintf("signal %d", term_signal);
+  return strprintf("exit %d", exit_code);
+}
+
+ShellResult run_shell(const std::string& cmd) {
+  ShellResult r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  r.started = true;
+  char buf[512];
+  while (fgets(buf, sizeof buf, pipe) != nullptr) r.output += buf;
+  const int status = pclose(pipe);
+  if (status == -1) {
+    // wait4 itself failed; leave exit_code = -1 so describe() says so.
+    r.started = false;
+    return r;
+  }
+  if (WIFSIGNALED(status)) {
+    r.signaled = true;
+    r.term_signal = WTERMSIG(status);
+  } else if (WIFEXITED(status)) {
+    r.exit_code = WEXITSTATUS(status);
+    r.ok = r.exit_code == 0;
+  }
+  return r;
+}
+
+std::string shell_quote(const std::string& s) {
+  // 'abc'"'"'def' — close the quote, emit a literal ', reopen.
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "'\"'\"'";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+bool host_cc_available(const std::string& cc) {
+  static std::mutex m;
+  static std::map<std::string, bool> cache;
+  std::lock_guard<std::mutex> lock(m);
+  auto it = cache.find(cc);
+  if (it == cache.end())
+    it = cache.emplace(cc, run_shell(shell_quote(cc) + " --version >/dev/null 2>&1").ok).first;
+  return it->second;
+}
+
+}  // namespace msc

@@ -1,0 +1,42 @@
+#pragma once
+
+// Shelling-out helpers shared by the compiled-backend oracles (src/check)
+// and the AOT dlopen backend (src/exec): run a command through popen with
+// the full wait status decoded — a nonzero exit, a signal death, and a
+// popen failure are three different diagnoses, not one boolean — plus the
+// cached host-compiler probe both layers gate on.
+
+#include <string>
+
+namespace msc {
+
+/// Outcome of one run_shell invocation.  `ok` is the only field most
+/// callers need; the rest exist so failure notes can say *how* it failed.
+struct ShellResult {
+  bool ok = false;        ///< started, exited normally with status 0
+  bool started = false;   ///< popen itself succeeded
+  bool signaled = false;  ///< killed by a signal (exit_code is meaningless)
+  int exit_code = -1;     ///< exit status when started && !signaled
+  int term_signal = 0;    ///< terminating signal when signaled
+  std::string output;     ///< captured stdout of the command
+
+  /// "exit 3" / "signal 11" / "popen failed" — for failure notes.
+  std::string describe() const;
+};
+
+/// Runs `cmd` through /bin/sh, capturing stdout.  The command's stderr is
+/// NOT captured unless the command redirects it itself (append `2>&1` or
+/// `2>file` per stage so compile and run diagnostics stay separable).
+ShellResult run_shell(const std::string& cmd);
+
+/// POSIX single-quote escaping: the returned string is safe to interpolate
+/// into a shell command as exactly one word, whatever bytes `s` contains
+/// (spaces, quotes, $, backticks, ...).
+std::string shell_quote(const std::string& s);
+
+/// Probes once whether the C compiler driver `cc` exists on PATH (result
+/// cached per driver name, thread-safe).  Shared by the conformance
+/// oracles' skip logic and the AOT backend's fallback decision.
+bool host_cc_available(const std::string& cc = "cc");
+
+}  // namespace msc

@@ -119,6 +119,105 @@ TEST(Oracles, CompiledBackendsMatchReference) {
   }
 }
 
+// A stand-in "cc" driver: accepts the --version probe, then instead of
+// compiling writes `exe_body` to the -o target and marks it executable.
+// Lets the tests dictate exactly how the "compiled" program behaves.  The
+// script's own name contains a space, so the cc path quoting is pinned too.
+std::string write_fake_cc(const std::string& dir, const std::string& exe_body) {
+  const auto path = std::filesystem::path(dir) / "fake cc.sh";
+  {
+    std::ofstream out(path);
+    out << "#!/bin/sh\n"
+        << "[ \"$1\" = \"--version\" ] && exit 0\n"
+        << "out=\"\"; prev=\"\"\n"
+        << "for a in \"$@\"; do\n"
+        << "  [ \"$prev\" = \"-o\" ] && out=\"$a\"\n"
+        << "  prev=\"$a\"\n"
+        << "done\n"
+        << "cat > \"$out\" <<'MSC_EOF'\n"
+        << exe_body
+        << "MSC_EOF\n"
+        << "chmod +x \"$out\"\n";
+  }
+  std::filesystem::permissions(path,
+                               std::filesystem::perms::owner_all |
+                                   std::filesystem::perms::group_read |
+                                   std::filesystem::perms::group_exec,
+                               std::filesystem::perm_options::add);
+  return path.string();
+}
+
+TEST(Oracles, CompiledOracleSurvivesWorkdirWithSpaces) {
+  // Regression: the compile/run command lines used to splice raw paths, so
+  // a scratch directory containing a space broke every popen'd backend.
+  if (!compiler_available()) GTEST_SKIP() << "no host C compiler ('cc') on PATH";
+  OracleOptions opts;
+  opts.work_dir = scratch_dir("msc check spaced dir");
+  const CaseSpec spec = random_case(2);
+  const OracleRun ref = run_oracle(spec, Oracle::Reference, opts);
+  ASSERT_TRUE(ref.ok);
+  const OracleRun c = run_oracle(spec, Oracle::GenC, opts);
+  ASSERT_FALSE(c.skipped) << c.note;
+  ASSERT_TRUE(c.ok) << c.note;
+  EXPECT_TRUE(compare_runs(ref, c, 16).match);
+}
+
+TEST(Oracles, RunStageCrashIsReportedAsSignalDeath) {
+  // Regression: the oracle's note used to conflate "the generated program
+  // crashed" with "it exited nonzero" (and with compile failures, since
+  // only the compile stage redirected stderr).  A signal death must be
+  // named as such.
+  const std::string dir = scratch_dir("msc_check_fakecc_crash");
+  OracleOptions opts;
+  opts.work_dir = dir;
+  opts.cc = write_fake_cc(dir,
+                          "#!/bin/sh\n"
+                          "echo deliberate crash >&2\n"
+                          "kill -KILL $$\n");
+  const OracleRun run = run_oracle(random_case(1), Oracle::GenC, opts);
+  EXPECT_FALSE(run.ok);
+  EXPECT_FALSE(run.skipped);
+  EXPECT_NE(run.note.find("run crashed (signal 9)"), std::string::npos) << run.note;
+  EXPECT_NE(run.note.find("deliberate crash"), std::string::npos)
+      << "run-stage stderr must be captured: " << run.note;
+}
+
+TEST(Oracles, RunStageExitFailureReportsStatusAndStderr) {
+  const std::string dir = scratch_dir("msc_check_fakecc_exit");
+  OracleOptions opts;
+  opts.work_dir = dir;
+  opts.cc = write_fake_cc(dir,
+                          "#!/bin/sh\n"
+                          "echo boom: bad geometry >&2\n"
+                          "exit 7\n");
+  const OracleRun run = run_oracle(random_case(1), Oracle::GenC, opts);
+  EXPECT_FALSE(run.ok);
+  EXPECT_NE(run.note.find("run failed (exit 7)"), std::string::npos) << run.note;
+  EXPECT_NE(run.note.find("boom: bad geometry"), std::string::npos) << run.note;
+}
+
+TEST(Oracles, CompileFailureNoteNamesTheCompileStage) {
+  const std::string dir = scratch_dir("msc_check_fakecc_nocompile");
+  OracleOptions opts;
+  opts.work_dir = dir;
+  // Accepts the probe but fails every real compile.
+  const auto path = std::filesystem::path(dir) / "no cc.sh";
+  {
+    std::ofstream out(path);
+    out << "#!/bin/sh\n"
+        << "[ \"$1\" = \"--version\" ] && exit 0\n"
+        << "echo 'fatal: synthetic compiler wall'\n"
+        << "exit 1\n";
+  }
+  std::filesystem::permissions(path, std::filesystem::perms::owner_all,
+                               std::filesystem::perm_options::add);
+  opts.cc = path.string();
+  const OracleRun run = run_oracle(random_case(1), Oracle::GenC, opts);
+  EXPECT_FALSE(run.ok);
+  EXPECT_NE(run.note.find("compile failed (exit 1)"), std::string::npos) << run.note;
+  EXPECT_NE(run.note.find("synthetic compiler wall"), std::string::npos) << run.note;
+}
+
 TEST(Oracles, InjectedCoefficientErrorIsCaught) {
   if (!compiler_available()) GTEST_SKIP() << "no host C compiler ('cc') on PATH";
   OracleOptions opts;

@@ -12,6 +12,7 @@
 #include "support/buffer.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
+#include "support/shell.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
@@ -219,6 +220,53 @@ TEST(ThreadPool, ConcurrentSubmittersVsShutdownNeverLoseWork) {
     for (auto& s : submitters) s.join();
     EXPECT_EQ(ran.load(), accepted.load());
   }
+}
+
+TEST(Shell, DistinguishesExitStatusFromSignalDeath) {
+  // Regression: pclose status used to be compared to 0 directly, which
+  // conflates "exited nonzero" with "killed by a signal" (and reports
+  // garbage exit codes for the latter).  The decode must keep them apart.
+  const ShellResult ok = run_shell("exit 0");
+  EXPECT_TRUE(ok.ok);
+  EXPECT_TRUE(ok.started);
+  EXPECT_FALSE(ok.signaled);
+  EXPECT_EQ(ok.exit_code, 0);
+
+  const ShellResult failed = run_shell("exit 3");
+  EXPECT_FALSE(failed.ok);
+  EXPECT_TRUE(failed.started);
+  EXPECT_FALSE(failed.signaled);
+  EXPECT_EQ(failed.exit_code, 3);
+  EXPECT_EQ(failed.describe(), "exit 3");
+
+  const ShellResult killed = run_shell("kill -KILL $$");
+  EXPECT_FALSE(killed.ok);
+  EXPECT_TRUE(killed.started);
+  EXPECT_TRUE(killed.signaled);
+  EXPECT_EQ(killed.term_signal, 9);
+  EXPECT_EQ(killed.describe(), "signal 9");
+}
+
+TEST(Shell, CapturesStdout) {
+  const ShellResult r = run_shell("printf 'a b\\nc'");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.output, "a b\nc");
+}
+
+TEST(Shell, QuoteSurvivesHostileCharacters) {
+  // shell_quote must round-trip any byte string through the shell intact —
+  // spaces, quotes, globs, $-expansion.
+  for (const std::string hostile :
+       {"plain", "with space", "it's quoted", "two''quotes", "a\"b", "$HOME `id` $(id)",
+        "semi;colon && glob *"}) {
+    const ShellResult r = run_shell("printf '%s' " + shell_quote(hostile));
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.output, hostile) << "quoting mangled: " << hostile;
+  }
+}
+
+TEST(Shell, HostCcProbeIsNegativeForMissingDrivers) {
+  EXPECT_FALSE(host_cc_available("msc-no-such-compiler-2xyz"));
 }
 
 TEST(ThreadPool, ParallelForSurvivesRacingShutdown) {

@@ -30,7 +30,7 @@ void usage() {
       "  --cases <n>              random cases to run (default 25)\n"
       "  --seed <n>               seed of the first case; case k uses seed+k (default 1)\n"
       "  --oracles <a,b,...>      subset of: reference scheduled c openmp athread\n"
-      "                           sunway-sim simmpi (default: all)\n"
+      "                           sunway-sim simmpi aot (default: all)\n"
       "  --max-ulps <n>           per-element ULP budget (default 16)\n"
       "  --no-shrink              report failures without minimizing them\n"
       "  --report <file>          write machine-readable conform_report.json\n"

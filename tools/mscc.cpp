@@ -28,6 +28,11 @@ void usage() {
       "  --target <c|openmp|sunway|openacc>   AOT-generate sources for a backend\n"
       "  --out <dir>                          output directory (default: msc_out)\n"
       "  --run <steps>                        execute on the host and report stats\n"
+      "  --backend <sweep|aot>                host engine for --run: the in-process\n"
+      "                                       sweep executor (default) or the AOT\n"
+      "                                       dlopen backend (specialized C compiled\n"
+      "                                       with the host cc; falls back to sweep\n"
+      "                                       when no compiler is available)\n"
       "  --validate                           compare against the serial reference\n"
       "  --dump                               print the built program IR\n");
 }
@@ -41,7 +46,7 @@ int main(int argc, char** argv) {
   }
 
   std::string spec_path = argv[1];
-  std::string target, out_dir = "msc_out";
+  std::string target, out_dir = "msc_out", backend = "sweep";
   long run_steps = 0;
   bool validate = false, dump = false;
   for (int a = 2; a < argc; ++a) {
@@ -59,6 +64,12 @@ int main(int argc, char** argv) {
       out_dir = next();
     } else if (arg == "--run") {
       run_steps = std::atol(next());
+    } else if (arg == "--backend") {
+      backend = next();
+      if (backend != "sweep" && backend != "aot") {
+        std::fprintf(stderr, "mscc: unknown backend '%s' (sweep, aot)\n", backend.c_str());
+        return 2;
+      }
     } else if (arg == "--validate") {
       validate = true;
     } else if (arg == "--dump") {
@@ -92,11 +103,22 @@ int main(int argc, char** argv) {
     }
 
     if (run_steps > 0) {
+      if (backend == "aot") prog->set_backend(msc::dsl::HostBackend::Aot);
       prog->input(msc::dsl::GridRef(prog->stencil().state()), 42);
       const auto result = prog->run(1, run_steps);
       std::printf("mscc: ran %ld steps over %lld points in %s\n", run_steps,
                   static_cast<long long>(result.stats.points_updated),
                   msc::workload::fmt_seconds(result.seconds).c_str());
+      if (backend == "aot") {
+        const auto& info = prog->last_aot_info();
+        if (info.aot) {
+          std::printf("mscc: aot backend: plan %s (%s) from %s\n", info.plan_hash.c_str(),
+                      info.cache_hit ? "cache hit" : "compiled", info.module_path.c_str());
+        } else {
+          std::printf("mscc: aot backend fell back to sweep: %s\n",
+                      info.fallback_reason.c_str());
+        }
+      }
       if (validate) {
         const double err = prog->relative_error_vs_reference(1, run_steps);
         std::printf("mscc: max relative error vs serial reference: %.3g\n", err);
