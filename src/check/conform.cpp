@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "prof/counters.hpp"
 #include "resilience/fault_plan.hpp"
 #include "support/strings.hpp"
 #include "workload/report.hpp"
@@ -175,6 +176,14 @@ ConformReport run_conformance(const ConformOptions& opts) {
         outcome.passed = false;
         std::printf("case %4d seed %llu: FAIL (%s: %s)\n", n,
                     static_cast<unsigned long long>(seed), oracle_name(o), oo.note.c_str());
+        if (o == Oracle::Aot) {
+          // Which way the AOT pipeline has been failing so far this run:
+          // the labelled fallback counters say whether this is a missing
+          // compiler, a codegen bug, or a loader problem at a glance.
+          for (const auto& [cname, value] : prof::global_counters().snapshot())
+            if (cname.rfind("aot.fallback.", 0) == 0)
+              std::printf("  %-28s %lld\n", cname.c_str(), static_cast<long long>(value));
+        }
 
         Reproducer rep;
         rep.seed = seed;

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "prof/counters.hpp"
+#include "prof/flight.hpp"
 #include "prof/log.hpp"
 #include "prof/timeline.hpp"
 #include "resilience/checkpoint.hpp"
@@ -276,6 +277,10 @@ void RankCtx::fault_hook(std::int64_t step) {
   const double stall = injector->stall_ms(rank_, step);
   if (stall > 0.0) std::this_thread::sleep_for(ms_duration(stall));
   if (injector->should_crash(rank_, step)) {
+    // Instant marker in the flight recorder: crash dumps show exactly where
+    // in the event stream the fault plan fired.
+    const std::uint64_t now = prof::flight_now_ns();
+    prof::global_flight().record(prof::FlightKind::Crash, now, now, rank_, step);
     world_->declare_failed(rank_);
     throw RankCrashed(
         strprintf("rank %d crashed by fault plan at step %lld", rank_,

@@ -12,10 +12,33 @@
 
 #include "codegen/aot_kernel.hpp"
 #include "prof/counters.hpp"
+#include "prof/flight.hpp"
+#include "prof/log.hpp"
+#include "prof/trace.hpp"
 #include "support/shell.hpp"
 #include "support/strings.hpp"
 
 namespace msc::exec {
+
+/// Stable slug for a fallback reason, used as the counter suffix
+/// `aot.fallback.<slug>` so failure modes are countable individually (a
+/// CI run where every fallback is `no_cc` reads very differently from one
+/// where they are `compile_failed`).
+const char* aot_fallback_slug(const std::string& reason) {
+  const auto has = [&](const char* needle) {
+    return reason.find(needle) != std::string::npos;
+  };
+  if (has("halo exchange")) return "boundary";
+  if (has("C compiler")) return "no_cc";
+  if (has("not affine")) return "not_affine";
+  if (has("compile failed")) return "compile_failed";
+  if (has("dlopen failed")) return "dlopen_failed";
+  if (has("missing msc_aot_")) return "missing_symbols";
+  if (has("ABI")) return "abi_mismatch";
+  if (has("cannot write") || has("short write") || has("cannot publish"))
+    return "cache_io";
+  return "other";
+}
 
 namespace detail {
 
@@ -142,40 +165,49 @@ std::shared_ptr<AotModule> load_aot_module(const ir::StencilDef& st,
   const fs::path so = dir / (hash + ".so");
   if (info != nullptr) info->module_path = so.string();
 
-  // Shared in-process handle for the same plan (bench loops, parallel
-  // oracles): no second dlopen of an already-open module.
-  if (!opts.force_recompile) {
-    std::lock_guard<std::mutex> lock(g_registry_mutex);
-    if (auto mod = registry()[hash].lock()) {
-      if (info != nullptr) info->cache_hit = true;
-      prof::counter("aot.cache.mem_hit").add(1);
-      return mod;
-    }
-  }
-
   std::error_code ec;
-  fs::create_directories(dir, ec);
-
-  // On-disk hit: dlopen the cached object; a stale or corrupt one (failed
-  // dlopen / ABI check) is deleted and rebuilt below instead of erroring.
-  if (!opts.force_recompile && fs::exists(so)) {
-    std::string stale_why;
-    if (auto mod = open_module(so.string(), &stale_why)) {
-      if (info != nullptr) info->cache_hit = true;
-      prof::counter("aot.cache.disk_hit").add(1);
+  {
+    // Cache probe phase: the in-memory registry (shared dlopen handle for
+    // bench loops and parallel oracles), then the on-disk object.  A stale
+    // or corrupt .so (failed dlopen / ABI check) is deleted and rebuilt
+    // below instead of erroring.
+    prof::TraceScope probe_scope("aot.cache_probe", "aot");
+    prof::FlightScope probe_flight(prof::FlightKind::AotCacheProbe);
+    if (!opts.force_recompile) {
       std::lock_guard<std::mutex> lock(g_registry_mutex);
-      registry()[hash] = mod;
-      return mod;
+      if (auto mod = registry()[hash].lock()) {
+        if (info != nullptr) info->cache_hit = true;
+        prof::counter("aot.cache.mem_hit").add(1);
+        probe_flight.set_a(1);
+        return mod;
+      }
     }
-    prof::counter("aot.cache.stale_evicted").add(1);
-    fs::remove(so, ec);
+    fs::create_directories(dir, ec);
+    if (!opts.force_recompile && fs::exists(so)) {
+      std::string stale_why;
+      if (auto mod = open_module(so.string(), &stale_why)) {
+        if (info != nullptr) info->cache_hit = true;
+        prof::counter("aot.cache.disk_hit").add(1);
+        probe_flight.set_a(1);
+        std::lock_guard<std::mutex> lock(g_registry_mutex);
+        registry()[hash] = mod;
+        return mod;
+      }
+      prof::counter("aot.cache.stale_evicted").add(1);
+      fs::remove(so, ec);
+    }
   }
 
   if (!write_file(src, source, why)) return nullptr;
   const fs::path tmp = so.string() + strprintf(".tmp.%d", static_cast<int>(::getpid()));
-  const auto r = run_shell(shell_quote(opts.cc) + " " + flags + " -o " +
-                           shell_quote(tmp.string()) + " " + shell_quote(src.string()) +
-                           " -lm 2>&1");
+  const auto r = [&] {
+    prof::TraceScope compile_scope("aot.compile", "aot");
+    prof::FlightScope compile_flight(prof::FlightKind::AotCompile,
+                                     static_cast<std::int64_t>(source.size()));
+    return run_shell(shell_quote(opts.cc) + " " + flags + " -o " +
+                     shell_quote(tmp.string()) + " " + shell_quote(src.string()) +
+                     " -lm 2>&1");
+  }();
   prof::counter("aot.compile").add(1);
   if (!r.ok) {
     fs::remove(tmp, ec);
@@ -189,7 +221,11 @@ std::shared_ptr<AotModule> load_aot_module(const ir::StencilDef& st,
     return nullptr;
   }
 
-  auto mod = open_module(so.string(), why);
+  auto mod = [&] {
+    prof::TraceScope dlopen_scope("aot.dlopen", "aot");
+    prof::FlightScope dlopen_flight(prof::FlightKind::AotDlopen);
+    return open_module(so.string(), why);
+  }();
   if (mod == nullptr) return nullptr;
   prof::counter("aot.dlopen").add(1);
   std::lock_guard<std::mutex> lock(g_registry_mutex);
@@ -211,7 +247,13 @@ void run_scheduled_aot(const ir::StencilDef& st, const schedule::Schedule& sched
       info->aot = false;
       info->fallback_reason = reason;
     }
+    const char* slug = aot_fallback_slug(reason);
     prof::counter("aot.fallback").add(1);
+    prof::counter(std::string("aot.fallback.") + slug).add(1);
+    prof::LogEvent(prof::LogLevel::Warn, "exec.aot", "fallback to run_scheduled")
+        .str("slug", slug)
+        .str("reason", reason)
+        .str("stencil", st.name());
     run_scheduled(st, sched, state, t_begin, t_end, bc, bindings, stats);
   };
 
@@ -254,13 +296,21 @@ void run_scheduled_aot(const ir::StencilDef& st, const schedule::Schedule& sched
   slots.reserve(static_cast<std::size_t>(state.slots()));
   for (int s = 0; s < state.slots(); ++s) slots.push_back(state.slot_data(s));
 
+  const auto lin = linearize_stencil(st, bindings);
   prof::TraceScope scope("run_scheduled_aot", "exec");
   scope.arg("t_begin", static_cast<double>(t_begin));
   scope.arg("t_end", static_cast<double>(t_end));
-  mod->run(slots.data(), static_cast<long>(t_begin), static_cast<long>(t_end));
+  {
+    const prof::FlightPlanScope flight_plan(prof::plan_fingerprint(
+        static_cast<std::uint64_t>(plan.extent[0]), static_cast<std::uint64_t>(plan.extent[1]),
+        static_cast<std::uint64_t>(plan.extent[2]),
+        lin.has_value() ? lin->terms.size() : 0,
+        static_cast<std::uint64_t>(plan.tiles_per_step), /*extra=*/0xA07));
+    prof::FlightScope flight_run(prof::FlightKind::AotRun, t_end - t_begin + 1);
+    mod->run(slots.data(), static_cast<long>(t_begin), static_cast<long>(t_end));
+  }
   if (info != nullptr) info->aot = true;
 
-  const auto lin = linearize_stencil(st, bindings);
   const std::int64_t nsteps = t_end - t_begin + 1;
   const std::int64_t points = st.state()->interior_points() * nsteps;
   const std::int64_t flops =

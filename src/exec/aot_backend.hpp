@@ -32,6 +32,12 @@
 
 namespace msc::exec {
 
+/// Stable slug classifying a fallback reason string — the suffix of the
+/// labelled counter `aot.fallback.<slug>` (boundary, no_cc, not_affine,
+/// compile_failed, dlopen_failed, missing_symbols, abi_mismatch, cache_io,
+/// other).  msc-conform prints these counters when an AOT oracle fails.
+const char* aot_fallback_slug(const std::string& reason);
+
 namespace detail {
 
 /// RAII over one dlopen'd kernel module; dlclose on destruction.  The

@@ -31,6 +31,7 @@
 #include "exec/temporal_sweep.hpp"
 #include "ir/stencil.hpp"
 #include "prof/counters.hpp"
+#include "prof/flight.hpp"
 #include "prof/trace.hpp"
 #include "schedule/schedule.hpp"
 #include "support/error.hpp"
@@ -145,6 +146,10 @@ void run_scheduled(const ir::StencilDef& st, const schedule::Schedule& sched,
     MSC_CHECK(plan.extent[static_cast<std::size_t>(d)] == state.extent(d))
         << "schedule extent mismatch in dim " << d;
   const SweepPlan sweep = lower_sweep(plan);
+  const prof::FlightPlanScope flight_plan(prof::plan_fingerprint(
+      static_cast<std::uint64_t>(plan.extent[0]), static_cast<std::uint64_t>(plan.extent[1]),
+      static_cast<std::uint64_t>(plan.extent[2]), lin->terms.size(),
+      static_cast<std::uint64_t>(plan.tiles_per_step)));
 
   for (int back = 1; back < st.time_window(); ++back)
     state.fill_halo(state.slot_for_time(t_begin - back), bc);
@@ -152,11 +157,14 @@ void run_scheduled(const ir::StencilDef& st, const schedule::Schedule& sched,
   for (std::int64_t t = t_begin; t <= t_end; ++t) {
     prof::TraceScope step_scope("run_scheduled.step", "exec");
     step_scope.arg("t", static_cast<double>(t));
+    prof::FlightScope flight_step(prof::FlightKind::Step, 0,
+                                  static_cast<std::int64_t>(lin->terms.size()));
     const int out_slot = state.slot_for_time(t);
     T* out = state.slot_data(out_slot);
 
     const auto terms = resolve_terms(*lin, state, t);
     const SweepStats swept = run_sweep(sweep, state, out, terms);
+    flight_step.set_a(swept.points);
 
     state.fill_halo(out_slot, bc);
     const std::int64_t step_points = swept.points;
@@ -245,6 +253,11 @@ void run_scheduled_temporal(const ir::StencilDef& st, const schedule::Schedule& 
   prof::TraceScope scope("run_scheduled_temporal", "exec");
   scope.arg("t_begin", static_cast<double>(t_begin));
   scope.arg("t_end", static_cast<double>(t_end));
+  const prof::FlightPlanScope flight_plan(prof::plan_fingerprint(
+      static_cast<std::uint64_t>(plan.extent[0]), static_cast<std::uint64_t>(plan.extent[1]),
+      static_cast<std::uint64_t>(plan.extent[2]), lin->terms.size(),
+      static_cast<std::uint64_t>(plan.tiles_per_step),
+      static_cast<std::uint64_t>(tplan.wedge_depth)));
   const SweepStats swept = run_temporal_sweep(tplan, *lin, state, topts.pool);
 
   const std::int64_t nsteps = t_end - t_begin + 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ir/type.hpp"
+#include "prof/flight.hpp"
 
 namespace msc::exec {
 
@@ -193,18 +194,24 @@ SweepStats run_sweep(const SweepPlan& plan, const GridStorage<T>& state, T* out,
   if (plan.parallel && plan.threads > 1 && ntiles > 1 && global_pool().size() > 1) {
     std::mutex merge;
     global_pool().parallel_for(0, ntiles, [&](std::int64_t lo, std::int64_t hi) {
+      // One flight span per chunk, not per tile: bounded event rate at any
+      // tile size, so the recorder stays inside its overhead budget.
+      prof::FlightScope flight(prof::FlightKind::RowChunk, 0, hi - lo);
       SweepStats local;
       for (std::int64_t n = lo; n < hi; ++n)
         detail::sweep_tile(plan.tiles[static_cast<std::size_t>(n)], state, out, terms, local);
       local.tiles = hi - lo;
+      flight.set_a(local.points);
       std::lock_guard<std::mutex> lock(merge);
       total.points += local.points;
       total.rows += local.rows;
       total.tiles += local.tiles;
     });
   } else {
+    prof::FlightScope flight(prof::FlightKind::RowChunk, 0, ntiles);
     for (const auto& tile : plan.tiles) detail::sweep_tile(tile, state, out, terms, total);
     total.tiles = ntiles;
+    flight.set_a(total.points);
   }
   return total;
 }

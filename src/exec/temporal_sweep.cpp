@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "prof/counters.hpp"
+#include "prof/flight.hpp"
 #include "prof/trace.hpp"
 
 namespace msc::exec {
@@ -69,6 +70,7 @@ void run_block(const TemporalPlan& plan, const WedgeSet& set, const LinearKernel
   prof::TraceScope block_scope("temporal.block", "exec");
   block_scope.arg("t0", static_cast<double>(t0));
   block_scope.arg("depth", static_cast<double>(set.depth));
+  prof::FlightScope block_flight(prof::FlightKind::WedgeBlock, t0, set.depth);
   prof::counter("sweep.temporal.blocks").add(1);
 
   std::vector<StepCtx<T>> ctx(static_cast<std::size_t>(set.depth));
@@ -93,6 +95,8 @@ void run_block(const TemporalPlan& plan, const WedgeSet& set, const LinearKernel
       if (wedge.steps.empty()) continue;
       prof::TraceScope wedge_scope("temporal.wedge", "exec");
       wedge_scope.arg("w", static_cast<double>(wedge.index));
+      prof::FlightScope wedge_flight(prof::FlightKind::Wedge, wedge.index,
+                                     static_cast<std::int64_t>(wedge.steps.size()));
       for (const auto& ws : wedge.steps)
         run_wedge_step(ws, ctx[static_cast<std::size_t>(ws.step)], state, total);
       ++wedges_run;
@@ -140,24 +144,39 @@ void run_block(const TemporalPlan& plan, const WedgeSet& set, const LinearKernel
     for (std::int64_t c = cb; c < ce; ++c) {
       try {
         for (std::int64_t s = 0; s < set.depth; ++s) {
+          // Flight span only when a predecessor actually makes us spin, so
+          // uncontended levels cost zero wait events.
+          bool waited = false;
+          std::uint64_t wait_start = 0;
           for (std::int64_t p = first_pred[static_cast<std::size_t>(c)]; p < c; ++p) {
             while (done[static_cast<std::size_t>(p)].load(std::memory_order_acquire) < s) {
+              if (!waited) {
+                waited = true;
+                wait_start = prof::flight_now_ns();
+              }
               if (failed.load(std::memory_order_relaxed)) break;
               std::this_thread::yield();
             }
           }
+          if (waited && prof::global_flight().enabled())
+            prof::global_flight().record(prof::FlightKind::WedgeWait, wait_start,
+                                         prof::flight_now_ns(), c, s);
           if (failed.load(std::memory_order_relaxed)) break;
           prof::TraceScope level_scope("temporal.chunk", "exec");
           level_scope.arg("chunk", static_cast<double>(c));
           level_scope.arg("level", static_cast<double>(s));
+          prof::FlightScope level_flight(prof::FlightKind::Wedge, c, 0);
+          std::int64_t level_steps = 0;
           for (std::int64_t w = lo[static_cast<std::size_t>(c)];
                w < lo[static_cast<std::size_t>(c) + 1]; ++w) {
             for (const auto& ws : set.wedges[static_cast<std::size_t>(w)].steps) {
               if (ws.step != s) continue;
               run_wedge_step(ws, ctx[static_cast<std::size_t>(s)], state, local);
               ++local_steps;
+              ++level_steps;
             }
           }
+          level_flight.set_b(level_steps);
           done[static_cast<std::size_t>(c)].store(s + 1, std::memory_order_release);
         }
         for (std::int64_t w = lo[static_cast<std::size_t>(c)];

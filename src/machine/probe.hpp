@@ -1,0 +1,41 @@
+#pragma once
+
+// Measured host machine model: STREAM-style sustainable bandwidth and a
+// measured fp64 compute roof for the machine this process is running on.
+//
+// The simulated MachineModels (machine.hpp) parameterize the paper's
+// platforms; the *measured* attribution path (prof/attribution.hpp) needs a
+// roofline for the actual build host instead, so %-of-attainable means
+// something.  probe_host() measures both roofs once per process:
+//
+//   * bandwidth — a parallel triad a[i] = b[i] + s*c[i] over arrays far
+//     beyond LLC, counting 24 B per element (two streamed reads + one
+//     write; write-allocate traffic is deliberately not charged, matching
+//     the attribution engine's traffic model), best-of-3;
+//   * compute — per-thread independent multiply-add chains on register
+//     accumulators (2 flops per element op), compiled in this TU with the
+//     same ISA flags as the sweep kernels so the roof is attainable by the
+//     code being attributed, best-of-3, summed across pool threads.
+//
+// Numbers are cached after the first call.  MSC_PROBE_QUICK=1 shrinks the
+// working sets (tests, CI smoke) at some accuracy cost.
+
+#include "machine/machine.hpp"
+
+namespace msc::machine {
+
+struct HostProbe {
+  double mem_bw_gbs = 0.0;       ///< measured triad bandwidth, all threads
+  double peak_gflops_fp64 = 0.0; ///< measured muladd roof, all threads
+  int threads = 1;               ///< pool threads the measurement used
+};
+
+/// Runs (or returns the cached) host measurement.
+const HostProbe& probe_host();
+
+/// The measured host as a MachineModel ("host-measured"): peak and bw from
+/// probe_host(), core count from the thread pool.  Usable anywhere a
+/// simulated model is (attainable_gflops, ridge_flop_per_byte, ...).
+MachineModel host_measured_model();
+
+}  // namespace msc::machine

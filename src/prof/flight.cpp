@@ -1,0 +1,193 @@
+#include "prof/flight.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace msc::prof {
+
+namespace {
+
+std::chrono::steady_clock::time_point flight_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::atomic<std::uint64_t> g_current_plan{0};
+
+}  // namespace
+
+const char* flight_kind_name(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::None: return "none";
+    case FlightKind::Step: return "step";
+    case FlightKind::RowChunk: return "row_chunk";
+    case FlightKind::WedgeBlock: return "wedge_block";
+    case FlightKind::Wedge: return "wedge";
+    case FlightKind::WedgeWait: return "wedge_wait";
+    case FlightKind::AotCacheProbe: return "aot_cache_probe";
+    case FlightKind::AotCompile: return "aot_compile";
+    case FlightKind::AotDlopen: return "aot_dlopen";
+    case FlightKind::AotRun: return "aot_run";
+    case FlightKind::Crash: return "crash";
+  }
+  return "unknown";
+}
+
+std::uint64_t flight_now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - flight_epoch())
+                                        .count());
+}
+
+std::uint64_t FlightRecorder::next_recorder_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+FlightRecorder::ThreadRing& FlightRecorder::ring_for_current_thread() {
+  // One registration per (thread, recorder); the cached pairs make the
+  // steady-state record() path a thread-local scan of (almost always) one
+  // entry.  Keyed by a process-unique recorder id, not the address — tests
+  // instantiate short-lived local recorders and a reused address must not
+  // resolve to a freed ring.
+  thread_local std::vector<std::pair<std::uint64_t, ThreadRing*>> cached;
+  for (const auto& [owner, ring] : cached)
+    if (owner == id_) return *ring;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto ring = std::make_unique<ThreadRing>();
+  ring->tid = static_cast<int>(rings_.size());
+  rings_.push_back(std::move(ring));
+  cached.emplace_back(id_, rings_.back().get());
+  return *rings_.back();
+}
+
+void FlightRecorder::record(FlightKind kind, std::uint64_t start_ns, std::uint64_t end_ns,
+                            std::int64_t a, std::int64_t b) {
+  if (!enabled()) return;
+  ThreadRing& ring = ring_for_current_thread();
+  const std::uint64_t n = ring.count.load(std::memory_order_relaxed);
+  FlightEvent& ev = ring.events[n % kRingCapacity];
+  ev.start_ns = start_ns;
+  ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  ev.plan = g_current_plan.load(std::memory_order_relaxed);
+  ev.a = a;
+  ev.b = b;
+  ev.seq = static_cast<std::uint32_t>(n);
+  ev.kind = kind;
+  // Release: a drain that acquires count >= n+1 sees this event's stores.
+  ring.count.store(n + 1, std::memory_order_release);
+}
+
+std::vector<FlightThreadDump> FlightRecorder::drain(std::size_t last_n) const {
+  std::vector<FlightThreadDump> out;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  out.reserve(rings_.size());
+  for (const auto& ring : rings_) {
+    FlightThreadDump dump;
+    dump.tid = ring->tid;
+    const std::uint64_t n1 = ring->count.load(std::memory_order_acquire);
+    dump.recorded = n1;
+    if (n1 == 0) {
+      out.push_back(std::move(dump));
+      continue;
+    }
+    const std::uint64_t window = std::min<std::uint64_t>(
+        {n1, kRingCapacity, static_cast<std::uint64_t>(last_n)});
+    std::vector<FlightEvent> copied;
+    copied.reserve(static_cast<std::size_t>(window));
+    for (std::uint64_t i = n1 - window; i < n1; ++i)
+      copied.push_back(ring->events[i % kRingCapacity]);
+    // Seqlock-lite validity: slots with seq < n2 - capacity were (or may
+    // have been) rewritten by a concurrent writer while we copied — a torn
+    // read is possible exactly there, so those entries are dropped.  A
+    // quiescent ring keeps the full window.
+    const std::uint64_t n2 = ring->count.load(std::memory_order_acquire);
+    const std::uint64_t oldest_valid = n2 > kRingCapacity ? n2 - kRingCapacity : 0;
+    for (const auto& ev : copied) {
+      const std::uint64_t expected = (n1 - window) + (static_cast<std::uint64_t>(
+                                                          &ev - copied.data()));
+      if (ev.seq != static_cast<std::uint32_t>(expected)) continue;  // torn slot
+      if (expected < oldest_valid) continue;                         // overwritten
+      dump.events.push_back(ev);
+    }
+    out.push_back(std::move(dump));
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (auto& ring : rings_) ring->count.store(0, std::memory_order_release);
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->count.load(std::memory_order_acquire);
+  return total;
+}
+
+FlightRecorder& global_flight() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+std::uint64_t current_flight_plan() { return g_current_plan.load(std::memory_order_relaxed); }
+
+FlightPlanScope::FlightPlanScope(std::uint64_t plan)
+    : prev_(g_current_plan.exchange(plan, std::memory_order_relaxed)) {}
+
+FlightPlanScope::~FlightPlanScope() { g_current_plan.store(prev_, std::memory_order_relaxed); }
+
+std::uint64_t plan_fingerprint(std::uint64_t extent0, std::uint64_t extent1,
+                               std::uint64_t extent2, std::uint64_t nterms,
+                               std::uint64_t tiles, std::uint64_t extra) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint64_t v : {extent0, extent1, extent2, nterms, tiles, extra}) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+workload::Json flight_dump_json(std::size_t last_n) {
+  const auto dumps = global_flight().drain(last_n);
+  workload::Json doc = workload::Json::object();
+  doc["schema"] = workload::Json::string("msc-flight-v1");
+  doc["ring_capacity"] =
+      workload::Json::integer(static_cast<long long>(FlightRecorder::kRingCapacity));
+  workload::Json threads = workload::Json::array();
+  for (const auto& dump : dumps) {
+    if (dump.recorded == 0) continue;  // registered but idle threads add noise
+    workload::Json th = workload::Json::object();
+    th["tid"] = workload::Json::integer(dump.tid);
+    th["recorded"] = workload::Json::integer(static_cast<long long>(dump.recorded));
+    workload::Json events = workload::Json::array();
+    for (const auto& ev : dump.events) {
+      workload::Json e = workload::Json::object();
+      e["kind"] = workload::Json::string(flight_kind_name(ev.kind));
+      e["start_ns"] = workload::Json::integer(static_cast<long long>(ev.start_ns));
+      e["dur_ns"] = workload::Json::integer(static_cast<long long>(ev.dur_ns));
+      e["plan"] = workload::Json::string(
+          [&] {
+            char buf[20];
+            std::snprintf(buf, sizeof buf, "%016llx",
+                          static_cast<unsigned long long>(ev.plan));
+            return std::string(buf);
+          }());
+      e["seq"] = workload::Json::integer(static_cast<long long>(ev.seq));
+      e["a"] = workload::Json::integer(static_cast<long long>(ev.a));
+      e["b"] = workload::Json::integer(static_cast<long long>(ev.b));
+      events.push_back(std::move(e));
+    }
+    th["events"] = std::move(events);
+    threads.push_back(std::move(th));
+  }
+  doc["threads"] = std::move(threads);
+  return doc;
+}
+
+}  // namespace msc::prof

@@ -10,6 +10,7 @@
 #include "exec/grid.hpp"
 #include "frontend/spec.hpp"
 #include "prof/counters.hpp"
+#include "prof/flight.hpp"
 #include "prof/log.hpp"
 #include "resilience/driver.hpp"
 #include "support/error.hpp"
@@ -222,6 +223,9 @@ ChaosResult run_chaos_scenario(const ChaosScenario& sc) {
       run_world(world, dec, st, ndim, global, sc.timesteps, &store, sc.ckpt_every, &chaotic);
       completed = true;
     } catch (const comm::RankCrashed& e) {
+      // Black-box dump: what every thread was doing in the instants before
+      // the crash.  First crash wins — that is the interesting one.
+      if (res.flight_dump.is_null()) res.flight_dump = prof::flight_dump_json();
       prof::LogEvent(prof::LogLevel::Info, "resilience.chaos", "restarting after crash")
           .str("scenario", sc.label())
           .integer("attempt", attempt);
@@ -287,6 +291,7 @@ workload::Json chaos_report(const std::vector<ChaosResult>& results) {
     e["fault_free_seconds"] = Json::number(r.fault_free_seconds);
     e["chaos_seconds"] = Json::number(r.chaos_seconds);
     if (!r.note.empty()) e["note"] = Json::string(r.note);
+    if (!r.flight_dump.is_null()) e["flight"] = r.flight_dump;
     list.push_back(std::move(e));
   }
   root["total"] = Json::integer(static_cast<std::int64_t>(results.size()));

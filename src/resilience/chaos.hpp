@@ -56,6 +56,11 @@ struct ChaosResult {
   double fault_free_seconds = 0.0;
   double chaos_seconds = 0.0;
   std::string note;  ///< failure/vacuity diagnosis
+
+  /// Flight-recorder dump (schema msc-flight-v1) captured at the first
+  /// crash of the scenario: the last events per thread leading up to the
+  /// fault.  Json::null() when the scenario never crashed.
+  workload::Json flight_dump = workload::Json::null();
 };
 
 /// The sweep matrix: {3d7pt_star, heat2d} x {nranks} x every fault kind.

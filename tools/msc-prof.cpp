@@ -9,6 +9,15 @@
 //   $ msc-prof 3d7pt_star
 //   $ msc-prof 2d9pt_box --grid 64x64 --steps 8 --ranks 2x2
 //   $ msc-prof 3d7pt_star --trace trace.json --json
+//
+// --attribute switches to the *measured* host roofline: the named
+// benchmarks (default 3d7pt_star, 2d9pt_star, 3d13pt_star) run for real on
+// all three host engines (sweep, temporal, AOT) with the flight recorder
+// armed, and every run is joined against the analytic FLOP/byte walk of
+// its lowered plan plus the probed host roofs (machine/probe.hpp):
+//
+//   $ msc-prof --attribute
+//   $ msc-prof --attribute 3d7pt_star --steps 8 --grid 96x96x96
 
 #include <algorithm>
 #include <chrono>
@@ -21,11 +30,16 @@
 #include "comm/halo_exchange.hpp"
 #include "comm/network_model.hpp"
 #include "comm/simmpi.hpp"
+#include "exec/aot_backend.hpp"
+#include "exec/executor.hpp"
 #include "exec/grid.hpp"
 #include "machine/cost_model.hpp"
 #include "machine/machine.hpp"
+#include "machine/probe.hpp"
+#include "prof/attribution.hpp"
 #include "prof/bench_report.hpp"
 #include "prof/counters.hpp"
+#include "prof/flight.hpp"
 #include "prof/timeline.hpp"
 #include "prof/trace.hpp"
 #include "sunway/cg_sim.hpp"
@@ -40,6 +54,7 @@ namespace {
 void usage() {
   std::printf(
       "usage: msc-prof <benchmark> [options]\n"
+      "       msc-prof --attribute [benchmarks...] [options]\n"
       "  --grid JxI[xK]   grid extents (default 64x64 / 32x32x32)\n"
       "  --steps <n>      timesteps to simulate (default 4)\n"
       "  --fp32           single-precision state (default fp64)\n"
@@ -51,6 +66,13 @@ void usage() {
       "  --explain-tune   run the auto-tuner instead and explain the winning\n"
       "                   schedule via the regression model's feature weights\n"
       "  --processes <n>  MPI process count for --explain-tune (default 8)\n"
+      "  --attribute      measured host roofline: run the benchmarks on the\n"
+      "                   sweep/temporal/AOT host engines with the flight\n"
+      "                   recorder armed and attribute analytic FLOPs/bytes\n"
+      "                   (default set: 3d7pt_star 2d9pt_star 3d13pt_star)\n"
+      "  --attr-out <f>   markdown output for --attribute (attribution.md)\n"
+      "  --attr-json <f>  msc-attr-v1 output for --attribute (attribution.json)\n"
+      "  --time-depth <n> wedge depth for the temporal engine rows (default 4)\n"
       "  --list           list the benchmark names and exit\n");
 }
 
@@ -60,18 +82,127 @@ std::vector<std::int64_t> parse_dims(const std::string& s) {
   return out;
 }
 
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One attributed run of `name` on one host engine: warm up (pool spin-up,
+/// AOT compile), clear the flight recorder, run for real, drain, join.
+msc::prof::AttributionRow attribute_one(const std::string& name,
+                                        msc::prof::AttrBackend backend,
+                                        std::array<std::int64_t, 3> grid,
+                                        std::int64_t steps, std::int64_t time_depth,
+                                        const msc::machine::MachineModel& host) {
+  using namespace msc;
+  const auto& info = workload::benchmark(name);
+  auto prog = workload::make_program(info, ir::DataType::f64, grid);
+  workload::apply_msc_schedule(*prog, info, "cpu");
+  if (backend == prof::AttrBackend::Temporal)
+    prog->primary_kernel().time_tile(time_depth);
+  const auto& st = prog->stencil();
+  const auto& sched = prog->primary_schedule();
+
+  exec::GridStorage<double> g(st.state());
+  for (int s = 0; s < g.slots(); ++s) g.fill_random(s, 7);
+
+  bool ran = true;
+  std::string note;
+  const auto run = [&](std::int64_t tb, std::int64_t te) {
+    switch (backend) {
+      case prof::AttrBackend::Sweep:
+        exec::run_scheduled(st, sched, g, tb, te, exec::Boundary::ZeroHalo);
+        break;
+      case prof::AttrBackend::Temporal: {
+        exec::TemporalExecInfo ti;
+        exec::run_scheduled_temporal(st, sched, g, tb, te, exec::Boundary::ZeroHalo, {},
+                                     nullptr, &ti);
+        if (!ti.temporal) {
+          ran = false;
+          note = ti.fallback_reason;
+        }
+        break;
+      }
+      case prof::AttrBackend::Aot: {
+        exec::AotExecInfo ai;
+        exec::run_scheduled_aot(st, sched, g, tb, te, exec::Boundary::ZeroHalo, {}, nullptr,
+                                &ai);
+        if (!ai.aot) {
+          ran = false;
+          note = ai.fallback_reason;
+        }
+        break;
+      }
+    }
+  };
+
+  run(1, 1);  // warm-up step
+  auto& flight = prof::global_flight();
+  flight.clear();
+  const double t0 = now_seconds();
+  run(1, steps);
+  const double wall = now_seconds() - t0;
+
+  const auto phases = prof::bucket_phases(flight.drain(), wall);
+  const auto cost = prof::attribute_plan(st, sched, backend, sizeof(double), 1, steps);
+  auto row = prof::attribute_run(name, backend, cost, phases, host);
+  row.ran = ran;
+  row.note = note;
+  return row;
+}
+
+int run_attribution(std::vector<std::string> names, const std::vector<std::int64_t>& grid_arg,
+                    std::int64_t steps, std::int64_t time_depth, const std::string& md_path,
+                    const std::string& json_path) {
+  using namespace msc;
+  if (names.empty()) names = {"3d7pt_star", "2d9pt_star", "3d13pt_star"};
+
+  workload::print_banner(
+      "msc-prof --attribute — measured host roofline",
+      "analytic FLOPs/bytes from the lowered plan x flight-recorder phase time");
+  std::printf("probing host roofs (triad bandwidth + muladd peak)...\n");
+  const auto host = machine::host_measured_model();
+  std::fflush(stdout);
+
+  std::vector<prof::AttributionRow> rows;
+  for (const auto& name : names) {
+    const auto& info = workload::benchmark(name);
+    std::array<std::int64_t, 3> grid = info.ndim == 2
+                                           ? std::array<std::int64_t, 3>{512, 512, 0}
+                                           : std::array<std::int64_t, 3>{64, 64, 64};
+    for (std::size_t d = 0; d < grid_arg.size() && d < 3; ++d)
+      if (grid_arg[d] > 0) grid[d] = grid_arg[d];
+    for (const auto backend : {prof::AttrBackend::Sweep, prof::AttrBackend::Temporal,
+                               prof::AttrBackend::Aot})
+      rows.push_back(attribute_one(name, backend, grid, steps, time_depth, host));
+  }
+
+  const std::string md = prof::attribution_markdown(rows, host);
+  std::printf("\n%s", md.c_str());
+  workload::write_file(md_path, md);
+  workload::write_file(json_path, prof::attribution_json(rows, host).dump());
+  std::printf("\nwrote %s and %s\n", md_path.c_str(), json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace msc;
 
   std::string bench_name;
+  std::vector<std::string> extra_names;
   std::vector<std::int64_t> grid_arg, ranks_arg;
   std::int64_t steps = 4;
   std::int64_t processes = 8;
+  std::int64_t time_depth = 4;
   bool fp32 = false, periodic = false, want_json = false, explain_tune = false;
+  bool attribute = false;
   std::string trace_path = "msc_prof_trace.json";
   std::string timeline_path;
+  std::string attr_md_path = "attribution.md";
+  std::string attr_json_path = "attribution.json";
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -102,6 +233,14 @@ int main(int argc, char** argv) {
       explain_tune = true;
     } else if (arg == "--processes") {
       processes = std::atoll(next());
+    } else if (arg == "--attribute") {
+      attribute = true;
+    } else if (arg == "--attr-out") {
+      attr_md_path = next();
+    } else if (arg == "--attr-json") {
+      attr_json_path = next();
+    } else if (arg == "--time-depth") {
+      time_depth = std::atoll(next());
     } else if (arg == "--list") {
       for (const auto& info : workload::all_benchmarks()) std::printf("%s\n", info.name.c_str());
       return 0;
@@ -115,16 +254,26 @@ int main(int argc, char** argv) {
     } else if (bench_name.empty()) {
       bench_name = arg;
     } else {
-      std::fprintf(stderr, "msc-prof: more than one benchmark named\n");
-      return 2;
+      extra_names.push_back(arg);  // --attribute takes any number of benchmarks
     }
   }
-  if (bench_name.empty()) {
+  if (!attribute && !extra_names.empty()) {
+    std::fprintf(stderr, "msc-prof: more than one benchmark named\n");
+    return 2;
+  }
+  if (bench_name.empty() && !attribute) {
     usage();
     return 2;
   }
 
   try {
+    if (attribute) {
+      std::vector<std::string> names;
+      if (!bench_name.empty()) names.push_back(bench_name);
+      names.insert(names.end(), extra_names.begin(), extra_names.end());
+      return run_attribution(std::move(names), grid_arg, steps, time_depth, attr_md_path,
+                             attr_json_path);
+    }
     const auto& info = workload::benchmark(bench_name);
     std::array<std::int64_t, 3> grid = info.ndim == 2 ? std::array<std::int64_t, 3>{64, 64, 0}
                                                       : std::array<std::int64_t, 3>{32, 32, 32};
