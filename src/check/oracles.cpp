@@ -221,9 +221,13 @@ OracleRun run_aot_oracle(const CaseSpec& spec, const OracleOptions& opts) {
   exec::run_scheduled_aot(prog->stencil(), prog->primary_schedule(), state, 1, spec.timesteps,
                           exec::Boundary::ZeroHalo, prog->bindings(), nullptr, &info, aopts);
   // A fallback result would vacuously match the scheduled oracle — the AOT
-  // oracle only passes when the dlopen'd module actually ran.
+  // oracle only passes when the dlopen'd module actually ran.  A quarantined
+  // plan (the circuit breaker tripped on an earlier compile crash/timeout)
+  // is called out separately: it means the compiler is broken for this plan,
+  // not merely absent.
   if (!info.aot) {
-    run.note = "aot fallback: " + info.fallback_reason;
+    run.note = std::string(info.quarantined ? "aot quarantined: " : "aot fallback: ") +
+               info.fallback_reason;
     return run;
   }
   finish(run, state, spec.timesteps);

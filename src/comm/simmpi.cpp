@@ -1,7 +1,7 @@
 #include "comm/simmpi.hpp"
 
+#include <algorithm>
 #include <cstddef>
-#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <thread>
@@ -12,6 +12,7 @@
 #include "prof/timeline.hpp"
 #include "resilience/checkpoint.hpp"
 #include "resilience/fault_plan.hpp"
+#include "support/env.hpp"
 #include "support/strings.hpp"
 
 namespace msc::comm {
@@ -22,6 +23,15 @@ namespace {
 /// was configured: chaos runs must never deadlock.
 constexpr double kInjectorDefaultTimeoutMs = 200.0;
 
+/// Wake-up slice for condvar sleeps when a cancel token is attached: an
+/// external cancel (watchdog) does not notify our condvars, so sleepers
+/// bound every wait by min(slice, remaining deadline) and re-poll.
+constexpr double kCancelPollSliceMs = 25.0;
+
+/// Self-limit for an injected hang when no cancel token is attached, so a
+/// hang rule without a watchdog cannot deadlock a test run.
+constexpr double kHangFallbackMs = 150.0;
+
 std::chrono::steady_clock::duration ms_duration(double ms) {
   return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
       std::chrono::duration<double, std::milli>(ms));
@@ -31,10 +41,8 @@ std::chrono::steady_clock::duration ms_duration(double ms) {
 
 CommConfig comm_config_from_env() {
   CommConfig cfg;
-  if (const char* env = std::getenv("MSC_COMM_TIMEOUT_MS")) {
-    const double ms = std::atof(env);
-    if (ms > 0.0) cfg.timeout_ms = ms;
-  }
+  const double ms = env_double("MSC_COMM_TIMEOUT_MS", 0.0, 0.0);
+  if (ms > 0.0) cfg.timeout_ms = ms;
   return cfg;
 }
 
@@ -108,6 +116,16 @@ void RankCtx::wait(Request& req) {
   const CommConfig& cfg = world_->comm_config();
   const bool resilient = world_->resilient();
   const double timeout_ms = world_->effective_timeout_ms();
+  const CancelToken* cancel = world_->cancel_token();
+  // Every condvar sleep below is clamped to min(its own wake time, the poll
+  // slice bounded by the token's remaining deadline) so a fired token is
+  // observed within one slice even though cancel() never notifies condvars.
+  const auto clamp_wake = [&](SimWorld::Clock::time_point until) {
+    if (cancel == nullptr) return until;
+    const auto slice =
+        SimWorld::Clock::now() + ms_duration(cancel->budget_ms(kCancelPollSliceMs));
+    return std::min(until, slice);
+  };
 
   int attempt = 0;
   bool have_deadline = false;
@@ -115,6 +133,7 @@ void RankCtx::wait(Request& req) {
 
   std::unique_lock lock(box.m);
   for (;;) {
+    if (cancel != nullptr) cancel->checkpoint_now("comm.wait");
     const std::uint64_t expected = box.delivered[req.tag];
     const auto now = SimWorld::Clock::now();
 
@@ -189,12 +208,15 @@ void RankCtx::wait(Request& req) {
     if (earliest_delay != SimWorld::Clock::time_point::max()) {
       // The in-order message exists but carries an injected delay: sleep
       // until it matures (no retry accounting, nothing was lost).
-      box.cv.wait_until(lock, earliest_delay);
+      box.cv.wait_until(lock, clamp_wake(earliest_delay));
       continue;
     }
 
     if (timeout_ms <= 0.0) {  // fault-free fast path: block forever
-      box.cv.wait(lock);
+      if (cancel == nullptr)
+        box.cv.wait(lock);
+      else
+        box.cv.wait_until(lock, clamp_wake(SimWorld::Clock::time_point::max()));
       continue;
     }
 
@@ -205,14 +227,18 @@ void RankCtx::wait(Request& req) {
       deadline = now + ms_duration(window);
       have_deadline = true;
     }
+    // A slice-clamped wake is not an escalation timeout: only expiry of the
+    // full retry window advances the ladder; slice wakes just re-poll.
+    const auto wake = clamp_wake(deadline);
     bool timed_out;
     if (attempt > 0) {
       // Backoff sleep of a retry rung: attributed as recovery time.
       prof::TimelineScope retry_span(rank_, prof::Phase::Retry);
-      timed_out = box.cv.wait_until(lock, deadline) == std::cv_status::timeout;
+      timed_out = box.cv.wait_until(lock, wake) == std::cv_status::timeout;
     } else {
-      timed_out = box.cv.wait_until(lock, deadline) == std::cv_status::timeout;
+      timed_out = box.cv.wait_until(lock, wake) == std::cv_status::timeout;
     }
+    timed_out = timed_out && wake >= deadline;
     if (!timed_out) continue;  // woken: rescan against the same deadline
 
     have_deadline = false;
@@ -220,12 +246,14 @@ void RankCtx::wait(Request& req) {
     prof::counter("comm.wait.timeouts").add(1);
     const auto esc = resilience::escalation_for_attempt(cfg.retry, attempt);
     if (esc == resilience::Escalation::Abort) {
-      MSC_FAIL() << "halo recv gave up: rank " << rank_ << " waited on peer " << req.peer
-                 << " tag " << req.tag << " seq " << expected << " through "
-                 << cfg.retry.max_retries << " retries + resync (base timeout "
-                 << timeout_ms << " ms); message presumed lost beyond the "
-                 << "retransmit horizon — check the fault plan or raise "
-                 << "MSC_COMM_TIMEOUT_MS";
+      throw CodedError(
+          ErrorCode::CommTimeout,
+          strprintf("halo recv gave up: rank %d waited on peer %d tag %d seq %llu "
+                    "through %d retries + resync (base timeout %g ms); message "
+                    "presumed lost beyond the retransmit horizon — check the fault "
+                    "plan or raise MSC_COMM_TIMEOUT_MS",
+                    rank_, req.peer, req.tag, static_cast<unsigned long long>(expected),
+                    cfg.retry.max_retries, timeout_ms));
     }
     const bool hit = resilient && world_->retransmit_locked(box, req.tag, expected);
     prof::counter(esc == resilience::Escalation::Resync ? "resilience.resyncs"
@@ -257,15 +285,29 @@ void RankCtx::barrier() {
                        rank_, f);
   };
   throw_if_failed();
+  const CancelToken* cancel = world_->cancel_token();
   const std::int64_t gen = world_->barrier_generation_;
   if (++world_->barrier_arrived_ == world_->size()) {
     world_->barrier_arrived_ = 0;
     ++world_->barrier_generation_;
     world_->barrier_cv_.notify_all();
   } else {
-    world_->barrier_cv_.wait(lock, [&] {
+    const auto done = [&] {
       return world_->barrier_generation_ != gen || world_->first_failed_rank() >= 0;
-    });
+    };
+    if (cancel == nullptr) {
+      world_->barrier_cv_.wait(lock, done);
+    } else {
+      // cancel() does not notify the barrier condvar; poll on a slice
+      // bounded by the remaining deadline.  The arrival count we already
+      // contributed stands, so peers still pass once everyone arrives.
+      while (!done()) {
+        cancel->checkpoint_now("comm.barrier");
+        world_->barrier_cv_.wait_until(
+            lock,
+            SimWorld::Clock::now() + ms_duration(cancel->budget_ms(kCancelPollSliceMs)));
+      }
+    }
     // Completion wins when both raced; otherwise we were woken by a failure.
     if (world_->barrier_generation_ == gen) throw_if_failed();
   }
@@ -276,6 +318,29 @@ void RankCtx::fault_hook(std::int64_t step) {
   if (injector == nullptr) return;
   const double stall = injector->stall_ms(rank_, step);
   if (stall > 0.0) std::this_thread::sleep_for(ms_duration(stall));
+  if (injector->should_hang(rank_, step)) {
+    // Simulated wedged compute thread: make no progress until the watchdog
+    // (or deadline) fires the world's cancel token, then convert the hang
+    // into a declared rank failure so checkpoint/restart recovery runs.
+    const CancelToken* cancel = world_->cancel_token();
+    const auto hung_at = SimWorld::Clock::now();
+    for (;;) {
+      const bool fired = cancel != nullptr && cancel->poll() != ErrorCode::Ok;
+      const bool fallback = cancel == nullptr &&
+                            SimWorld::Clock::now() - hung_at >= ms_duration(kHangFallbackMs);
+      if (fired || fallback) {
+        const std::uint64_t now = prof::flight_now_ns();
+        prof::global_flight().record(prof::FlightKind::Crash, now, now, rank_, step);
+        world_->declare_failed(rank_);
+        throw RankCrashed(
+            strprintf("rank %d hung at step %lld (%s)", rank_,
+                      static_cast<long long>(step),
+                      fired ? error_code_name(cancel->state()) : "hang fallback limit"),
+            rank_, step);
+      }
+      std::this_thread::sleep_for(ms_duration(1.0));
+    }
+  }
   if (injector->should_crash(rank_, step)) {
     // Instant marker in the flight recorder: crash dumps show exactly where
     // in the event stream the fault plan fired.
@@ -360,16 +425,24 @@ void SimWorld::run(const std::function<void(RankCtx&)>& body) {
         // Secondary casualty: this rank only failed because a peer did.
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         cascaded[static_cast<std::size_t>(r)] = 1;
+      } catch (const Cancelled&) {
+        // A shared token fires on every rank at once; prefer a genuine
+        // root cause (crash, hang) over the cancellation it provoked.
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        cascaded[static_cast<std::size_t>(r)] = 2;
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
       }
     });
   }
   for (auto& t : threads) t.join();
-  // Root cause first: a crash or genuine error beats the RankFailed
-  // cascade it triggered on the survivors.
+  // Root cause first: a crash or genuine error beats the Cancelled storm a
+  // watchdog raised on the other ranks, which in turn beats the RankFailed
+  // cascade the failure triggered on the survivors.
   for (std::size_t r = 0; r < errors.size(); ++r)
-    if (errors[r] && !cascaded[r]) std::rethrow_exception(errors[r]);
+    if (errors[r] && cascaded[r] == 0) std::rethrow_exception(errors[r]);
+  for (std::size_t r = 0; r < errors.size(); ++r)
+    if (errors[r] && cascaded[r] == 2) std::rethrow_exception(errors[r]);
   for (const auto& e : errors)
     if (e) std::rethrow_exception(e);
 }

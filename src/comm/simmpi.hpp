@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "resilience/retry.hpp"
+#include "support/cancel.hpp"
 #include "support/error.hpp"
 
 namespace msc::resilience {
@@ -82,7 +83,9 @@ struct CommConfig {
   std::uint64_t seed = 1;  ///< jitter stream seed (deterministic backoff)
 };
 
-/// Reads MSC_COMM_TIMEOUT_MS (unset or <= 0 keeps timeouts off).
+/// Reads MSC_COMM_TIMEOUT_MS (unset or 0 keeps timeouts off).  Negative or
+/// non-numeric values are rejected with one structured error line
+/// (support/env.hpp) and the fault-free default is kept.
 CommConfig comm_config_from_env();
 
 /// A pending nonblocking operation; resolved by RankCtx::wait.
@@ -126,7 +129,11 @@ class RankCtx {
 
   /// Per-timestep fault hook for the distributed drivers: injects a stall
   /// and/or raises RankCrashed (after declaring this rank failed) when the
-  /// attached fault plan says so.  No-op without an injector.
+  /// attached fault plan says so.  A `hang` rule wedges this rank until the
+  /// world's cancel token fires (watchdog/deadline), then declares it failed
+  /// and raises RankCrashed so the restart machinery takes over; without a
+  /// token the hang self-limits on a bounded fallback so tests cannot
+  /// deadlock.  No-op without an injector.
   void fault_hook(std::int64_t step);
 
  private:
@@ -150,6 +157,14 @@ class SimWorld {
   /// across crash/restart attempts).  nullptr detaches.
   void set_fault_injector(resilience::FaultInjector* injector) { injector_ = injector; }
   resilience::FaultInjector* fault_injector() const { return injector_; }
+
+  /// Attaches a shared cancellation token (not owned); nullptr detaches.
+  /// With a token attached, every blocked wait()/barrier() is clamped to the
+  /// remaining deadline budget and polls the token on a short slice, so a
+  /// fired token (deadline, watchdog, explicit cancel) raises Cancelled on
+  /// every rank instead of leaving sleepers wedged on their condvars.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+  const CancelToken* cancel_token() const { return cancel_; }
 
   /// True when the resilient envelope path (checksums + retransmit buffer)
   /// is active: a timeout is configured or an injector is attached.
@@ -205,6 +220,7 @@ class SimWorld {
 
   CommConfig config_;
   resilience::FaultInjector* injector_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
 
   mutable std::mutex failed_mutex_;
   std::vector<bool> failed_;

@@ -1,6 +1,8 @@
 #include "exec/aot_backend.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <map>
@@ -15,6 +17,7 @@
 #include "prof/flight.hpp"
 #include "prof/log.hpp"
 #include "prof/trace.hpp"
+#include "support/env.hpp"
 #include "support/shell.hpp"
 #include "support/strings.hpp"
 
@@ -31,6 +34,8 @@ const char* aot_fallback_slug(const std::string& reason) {
   if (has("halo exchange")) return "boundary";
   if (has("C compiler")) return "no_cc";
   if (has("not affine")) return "not_affine";
+  if (has("quarantined")) return "quarantined";
+  if (has("compile timed out")) return "compile_timeout";
   if (has("compile failed")) return "compile_failed";
   if (has("dlopen failed")) return "dlopen_failed";
   if (has("missing msc_aot_")) return "missing_symbols";
@@ -38,6 +43,44 @@ const char* aot_fallback_slug(const std::string& reason) {
   if (has("cannot write") || has("short write") || has("cannot publish"))
     return "cache_io";
   return "other";
+}
+
+namespace {
+
+// Circuit breaker state: plan hash -> why its compile was condemned.
+std::mutex g_breaker_mutex;
+std::map<std::string, std::string>& breaker() {
+  static std::map<std::string, std::string> b;
+  return b;
+}
+
+void quarantine_plan(const std::string& hash, const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(g_breaker_mutex);
+    breaker()[hash] = reason;
+  }
+  prof::counter("aot.breaker.quarantined").add(1);
+  prof::LogEvent(prof::LogLevel::Warn, "exec.aot", "plan quarantined")
+      .str("plan_hash", hash)
+      .str("reason", reason);
+}
+
+}  // namespace
+
+std::string aot_quarantine_reason(const std::string& plan_hash) {
+  std::lock_guard<std::mutex> lock(g_breaker_mutex);
+  const auto it = breaker().find(plan_hash);
+  return it != breaker().end() ? it->second : std::string();
+}
+
+int aot_quarantined_count() {
+  std::lock_guard<std::mutex> lock(g_breaker_mutex);
+  return static_cast<int>(breaker().size());
+}
+
+void aot_breaker_reset() {
+  std::lock_guard<std::mutex> lock(g_breaker_mutex);
+  breaker().clear();
 }
 
 namespace detail {
@@ -70,8 +113,11 @@ std::string compile_flags(const std::string& cc) {
   if (it != cache.end()) return it->second;
   std::string flags = "-O2 -std=c99 -fPIC -shared -ffp-contract=off";
   for (const char* probe : {"-march=native", "-mprefer-vector-width=256"}) {
+    // Bounded like host_cc_available: a wedged driver must cost a flag,
+    // not stall the pipeline ahead of the budgeted compile.
     const auto r = run_shell(shell_quote(cc) + " " + probe +
-                             " -E -x c /dev/null >/dev/null 2>&1");
+                                 " -E -x c /dev/null >/dev/null 2>&1",
+                             10000.0);
     if (r.ok) flags += std::string(" ") + probe;
   }
   cache.emplace(cc, flags);
@@ -145,7 +191,9 @@ int AotModule::live() { return g_live_modules.load(); }
 std::shared_ptr<AotModule> load_aot_module(const ir::StencilDef& st,
                                            const schedule::Schedule& sched,
                                            const Bindings& bindings, const AotOptions& opts,
-                                           AotExecInfo* info, std::string* why) {
+                                           AotExecInfo* info, std::string* why,
+                                           const CancelToken* cancel) {
+  if (cancel != nullptr) cancel->checkpoint_now("aot.emit");
   const auto lin = linearize_stencil(st, bindings);
   if (!lin.has_value()) {
     *why = "stencil is not affine (no linear form to specialize)";
@@ -160,12 +208,23 @@ std::shared_ptr<AotModule> load_aot_module(const ir::StencilDef& st,
                      std::to_string(codegen::kMscAotAbiVersion))));
   if (info != nullptr) info->plan_hash = hash;
 
+  // Circuit breaker gate: a plan whose compile already crashed or timed out
+  // must not re-enter the pipeline — even its disk cache is suspect, and a
+  // hung cc would stall every request touching the plan.
+  const std::string condemned = aot_quarantine_reason(hash);
+  if (!condemned.empty()) {
+    if (info != nullptr) info->quarantined = true;
+    *why = "plan quarantined (" + condemned + ")";
+    return nullptr;
+  }
+
   const fs::path dir = opts.cache_dir.empty() ? default_cache_dir() : fs::path(opts.cache_dir);
   const fs::path src = dir / (hash + ".c");
   const fs::path so = dir / (hash + ".so");
   if (info != nullptr) info->module_path = so.string();
 
   std::error_code ec;
+  if (cancel != nullptr) cancel->checkpoint_now("aot.cache_probe");
   {
     // Cache probe phase: the in-memory registry (shared dlopen handle for
     // bench loops and parallel oracles), then the on-disk object.  A stale
@@ -199,6 +258,21 @@ std::shared_ptr<AotModule> load_aot_module(const ir::StencilDef& st,
   }
 
   if (!write_file(src, source, why)) return nullptr;
+  if (cancel != nullptr) cancel->checkpoint_now("aot.compile");
+
+  // Compile budget: the option (0 = MSC_AOT_COMPILE_TIMEOUT_MS, default
+  // 120 s; negative = unbounded) clamped by the token's remaining deadline
+  // so a hung cc can outlive neither.  run_shell kills the whole process
+  // group on expiry.
+  double budget_ms = opts.compile_timeout_ms;
+  if (budget_ms == 0.0)
+    budget_ms = env_double("MSC_AOT_COMPILE_TIMEOUT_MS", 120000.0, 1.0);
+  if (budget_ms < 0.0) budget_ms = 0.0;  // run_shell: 0 = no timeout
+  if (cancel != nullptr) {
+    const double remain = cancel->budget_ms(budget_ms);
+    if (std::isfinite(remain)) budget_ms = std::max(1.0, remain);
+  }
+
   const fs::path tmp = so.string() + strprintf(".tmp.%d", static_cast<int>(::getpid()));
   const auto r = [&] {
     prof::TraceScope compile_scope("aot.compile", "aot");
@@ -206,12 +280,22 @@ std::shared_ptr<AotModule> load_aot_module(const ir::StencilDef& st,
                                      static_cast<std::int64_t>(source.size()));
     return run_shell(shell_quote(opts.cc) + " " + flags + " -o " +
                      shell_quote(tmp.string()) + " " + shell_quote(src.string()) +
-                     " -lm 2>&1");
+                     " -lm 2>&1",
+                     budget_ms);
   }();
   prof::counter("aot.compile").add(1);
   if (!r.ok) {
     fs::remove(tmp, ec);
+    if (r.timed_out) {
+      // Deadline-driven kill cancels the run; budget-driven kill condemns
+      // the plan and degrades.  Either way the cc process group is dead.
+      if (cancel != nullptr) cancel->checkpoint_now("aot.compile");
+      *why = strprintf("compile timed out after %.0f ms", budget_ms);
+      quarantine_plan(hash, *why);
+      return nullptr;
+    }
     *why = "compile failed (" + r.describe() + "): " + r.output;
+    if (r.signaled) quarantine_plan(hash, *why);
     return nullptr;
   }
   fs::rename(tmp, so, ec);  // atomic publish: concurrent compiles both win
@@ -221,6 +305,7 @@ std::shared_ptr<AotModule> load_aot_module(const ir::StencilDef& st,
     return nullptr;
   }
 
+  if (cancel != nullptr) cancel->checkpoint_now("aot.dlopen");
   auto mod = [&] {
     prof::TraceScope dlopen_scope("aot.dlopen", "aot");
     prof::FlightScope dlopen_flight(prof::FlightKind::AotDlopen);
@@ -239,7 +324,8 @@ template <typename T>
 void run_scheduled_aot(const ir::StencilDef& st, const schedule::Schedule& sched,
                        GridStorage<T>& state, std::int64_t t_begin, std::int64_t t_end,
                        Boundary bc, const Bindings& bindings, ExecStats* stats,
-                       AotExecInfo* info, const AotOptions& opts) {
+                       AotExecInfo* info, const AotOptions& opts,
+                       const CancelToken* cancel) {
   MSC_CHECK(t_begin <= t_end) << "empty time range";
 
   const auto fallback = [&](const std::string& reason) {
@@ -254,7 +340,9 @@ void run_scheduled_aot(const ir::StencilDef& st, const schedule::Schedule& sched
         .str("slug", slug)
         .str("reason", reason)
         .str("stencil", st.name());
-    run_scheduled(st, sched, state, t_begin, t_end, bc, bindings, stats);
+    // run_scheduled carries its own CancelGuard (all-or-nothing holds on
+    // the degraded path too) and produces bit-identical results.
+    run_scheduled(st, sched, state, t_begin, t_end, bc, bindings, stats, cancel);
   };
 
   if (bc != Boundary::ZeroHalo) {
@@ -276,7 +364,7 @@ void run_scheduled_aot(const ir::StencilDef& st, const schedule::Schedule& sched
         << "schedule extent mismatch in dim " << d;
 
   std::string why;
-  auto mod = detail::load_aot_module(st, sched, bindings, opts, info, &why);
+  auto mod = detail::load_aot_module(st, sched, bindings, opts, info, &why, cancel);
   if (mod == nullptr) {
     fallback(why);
     return;
@@ -287,6 +375,8 @@ void run_scheduled_aot(const ir::StencilDef& st, const schedule::Schedule& sched
   MSC_CHECK(mod->window == state.slots())
       << "AOT module window " << mod->window << " vs grid " << state.slots();
 
+  detail::CancelGuard<T> guard(state, cancel);
+  try {
   // The kernel writes interior cells only, so zeroing every ring slot's
   // halo once up front is equivalent to the per-step fill of run_scheduled
   // (zero halos are idempotent) — same reasoning as the temporal engine.
@@ -307,7 +397,18 @@ void run_scheduled_aot(const ir::StencilDef& st, const schedule::Schedule& sched
         lin.has_value() ? lin->terms.size() : 0,
         static_cast<std::uint64_t>(plan.tiles_per_step), /*extra=*/0xA07));
     prof::FlightScope flight_run(prof::FlightKind::AotRun, t_end - t_begin + 1);
-    mod->run(slots.data(), static_cast<long>(t_begin), static_cast<long>(t_end));
+    if (cancel != nullptr) {
+      // Cooperative cancellation cannot interrupt compiled code, so bound
+      // its latency by dispatching one timestep per call with a checkpoint
+      // between steps.  Per-step calls produce bit-identical results: each
+      // step reads only completed ring slots.
+      for (std::int64_t t = t_begin; t <= t_end; ++t) {
+        cancel->checkpoint_now("aot.run");
+        mod->run(slots.data(), static_cast<long>(t), static_cast<long>(t));
+      }
+    } else {
+      mod->run(slots.data(), static_cast<long>(t_begin), static_cast<long>(t_end));
+    }
   }
   if (info != nullptr) info->aot = true;
 
@@ -323,15 +424,19 @@ void run_scheduled_aot(const ir::StencilDef& st, const schedule::Schedule& sched
     stats->points_updated += points;
     stats->flops += flops;
   }
+  } catch (const Cancelled&) {
+    guard.restore();
+    throw;
+  }
 }
 
 template void run_scheduled_aot<float>(const ir::StencilDef&, const schedule::Schedule&,
                                        GridStorage<float>&, std::int64_t, std::int64_t,
                                        Boundary, const Bindings&, ExecStats*, AotExecInfo*,
-                                       const AotOptions&);
+                                       const AotOptions&, const CancelToken*);
 template void run_scheduled_aot<double>(const ir::StencilDef&, const schedule::Schedule&,
                                         GridStorage<double>&, std::int64_t, std::int64_t,
                                         Boundary, const Bindings&, ExecStats*, AotExecInfo*,
-                                        const AotOptions&);
+                                        const AotOptions&, const CancelToken*);
 
 }  // namespace msc::exec

@@ -34,9 +34,24 @@ namespace msc::exec {
 
 /// Stable slug classifying a fallback reason string — the suffix of the
 /// labelled counter `aot.fallback.<slug>` (boundary, no_cc, not_affine,
-/// compile_failed, dlopen_failed, missing_symbols, abi_mismatch, cache_io,
-/// other).  msc-conform prints these counters when an AOT oracle fails.
+/// compile_failed, compile_timeout, quarantined, dlopen_failed,
+/// missing_symbols, abi_mismatch, cache_io, other).  msc-conform prints
+/// these counters when an AOT oracle fails.
 const char* aot_fallback_slug(const std::string& reason);
+
+/// Circuit breaker over the AOT pipeline, keyed by plan hash.  A plan whose
+/// compile crashed or exceeded its time budget is quarantined: every later
+/// attempt skips the pipeline entirely and degrades to the sweep engine
+/// with a counted `aot.fallback.quarantined` reason (re-running a compiler
+/// that just hung would stall every request touching the plan).
+/// Returns the quarantine reason, or empty when the plan is clear.
+std::string aot_quarantine_reason(const std::string& plan_hash);
+
+/// Number of quarantined plans (tests / ops visibility).
+int aot_quarantined_count();
+
+/// Clears the breaker (tests; a fixed compiler deserves a fresh chance).
+void aot_breaker_reset();
 
 namespace detail {
 
@@ -66,32 +81,42 @@ class AotModule {
 
 /// Emits, compiles (or reuses), and loads the module for one stencil +
 /// schedule.  Returns nullptr with `why` set on any failure — callers
-/// decide whether that means skip, fallback, or error.
+/// decide whether that means skip, fallback, or error.  `cancel` is polled
+/// between pipeline stages (probe / emit / compile / dlopen); the compile
+/// itself runs under min(compile budget, remaining deadline) so a hung cc
+/// cannot outlive either.  A fired token throws Cancelled.
 std::shared_ptr<AotModule> load_aot_module(const ir::StencilDef& st,
                                            const schedule::Schedule& sched,
                                            const Bindings& bindings, const AotOptions& opts,
-                                           AotExecInfo* info, std::string* why);
+                                           AotExecInfo* info, std::string* why,
+                                           const CancelToken* cancel = nullptr);
 
 }  // namespace detail
 
 /// AOT executor: same numerics as run_scheduled — bit-identical for every
 /// dtype — dispatched through the dlopen'd specialized kernel.  Boundaries
-/// other than ZeroHalo, a missing cc, or a compile failure fall back to
-/// run_scheduled and report it via `info` (and the aot.fallback counter).
+/// other than ZeroHalo, a missing cc, a compile failure, or a quarantined
+/// plan fall back to run_scheduled and report it via `info` (and the
+/// aot.fallback counter).  With `cancel` attached the compiled kernel is
+/// dispatched one timestep at a time with a checkpoint between steps, and
+/// a fired token restores the grid (all-or-nothing) before Cancelled
+/// escapes; a null token dispatches the whole range in one call.
 template <typename T>
 void run_scheduled_aot(const ir::StencilDef& st, const schedule::Schedule& sched,
                        GridStorage<T>& state, std::int64_t t_begin, std::int64_t t_end,
                        Boundary bc, const Bindings& bindings = {}, ExecStats* stats = nullptr,
-                       AotExecInfo* info = nullptr, const AotOptions& opts = {});
+                       AotExecInfo* info = nullptr, const AotOptions& opts = {},
+                       const CancelToken* cancel = nullptr);
 
 extern template void run_scheduled_aot<float>(const ir::StencilDef&, const schedule::Schedule&,
                                               GridStorage<float>&, std::int64_t, std::int64_t,
                                               Boundary, const Bindings&, ExecStats*,
-                                              AotExecInfo*, const AotOptions&);
+                                              AotExecInfo*, const AotOptions&,
+                                              const CancelToken*);
 extern template void run_scheduled_aot<double>(const ir::StencilDef&,
                                                const schedule::Schedule&, GridStorage<double>&,
                                                std::int64_t, std::int64_t, Boundary,
                                                const Bindings&, ExecStats*, AotExecInfo*,
-                                               const AotOptions&);
+                                               const AotOptions&, const CancelToken*);
 
 }  // namespace msc::exec

@@ -17,6 +17,11 @@ struct AotOptions {
   std::string cc = "cc";        ///< host C compiler driver
   std::string cache_dir;        ///< empty = <tmp>/msc_aot_cache
   bool force_recompile = false; ///< ignore (and overwrite) cached objects
+  /// Compile budget in ms: on expiry the cc process group is killed, the
+  /// plan is quarantined by the circuit breaker, and the run degrades to
+  /// the sweep engine.  0 = take MSC_AOT_COMPILE_TIMEOUT_MS (default
+  /// 120000); negative = wait forever.
+  double compile_timeout_ms = 0.0;
 };
 
 /// What run_scheduled_aot actually executed, plus cache provenance.
@@ -24,6 +29,7 @@ struct AotExecInfo {
   bool aot = false;             ///< compiled module ran (vs reported fallback)
   std::string fallback_reason;  ///< non-empty iff aot == false
   bool cache_hit = false;       ///< reused an on-disk .so (no cc invocation)
+  bool quarantined = false;     ///< circuit breaker routed this plan around AOT
   std::string plan_hash;        ///< cache key of the emitted kernel
   std::string module_path;      ///< the dlopen'd shared object
 };

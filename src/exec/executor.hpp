@@ -19,6 +19,7 @@
 // reading the slots of t-1, t-2, ... per the stencil's time terms.  The
 // caller seeds the initial slots (t_begin-1 .. t_begin-window+1).
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <optional>
@@ -34,6 +35,7 @@
 #include "prof/flight.hpp"
 #include "prof/trace.hpp"
 #include "schedule/schedule.hpp"
+#include "support/cancel.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
@@ -61,6 +63,43 @@ std::optional<LinearKernel> linearize_stencil(const ir::StencilDef& st,
 template <typename T>
 using AuxGrids = std::map<std::string, const GridStorage<T>*>;
 
+namespace detail {
+
+/// All-or-nothing cancellation guard: snapshots every ring slot (halos
+/// included) once at run entry, and restore() puts them back so a cancelled
+/// run leaves the grid bit-identical to its pre-run state.  Armed only when
+/// a CancelToken is attached — uncancellable runs pay a single null test.
+/// One snapshot per run (not per step) keeps the armed-token overhead
+/// amortized across the whole time range, inside the <=2% hot-path budget.
+template <typename T>
+class CancelGuard {
+ public:
+  CancelGuard(GridStorage<T>& state, const CancelToken* cancel) {
+    if (cancel == nullptr) return;
+    state_ = &state;
+    const auto per_slot = static_cast<std::size_t>(state.padded_points());
+    backup_.resize(static_cast<std::size_t>(state.slots()) * per_slot);
+    for (int s = 0; s < state.slots(); ++s)
+      std::copy_n(state.slot_data(s), per_slot,
+                  backup_.data() + static_cast<std::size_t>(s) * per_slot);
+  }
+
+  /// Restores every slot from the entry snapshot.  No-op when unarmed.
+  void restore() {
+    if (state_ == nullptr) return;
+    const auto per_slot = static_cast<std::size_t>(state_->padded_points());
+    for (int s = 0; s < state_->slots(); ++s)
+      std::copy_n(backup_.data() + static_cast<std::size_t>(s) * per_slot, per_slot,
+                  state_->slot_data(s));
+  }
+
+ private:
+  GridStorage<T>* state_ = nullptr;
+  std::vector<T> backup_;
+};
+
+}  // namespace detail
+
 /// Serial reference executor (ground truth).  Affine stencils run through
 /// the row-sweep engine on a single full-interior tile; stencils outside
 /// the affine fragment fall back to the per-point expression evaluator.
@@ -68,12 +107,15 @@ using AuxGrids = std::map<std::string, const GridStorage<T>*>;
 template <typename T>
 void run_reference(const ir::StencilDef& st, GridStorage<T>& state, std::int64_t t_begin,
                    std::int64_t t_end, Boundary bc, const Bindings& bindings = {},
-                   ExecStats* stats = nullptr, const AuxGrids<T>& aux = {}) {
+                   ExecStats* stats = nullptr, const AuxGrids<T>& aux = {},
+                   const CancelToken* cancel = nullptr) {
   MSC_CHECK(t_begin <= t_end) << "empty time range";
   MSC_CHECK(state.tensor()->name() == st.state()->name())
       << "grid '" << state.tensor()->name() << "' is not the stencil state '"
       << st.state()->name() << "'";
 
+  detail::CancelGuard<T> guard(state, cancel);
+  try {
   // Seed halos of the initial window slots.
   for (int back = 1; back < st.time_window(); ++back)
     state.fill_halo(state.slot_for_time(t_begin - back), bc);
@@ -92,10 +134,13 @@ void run_reference(const ir::StencilDef& st, GridStorage<T>& state, std::int64_t
 
     if (lin.has_value()) {
       const auto terms = resolve_terms(*lin, state, t);
-      const SweepStats swept = run_sweep(plan, state, out, terms);
+      const SweepStats swept = run_sweep(plan, state, out, terms, cancel);
       if (stats != nullptr)
         stats->flops += 2 * static_cast<std::int64_t>(terms.size()) * swept.points;
     } else {
+      // The generic evaluator has no tile structure; step granularity is
+      // the checkpoint unit.
+      if (cancel != nullptr) cancel->checkpoint_now("reference.step");
       // Generic path: evaluate each time term's kernel RHS per point.
       state.for_each_interior([&](std::array<std::int64_t, 3> c) {
         double acc = 0.0;
@@ -127,6 +172,10 @@ void run_reference(const ir::StencilDef& st, GridStorage<T>& state, std::int64_t
       stats->points_updated += state.tensor()->interior_points();
     }
   }
+  } catch (const Cancelled&) {
+    guard.restore();
+    throw;
+  }
 }
 
 /// Scheduled executor: same numerics as run_reference, loop structure and
@@ -134,7 +183,8 @@ void run_reference(const ir::StencilDef& st, GridStorage<T>& state, std::int64_t
 template <typename T>
 void run_scheduled(const ir::StencilDef& st, const schedule::Schedule& sched,
                    GridStorage<T>& state, std::int64_t t_begin, std::int64_t t_end, Boundary bc,
-                   const Bindings& bindings = {}, ExecStats* stats = nullptr) {
+                   const Bindings& bindings = {}, ExecStats* stats = nullptr,
+                   const CancelToken* cancel = nullptr) {
   MSC_CHECK(t_begin <= t_end) << "empty time range";
   const auto lin = linearize_stencil(st, bindings);
   MSC_CHECK(lin.has_value())
@@ -151,6 +201,8 @@ void run_scheduled(const ir::StencilDef& st, const schedule::Schedule& sched,
       static_cast<std::uint64_t>(plan.extent[2]), lin->terms.size(),
       static_cast<std::uint64_t>(plan.tiles_per_step)));
 
+  detail::CancelGuard<T> guard(state, cancel);
+  try {
   for (int back = 1; back < st.time_window(); ++back)
     state.fill_halo(state.slot_for_time(t_begin - back), bc);
 
@@ -163,7 +215,7 @@ void run_scheduled(const ir::StencilDef& st, const schedule::Schedule& sched,
     T* out = state.slot_data(out_slot);
 
     const auto terms = resolve_terms(*lin, state, t);
-    const SweepStats swept = run_sweep(sweep, state, out, terms);
+    const SweepStats swept = run_sweep(sweep, state, out, terms, cancel);
     flight_step.set_a(swept.points);
 
     state.fill_halo(out_slot, bc);
@@ -180,6 +232,10 @@ void run_scheduled(const ir::StencilDef& st, const schedule::Schedule& sched,
       stats->staged_bytes_in += plan.tiles_per_step * plan.tile_bytes_read;
       stats->staged_bytes_out += plan.tiles_per_step * plan.tile_bytes_write;
     }
+  }
+  } catch (const Cancelled&) {
+    guard.restore();
+    throw;
   }
 }
 
@@ -209,7 +265,8 @@ void run_scheduled_temporal(const ir::StencilDef& st, const schedule::Schedule& 
                             GridStorage<T>& state, std::int64_t t_begin, std::int64_t t_end,
                             Boundary bc, const Bindings& bindings = {},
                             ExecStats* stats = nullptr, TemporalExecInfo* info = nullptr,
-                            const TemporalOptions& topts = {}) {
+                            const TemporalOptions& topts = {},
+                            const CancelToken* cancel = nullptr) {
   MSC_CHECK(t_begin <= t_end) << "empty time range";
   if (bc != Boundary::ZeroHalo) {
     if (info != nullptr) {
@@ -218,7 +275,9 @@ void run_scheduled_temporal(const ir::StencilDef& st, const schedule::Schedule& 
                               "' needs a per-step halo exchange";
     }
     prof::counter("sweep.temporal.fallback").add(1);
-    run_scheduled(st, sched, state, t_begin, t_end, bc, bindings, stats);
+    // run_scheduled carries its own CancelGuard, so the all-or-nothing
+    // contract holds on the fallback path too.
+    run_scheduled(st, sched, state, t_begin, t_end, bc, bindings, stats, cancel);
     return;
   }
 
@@ -244,21 +303,28 @@ void run_scheduled_temporal(const ir::StencilDef& st, const schedule::Schedule& 
     info->dep_span = tplan.dep_span;
   }
 
-  // Zero halos are idempotent: zero every ring slot's halo once up front.
-  // Sweeps never write halo cells, so every read — and the final grid,
-  // halos included — sees exactly the halo state the per-step engines
-  // produce with their per-step fill.
-  for (int s = 0; s < state.slots(); ++s) state.fill_halo(s, bc);
+  detail::CancelGuard<T> guard(state, cancel);
+  SweepStats swept;
+  try {
+    // Zero halos are idempotent: zero every ring slot's halo once up front.
+    // Sweeps never write halo cells, so every read — and the final grid,
+    // halos included — sees exactly the halo state the per-step engines
+    // produce with their per-step fill.
+    for (int s = 0; s < state.slots(); ++s) state.fill_halo(s, bc);
 
-  prof::TraceScope scope("run_scheduled_temporal", "exec");
-  scope.arg("t_begin", static_cast<double>(t_begin));
-  scope.arg("t_end", static_cast<double>(t_end));
-  const prof::FlightPlanScope flight_plan(prof::plan_fingerprint(
-      static_cast<std::uint64_t>(plan.extent[0]), static_cast<std::uint64_t>(plan.extent[1]),
-      static_cast<std::uint64_t>(plan.extent[2]), lin->terms.size(),
-      static_cast<std::uint64_t>(plan.tiles_per_step),
-      static_cast<std::uint64_t>(tplan.wedge_depth)));
-  const SweepStats swept = run_temporal_sweep(tplan, *lin, state, topts.pool);
+    prof::TraceScope scope("run_scheduled_temporal", "exec");
+    scope.arg("t_begin", static_cast<double>(t_begin));
+    scope.arg("t_end", static_cast<double>(t_end));
+    const prof::FlightPlanScope flight_plan(prof::plan_fingerprint(
+        static_cast<std::uint64_t>(plan.extent[0]), static_cast<std::uint64_t>(plan.extent[1]),
+        static_cast<std::uint64_t>(plan.extent[2]), lin->terms.size(),
+        static_cast<std::uint64_t>(plan.tiles_per_step),
+        static_cast<std::uint64_t>(tplan.wedge_depth)));
+    swept = run_temporal_sweep(tplan, *lin, state, topts.pool, cancel);
+  } catch (const Cancelled&) {
+    guard.restore();
+    throw;
+  }
 
   const std::int64_t nsteps = t_end - t_begin + 1;
   const std::int64_t flops = 2 * static_cast<std::int64_t>(lin->terms.size()) * swept.points;

@@ -185,7 +185,8 @@ template void sweep_row<double>(double*, std::int64_t, std::int64_t,
 
 template <typename T>
 SweepStats run_sweep(const SweepPlan& plan, const GridStorage<T>& state, T* out,
-                     const std::vector<detail::ResolvedTerm<T>>& terms) {
+                     const std::vector<detail::ResolvedTerm<T>>& terms,
+                     const CancelToken* cancel) {
   MSC_CHECK(plan.ndim == state.ndim()) << "sweep plan rank mismatch";
   SweepStats total;
   const auto ntiles = static_cast<std::int64_t>(plan.tiles.size());
@@ -198,8 +199,13 @@ SweepStats run_sweep(const SweepPlan& plan, const GridStorage<T>& state, T* out,
       // tile size, so the recorder stays inside its overhead budget.
       prof::FlightScope flight(prof::FlightKind::RowChunk, 0, hi - lo);
       SweepStats local;
-      for (std::int64_t n = lo; n < hi; ++n)
+      for (std::int64_t n = lo; n < hi; ++n) {
+        // Row-chunk-granularity cancellation: one relaxed load per tile on
+        // the armed path, a single null test otherwise.  The throw unwinds
+        // through parallel_for, which rethrows Cancelled on the caller.
+        if (cancel != nullptr) cancel->checkpoint("sweep.row_chunk");
         detail::sweep_tile(plan.tiles[static_cast<std::size_t>(n)], state, out, terms, local);
+      }
       local.tiles = hi - lo;
       flight.set_a(local.points);
       std::lock_guard<std::mutex> lock(merge);
@@ -209,7 +215,10 @@ SweepStats run_sweep(const SweepPlan& plan, const GridStorage<T>& state, T* out,
     });
   } else {
     prof::FlightScope flight(prof::FlightKind::RowChunk, 0, ntiles);
-    for (const auto& tile : plan.tiles) detail::sweep_tile(tile, state, out, terms, total);
+    for (const auto& tile : plan.tiles) {
+      if (cancel != nullptr) cancel->checkpoint("sweep.row_chunk");
+      detail::sweep_tile(tile, state, out, terms, total);
+    }
     total.tiles = ntiles;
     flight.set_a(total.points);
   }
@@ -217,9 +226,11 @@ SweepStats run_sweep(const SweepPlan& plan, const GridStorage<T>& state, T* out,
 }
 
 template SweepStats run_sweep<float>(const SweepPlan&, const GridStorage<float>&, float*,
-                                     const std::vector<detail::ResolvedTerm<float>>&);
+                                     const std::vector<detail::ResolvedTerm<float>>&,
+                                     const CancelToken*);
 template SweepStats run_sweep<double>(const SweepPlan&, const GridStorage<double>&,
                                       double*,
-                                      const std::vector<detail::ResolvedTerm<double>>&);
+                                      const std::vector<detail::ResolvedTerm<double>>&,
+                                      const CancelToken*);
 
 }  // namespace msc::exec

@@ -35,6 +35,7 @@
 #include "exec/grid.hpp"
 #include "exec/linearize.hpp"
 #include "schedule/schedule.hpp"
+#include "support/cancel.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
@@ -381,15 +382,23 @@ std::vector<detail::ResolvedTerm<T>> resolve_terms(const LinearKernel& lin,
 /// Per-chunk stats are merged exactly once per chunk.  Out-of-line for the
 /// same reason as detail::sweep_row — one canonical, well-optimized copy
 /// of the tile kernels, independent of what else the caller's TU contains.
+///
+/// `cancel`, when non-null, is polled at row-chunk granularity (before each
+/// tile); a fired token throws Cancelled out of the sweep, leaving the
+/// current output slot partially written — callers that expose cancellation
+/// (exec::run_scheduled and friends) wrap the whole run in a slot snapshot
+/// so the caller-visible contract stays all-or-nothing.
 template <typename T>
 SweepStats run_sweep(const SweepPlan& plan, const GridStorage<T>& state, T* out,
-                     const std::vector<detail::ResolvedTerm<T>>& terms);
+                     const std::vector<detail::ResolvedTerm<T>>& terms,
+                     const CancelToken* cancel = nullptr);
 
 extern template SweepStats run_sweep<float>(const SweepPlan&, const GridStorage<float>&,
                                             float*,
-                                            const std::vector<detail::ResolvedTerm<float>>&);
+                                            const std::vector<detail::ResolvedTerm<float>>&,
+                                            const CancelToken*);
 extern template SweepStats run_sweep<double>(
     const SweepPlan&, const GridStorage<double>&, double*,
-    const std::vector<detail::ResolvedTerm<double>>&);
+    const std::vector<detail::ResolvedTerm<double>>&, const CancelToken*);
 
 }  // namespace msc::exec

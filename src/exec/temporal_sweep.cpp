@@ -66,7 +66,8 @@ void run_wedge_step(const WedgeStep& ws, const StepCtx<T>& ctx, const GridStorag
 
 template <typename T>
 void run_block(const TemporalPlan& plan, const WedgeSet& set, const LinearKernel& lin,
-               GridStorage<T>& state, std::int64_t t0, ThreadPool& pool, SweepStats& total) {
+               GridStorage<T>& state, std::int64_t t0, ThreadPool& pool, SweepStats& total,
+               const CancelToken* cancel) {
   prof::TraceScope block_scope("temporal.block", "exec");
   block_scope.arg("t0", static_cast<double>(t0));
   block_scope.arg("depth", static_cast<double>(set.depth));
@@ -93,6 +94,9 @@ void run_block(const TemporalPlan& plan, const WedgeSet& set, const LinearKernel
     std::int64_t wedges_run = 0, steps_run = 0;
     for (const auto& wedge : set.wedges) {
       if (wedge.steps.empty()) continue;
+      // Wedge-boundary cancellation: a wedge is the natural unit after
+      // which the in-place ring rotation is self-consistent again.
+      if (cancel != nullptr) cancel->checkpoint("temporal.wedge");
       prof::TraceScope wedge_scope("temporal.wedge", "exec");
       wedge_scope.arg("w", static_cast<double>(wedge.index));
       prof::FlightScope wedge_flight(prof::FlightKind::Wedge, wedge.index,
@@ -144,6 +148,7 @@ void run_block(const TemporalPlan& plan, const WedgeSet& set, const LinearKernel
     for (std::int64_t c = cb; c < ce; ++c) {
       try {
         for (std::int64_t s = 0; s < set.depth; ++s) {
+          if (cancel != nullptr) cancel->checkpoint("temporal.wedge");
           // Flight span only when a predecessor actually makes us spin, so
           // uncontended levels cost zero wait events.
           bool waited = false;
@@ -155,6 +160,11 @@ void run_block(const TemporalPlan& plan, const WedgeSet& set, const LinearKernel
                 wait_start = prof::flight_now_ns();
               }
               if (failed.load(std::memory_order_relaxed)) break;
+              // The spin must poll too: if the predecessor chunk stopped
+              // because the token fired, nobody will ever advance done[p].
+              // The throw lands in the catch below, which poisons our own
+              // counters so downstream waiters drain the same way.
+              if (cancel != nullptr) cancel->checkpoint("temporal.wedge_wait");
               std::this_thread::yield();
             }
           }
@@ -254,22 +264,26 @@ TemporalPlan lower_temporal(const LoopPlan& plan, std::int64_t time_window, std:
 
 template <typename T>
 SweepStats run_temporal_sweep(const TemporalPlan& plan, const LinearKernel& lin,
-                              GridStorage<T>& state, ThreadPool* pool) {
+                              GridStorage<T>& state, ThreadPool* pool,
+                              const CancelToken* cancel) {
   MSC_CHECK(plan.ndim == state.ndim()) << "temporal plan rank mismatch";
   ThreadPool& tp = pool != nullptr ? *pool : global_pool();
   SweepStats total;
   std::int64_t t = plan.t_begin;
   for (std::int64_t b = 0; b < plan.full_blocks; ++b) {
-    run_block(plan, plan.full, lin, state, t, tp, total);
+    run_block(plan, plan.full, lin, state, t, tp, total, cancel);
     t += plan.wedge_depth;
   }
-  if (plan.remainder.depth > 0) run_block(plan, plan.remainder, lin, state, t, tp, total);
+  if (plan.remainder.depth > 0)
+    run_block(plan, plan.remainder, lin, state, t, tp, total, cancel);
   return total;
 }
 
 template SweepStats run_temporal_sweep<float>(const TemporalPlan&, const LinearKernel&,
-                                              GridStorage<float>&, ThreadPool*);
+                                              GridStorage<float>&, ThreadPool*,
+                                              const CancelToken*);
 template SweepStats run_temporal_sweep<double>(const TemporalPlan&, const LinearKernel&,
-                                               GridStorage<double>&, ThreadPool*);
+                                               GridStorage<double>&, ThreadPool*,
+                                               const CancelToken*);
 
 }  // namespace msc::exec

@@ -124,15 +124,25 @@ TemporalPlan lower_temporal(const LoopPlan& plan, std::int64_t time_window,
 /// slots.  Serial fast path sweeps wedge-major; parallel plans run the
 /// chunk-level wavefront DAG over `pool` (nullptr = global_pool()).
 /// Emits wedge-level trace spans and the sweep.temporal.* counters.
+///
+/// `cancel`, when non-null, is polled at wedge boundaries and inside the
+/// done-counter spin of the parallel wavefront (a cancelled run must not
+/// keep spinning on a predecessor that itself stopped).  A fired token
+/// poisons the wavefront counters exactly like a worker exception and
+/// throws Cancelled; exec::run_scheduled_temporal restores the ring slots
+/// so the caller-visible contract is all-or-nothing.
 template <typename T>
 SweepStats run_temporal_sweep(const TemporalPlan& plan, const LinearKernel& lin,
-                              GridStorage<T>& state, ThreadPool* pool = nullptr);
+                              GridStorage<T>& state, ThreadPool* pool = nullptr,
+                              const CancelToken* cancel = nullptr);
 
 extern template SweepStats run_temporal_sweep<float>(const TemporalPlan&,
                                                      const LinearKernel&,
-                                                     GridStorage<float>&, ThreadPool*);
+                                                     GridStorage<float>&, ThreadPool*,
+                                                     const CancelToken*);
 extern template SweepStats run_temporal_sweep<double>(const TemporalPlan&,
                                                       const LinearKernel&,
-                                                      GridStorage<double>&, ThreadPool*);
+                                                      GridStorage<double>&, ThreadPool*,
+                                                      const CancelToken*);
 
 }  // namespace msc::exec

@@ -18,10 +18,17 @@ const char* log_level_name(LogLevel level) {
 }
 
 LogLevel parse_log_level(const std::string& text) {
+  bool known = false;
+  return parse_log_level(text, &known);
+}
+
+LogLevel parse_log_level(const std::string& text, bool* known) {
+  *known = true;
   std::string lower;
   lower.reserve(text.size());
   for (char c : text)
     lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+  if (lower == "off") return LogLevel::Off;
   if (lower == "error") return LogLevel::Error;
   if (lower == "warn" || lower == "warning") return LogLevel::Warn;
   if (lower == "info") return LogLevel::Info;
@@ -29,14 +36,27 @@ LogLevel parse_log_level(const std::string& text) {
   if (lower == "trace") return LogLevel::Trace;
   if (lower.size() == 1 && lower[0] >= '0' && lower[0] <= '5')
     return static_cast<LogLevel>(lower[0] - '0');
+  *known = false;
   return LogLevel::Off;
 }
 
 void Logger::configure_from_env() {
   const char* level = std::getenv("MSC_LOG_LEVEL");
-  set_level(level != nullptr ? parse_log_level(level) : LogLevel::Off);
+  bool known = true;
+  set_level(level != nullptr ? parse_log_level(level, &known) : LogLevel::Off);
   const char* file = std::getenv("MSC_LOG_FILE");
   set_file(file != nullptr ? file : "");
+  if (!known && level != nullptr && *level != '\0') {
+    // Forced through write() so a fat-fingered knob is visible (and
+    // capturable) even though the level it tried to set is now Off.
+    workload::Json fields = workload::Json::object();
+    fields["code"] = workload::Json::string("invalid_config");
+    fields["var"] = workload::Json::string("MSC_LOG_LEVEL");
+    fields["value"] = workload::Json::string(level);
+    fields["fallback"] = workload::Json::string("off");
+    write(LogLevel::Error, "env", "not a log level (error|warn|info|debug|trace or 0-5)",
+          std::move(fields));
+  }
 }
 
 void Logger::set_file(const std::string& path) {

@@ -38,6 +38,10 @@ const char* log_level_name(LogLevel level);
 /// Parses a level name or a 0-5 digit; unknown strings map to Off.
 LogLevel parse_log_level(const std::string& text);
 
+/// Validating overload: `*known` is false when `text` was not a recognised
+/// level (configure_from_env uses it to reject garbage MSC_LOG_LEVEL loudly).
+LogLevel parse_log_level(const std::string& text, bool* known);
+
 class Logger {
  public:
   /// Reads MSC_LOG_LEVEL / MSC_LOG_FILE.  Called by the constructor; tests

@@ -3,16 +3,23 @@
 #include <array>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 
 #include "comm/decompose.hpp"
 #include "comm/halo_exchange.hpp"
 #include "comm/simmpi.hpp"
+#include "dsl/program.hpp"
+#include "exec/aot_backend.hpp"
+#include "exec/executor.hpp"
 #include "exec/grid.hpp"
 #include "frontend/spec.hpp"
 #include "prof/counters.hpp"
 #include "prof/flight.hpp"
 #include "prof/log.hpp"
 #include "resilience/driver.hpp"
+#include "resilience/watchdog.hpp"
+#include "support/cancel.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "workload/stencils.hpp"
@@ -84,6 +91,27 @@ FaultPlan scenario_plan(const ChaosScenario& sc) {
       plan.rules.push_back(r);
       return plan;
     }
+    case FaultKind::Hang: {
+      // A compute thread wedges after the first checkpoint; only the
+      // watchdog's cancel converts it into a restartable rank failure.
+      FaultPlan plan;
+      plan.seed = sc.seed;
+      FaultRule r;
+      r.kind = FaultKind::Hang;
+      r.rank = sc.nranks - 1;
+      r.at_step = sc.ckpt_every + 1;
+      plan.rules.push_back(r);
+      return plan;
+    }
+    case FaultKind::CcHang: {
+      FaultPlan plan;
+      plan.seed = sc.seed;
+      FaultRule r;
+      r.kind = FaultKind::CcHang;
+      r.delay_ms = 30000.0;  // far past the compile budget; killed, not awaited
+      plan.rules.push_back(r);
+      return plan;
+    }
     default: return make_message_fault_plan(sc.kind, sc.seed, 3);
   }
 }
@@ -137,6 +165,97 @@ void run_world(comm::SimWorld& world, const comm::CartDecomp& dec, const ir::Ste
   });
 }
 
+/// The cc_hang scenario is host-only: no ranks, no transport.  It proves
+/// the AOT compile budget + circuit breaker chain end to end — a hanging
+/// host compiler is killed at the budget, the run degrades to the sweep
+/// engine bit-exactly, and the second attempt is routed around the
+/// compiler entirely by the quarantine.
+ChaosResult run_cc_hang_scenario(const ChaosScenario& sc) {
+  namespace fs = std::filesystem;
+  ChaosResult res;
+  res.scenario = sc;
+
+  auto prog = chaos_program(sc.workload);
+  const auto& st = prog->stencil();
+  const auto& sched = prog->primary_schedule();
+
+  exec::GridStorage<double> oracle(st.state());
+  exec::GridStorage<double> degraded(st.state());
+  exec::GridStorage<double> quarantined(st.state());
+  for (int s = 0; s < oracle.slots(); ++s) {
+    const std::uint64_t seed = kSeed + static_cast<std::uint64_t>(s) * kSlotStride;
+    oracle.fill_random(s, seed);
+    degraded.fill_random(s, seed);
+    quarantined.fill_random(s, seed);
+  }
+
+  Timer oracle_timer;
+  exec::run_scheduled(st, sched, oracle, 1, sc.timesteps, exec::Boundary::ZeroHalo,
+                      prog->bindings());
+  res.fault_free_seconds = oracle_timer.seconds();
+
+  // The "fault injector" here is a fake host cc that answers the bounded
+  // availability/flag probes instantly but sleeps far past the compile
+  // budget (the plan's cc_hang delay) on a real compile — standing in for
+  // a compiler that wedges under load, not one that is absent.
+  const double hang_ms = scenario_plan(sc).cc_hang_ms();
+  const auto dir = fs::temp_directory_path() /
+                   strprintf("msc_chaos_cc_hang_%llu",
+                             static_cast<unsigned long long>(sc.seed));
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir, ec);
+  const auto cc = dir / "hanging_cc.sh";
+  {
+    std::ofstream out(cc.string());
+    out << "#!/bin/sh\ncase \"$*\" in *-o*) sleep " << hang_ms / 1000.0
+        << ";; esac\nexit 0\n";
+  }
+  fs::permissions(cc, fs::perms::owner_all, ec);
+
+  exec::aot_breaker_reset();
+  exec::AotOptions opts;
+  opts.cc = cc.string();
+  opts.cache_dir = (dir / "cache").string();
+  opts.compile_timeout_ms = 150.0;
+
+  Timer chaos_timer;
+  exec::AotExecInfo first, second;
+  res.attempts = 2;
+  exec::run_scheduled_aot(st, sched, degraded, 1, sc.timesteps, exec::Boundary::ZeroHalo,
+                          prog->bindings(), nullptr, &first, opts);
+  exec::run_scheduled_aot(st, sched, quarantined, 1, sc.timesteps,
+                          exec::Boundary::ZeroHalo, prog->bindings(), nullptr, &second,
+                          opts);
+  res.chaos_seconds = chaos_timer.seconds();
+  fs::remove_all(dir, ec);
+
+  const bool killed = first.fallback_reason.find("timed out") != std::string::npos;
+  res.faults_injected = killed ? 1 : 0;
+  if (!killed) {
+    res.note = strprintf("vacuous: hanging cc was not killed at the budget "
+                         "(fallback: '%s')",
+                         first.fallback_reason.c_str());
+    return res;
+  }
+  if (!second.quarantined || exec::aot_quarantined_count() < 1) {
+    res.note = "second attempt was not quarantined by the circuit breaker";
+    return res;
+  }
+  for (int s = 0; s < oracle.slots(); ++s) {
+    const std::size_t bytes =
+        static_cast<std::size_t>(oracle.padded_points()) * sizeof(double);
+    if (std::memcmp(oracle.slot_data(s), degraded.slot_data(s), bytes) != 0 ||
+        std::memcmp(oracle.slot_data(s), quarantined.slot_data(s), bytes) != 0) {
+      res.note = "degraded run diverges from the sweep-engine oracle";
+      return res;
+    }
+  }
+  res.bit_exact = true;
+  res.ok = true;
+  return res;
+}
+
 }  // namespace
 
 std::string ChaosScenario::label() const {
@@ -147,10 +266,12 @@ std::vector<ChaosScenario> chaos_matrix(bool smoke, std::uint64_t seed) {
   const std::vector<std::string> workloads = {"3d7pt_star", "heat2d"};
   const std::vector<int> rank_counts = smoke ? std::vector<int>{2} : std::vector<int>{2, 4};
   const std::vector<FaultKind> kinds =
-      smoke ? std::vector<FaultKind>{FaultKind::Drop, FaultKind::Corrupt, FaultKind::Crash}
+      smoke ? std::vector<FaultKind>{FaultKind::Drop, FaultKind::Corrupt,
+                                     FaultKind::Crash, FaultKind::Hang}
             : std::vector<FaultKind>{FaultKind::Drop,    FaultKind::Duplicate,
                                      FaultKind::Delay,   FaultKind::Corrupt,
-                                     FaultKind::Stall,   FaultKind::Crash};
+                                     FaultKind::Stall,   FaultKind::Crash,
+                                     FaultKind::Hang};
   std::vector<ChaosScenario> matrix;
   for (const auto& w : workloads)
     for (int r : rank_counts)
@@ -162,10 +283,19 @@ std::vector<ChaosScenario> chaos_matrix(bool smoke, std::uint64_t seed) {
         sc.seed = seed;
         matrix.push_back(sc);
       }
+  // cc_hang is host-only (no ranks, no transport): one scenario covers it.
+  ChaosScenario cc;
+  cc.workload = "3d7pt_star";
+  cc.nranks = 1;
+  cc.kind = FaultKind::CcHang;
+  cc.seed = seed;
+  matrix.push_back(cc);
   return matrix;
 }
 
 ChaosResult run_chaos_scenario(const ChaosScenario& sc) {
+  if (sc.kind == FaultKind::CcHang) return run_cc_hang_scenario(sc);
+
   ChaosResult res;
   res.scenario = sc;
 
@@ -209,7 +339,11 @@ ChaosResult run_chaos_scenario(const ChaosScenario& sc) {
   FaultInjector injector(scenario_plan(sc));
   CheckpointStore store(/*keep_per_rank=*/2);
   comm::CommConfig cfg;
-  cfg.timeout_ms = sc.timeout_ms;
+  // A hung rank makes no comm progress at all; the watchdog (not the
+  // retry/abort ladder) must be the recovery mechanism, so push the comm
+  // timeout past the watchdog's cancel threshold.
+  const bool hang = sc.kind == FaultKind::Hang;
+  cfg.timeout_ms = hang ? std::max(sc.timeout_ms, 1000.0) : sc.timeout_ms;
   cfg.seed = sc.seed;
 
   Timer chaos_timer;
@@ -219,6 +353,19 @@ ChaosResult run_chaos_scenario(const ChaosScenario& sc) {
     comm::SimWorld world(dec.size());
     world.set_comm_config(cfg);
     world.set_fault_injector(&injector);
+    // Hang scenarios get a fresh token per attempt (a fired token stays
+    // latched) and a watchdog that cancels on flight-heartbeat stagnation.
+    CancelToken token;
+    std::unique_ptr<Watchdog> dog;
+    if (hang) {
+      world.set_cancel_token(&token);
+      WatchdogConfig wcfg;
+      wcfg.poll_ms = 5.0;
+      wcfg.stall_ms = 80.0;
+      wcfg.cancel_ms = 160.0;
+      wcfg.dump_ms = 0.0;  // the RankCrashed catch below captures the dump
+      dog = std::make_unique<Watchdog>(wcfg, &token);
+    }
     try {
       run_world(world, dec, st, ndim, global, sc.timesteps, &store, sc.ckpt_every, &chaotic);
       completed = true;

@@ -1,16 +1,13 @@
 #include "resilience/driver.hpp"
 
-#include <cstdlib>
+#include "support/env.hpp"
 
 namespace msc::resilience {
 
 std::int64_t ckpt_every_from_env(std::int64_t fallback) {
-  const char* env = std::getenv("MSC_CKPT_EVERY");
-  if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  const long long v = std::strtoll(env, &end, 10);
-  if (end == env) return fallback;
-  return static_cast<std::int64_t>(v);
+  // 0 = checkpointing disabled is a legal setting; negative or garbage is
+  // rejected with a structured error line and the caller's fallback.
+  return env_int("MSC_CKPT_EVERY", fallback, 0);
 }
 
 }  // namespace msc::resilience

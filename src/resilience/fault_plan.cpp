@@ -40,13 +40,16 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::Corrupt: return "corrupt";
     case FaultKind::Stall: return "stall";
     case FaultKind::Crash: return "crash";
+    case FaultKind::Hang: return "hang";
+    case FaultKind::CcHang: return "cc_hang";
   }
   return "?";
 }
 
 std::optional<FaultKind> fault_kind_from_name(const std::string& name) {
   for (FaultKind k : {FaultKind::Drop, FaultKind::Duplicate, FaultKind::Delay,
-                      FaultKind::Corrupt, FaultKind::Stall, FaultKind::Crash})
+                      FaultKind::Corrupt, FaultKind::Stall, FaultKind::Crash,
+                      FaultKind::Hang, FaultKind::CcHang})
     if (name == fault_kind_name(k)) return k;
   return std::nullopt;
 }
@@ -59,8 +62,16 @@ bool FaultPlan::has_message_rules() const {
 
 bool FaultPlan::has_rank_rules() const {
   for (const auto& r : rules)
-    if (r.kind == FaultKind::Stall || r.kind == FaultKind::Crash) return true;
+    if (r.kind == FaultKind::Stall || r.kind == FaultKind::Crash ||
+        r.kind == FaultKind::Hang)
+      return true;
   return false;
+}
+
+double FaultPlan::cc_hang_ms() const {
+  for (const auto& r : rules)
+    if (r.kind == FaultKind::CcHang) return r.delay_ms;
+  return 0.0;
 }
 
 workload::Json FaultPlan::to_json() const {
@@ -81,6 +92,8 @@ workload::Json FaultPlan::to_json() const {
       j["max_count"] = Json::integer(static_cast<long long>(r.max_count));
       if (r.kind == FaultKind::Delay) j["delay_ms"] = Json::number(r.delay_ms);
       if (r.kind == FaultKind::Corrupt) j["bit"] = Json::integer(r.bit);
+    } else if (r.kind == FaultKind::CcHang) {
+      j["delay_ms"] = Json::number(r.delay_ms);
     } else {
       j["rank"] = Json::integer(r.rank);
       j["at_step"] = Json::integer(static_cast<long long>(r.at_step));
@@ -120,7 +133,8 @@ FaultPlan FaultPlan::from_json(const workload::Json& doc) {
     r.bit = static_cast<int>(int_field(j, "bit", 0));
     r.rank = static_cast<int>(int_field(j, "rank", -1));
     r.at_step = int_field(j, "at_step", 0);
-    if (r.kind == FaultKind::Stall || r.kind == FaultKind::Crash) {
+    if (r.kind == FaultKind::Stall || r.kind == FaultKind::Crash ||
+        r.kind == FaultKind::Hang) {
       MSC_CHECK(r.rank >= 0) << fault_kind_name(r.kind) << " rule needs a 'rank'";
     }
     plan.rules.push_back(r);
@@ -217,6 +231,22 @@ bool FaultInjector::should_crash(int rank, std::int64_t step) {
     fired_[n] += 1;
     tally_locked(FaultKind::Crash);
     prof::LogEvent(prof::LogLevel::Warn, "resilience.inject", "crash")
+        .integer("rank", rank)
+        .integer("step", static_cast<long long>(step));
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::should_hang(int rank, std::int64_t step) {
+  std::lock_guard lock(mutex_);
+  for (std::size_t n = 0; n < plan_.rules.size(); ++n) {
+    FaultRule& r = plan_.rules[n];
+    if (r.kind != FaultKind::Hang || r.rank != rank || r.at_step != step) continue;
+    if (fired_[n] > 0) continue;  // hang once; restarts replay hang-free
+    fired_[n] += 1;
+    tally_locked(FaultKind::Hang);
+    prof::LogEvent(prof::LogLevel::Warn, "resilience.inject", "hang")
         .integer("rank", rank)
         .integer("step", static_cast<long long>(step));
     return true;

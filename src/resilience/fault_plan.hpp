@@ -17,8 +17,15 @@
 //     {"kind": "delay",     "delay_ms": 5.0, "probability": 0.5},
 //     {"kind": "duplicate", "probability": 0.25},
 //     {"kind": "stall",     "rank": 0, "at_step": 2, "delay_ms": 20.0},
-//     {"kind": "crash",     "rank": 1, "at_step": 3}
+//     {"kind": "crash",     "rank": 1, "at_step": 3},
+//     {"kind": "hang",      "rank": 1, "at_step": 3},
+//     {"kind": "cc_hang",   "delay_ms": 30000.0}
 //   ]}
+//
+// `hang` wedges the victim rank's compute thread until the run's watchdog
+// or deadline cancels it (RankCtx::fault_hook); `cc_hang` is consumed by
+// the chaos runner, which substitutes a fake host cc that sleeps for
+// delay_ms — exercising the AOT compile budget + circuit breaker.
 //
 // The FaultInjector is the runtime engine: SimWorld consults it on every
 // send (message verdict) and the distributed drivers consult it at every
@@ -37,7 +44,7 @@
 
 namespace msc::resilience {
 
-enum class FaultKind { Drop, Duplicate, Delay, Corrupt, Stall, Crash };
+enum class FaultKind { Drop, Duplicate, Delay, Corrupt, Stall, Crash, Hang, CcHang };
 
 const char* fault_kind_name(FaultKind kind);
 std::optional<FaultKind> fault_kind_from_name(const std::string& name);
@@ -61,7 +68,10 @@ struct FaultPlan {
   std::vector<FaultRule> rules;
 
   bool has_message_rules() const;
-  bool has_rank_rules() const;  ///< any crash/stall rule
+  bool has_rank_rules() const;  ///< any crash/stall/hang rule
+  /// First cc_hang rule's delay_ms, or 0 when the plan has none (the chaos
+  /// runner uses this to build its hanging fake compiler).
+  double cc_hang_ms() const;
 
   workload::Json to_json() const;
   static FaultPlan from_json(const workload::Json& doc);
@@ -100,6 +110,10 @@ class FaultInjector {
   /// permanently so a restarted world replays crash-free.
   bool should_crash(int rank, std::int64_t step);
 
+  /// True exactly once when a hang rule matches (rank, step); consumed
+  /// permanently like crash so restarts replay hang-free.
+  bool should_hang(int rank, std::int64_t step);
+
   /// Stall duration for (rank, step); fires once per matching rule.
   double stall_ms(int rank, std::int64_t step);
 
@@ -115,7 +129,7 @@ class FaultInjector {
   FaultPlan plan_;
   mutable std::mutex mutex_;
   std::vector<std::int64_t> fired_;             // per rule
-  std::int64_t injected_by_kind_[6] = {0, 0, 0, 0, 0, 0};
+  std::int64_t injected_by_kind_[8] = {0, 0, 0, 0, 0, 0, 0, 0};
 };
 
 }  // namespace msc::resilience

@@ -1,0 +1,79 @@
+#include "support/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "prof/log.hpp"
+#include "support/cancel.hpp"
+#include "support/strings.hpp"
+
+namespace msc {
+namespace {
+
+// One forced error line; Logger::write bypasses the level gate on purpose so
+// a rejected knob is visible (and capturable in tests) even with logging off.
+void reject(const char* name, const char* raw, const std::string& why,
+            const std::string& fallback) {
+  workload::Json fields = workload::Json::object();
+  fields["code"] = workload::Json::string(error_code_name(ErrorCode::InvalidConfig));
+  fields["var"] = workload::Json::string(name);
+  fields["value"] = workload::Json::string(raw);
+  fields["fallback"] = workload::Json::string(fallback);
+  prof::global_log().write(prof::LogLevel::Error, "env", why, std::move(fields));
+}
+
+bool parse_double(const char* raw, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw || errno == ERANGE) return false;
+  while (*end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return false;
+    ++end;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+double env_double(const char* name, double fallback, double min_allowed) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  double v = 0.0;
+  if (!parse_double(raw, &v)) {
+    reject(name, raw, "not a number", strprintf("%g", fallback));
+    return fallback;
+  }
+  if (v < min_allowed) {
+    reject(name, raw, strprintf("below minimum %g", min_allowed),
+           strprintf("%g", fallback));
+    return fallback;
+  }
+  return v;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback,
+                     std::int64_t min_allowed) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  bool ok = end != raw && errno != ERANGE;
+  for (const char* p = end; ok && *p != '\0'; ++p)
+    if (!std::isspace(static_cast<unsigned char>(*p))) ok = false;
+  if (!ok) {
+    reject(name, raw, "not an integer", strprintf("%lld", (long long)fallback));
+    return fallback;
+  }
+  if (v < min_allowed) {
+    reject(name, raw, strprintf("below minimum %lld", (long long)min_allowed),
+           strprintf("%lld", (long long)fallback));
+    return fallback;
+  }
+  return v;
+}
+
+}  // namespace msc

@@ -1,0 +1,26 @@
+#pragma once
+
+// Validated environment-knob parsing.
+//
+// Every MSC_* numeric knob goes through these helpers instead of a bare
+// atof/strtoll so garbage is *rejected with a diagnosis* rather than
+// silently coerced to 0: a non-numeric or out-of-range value emits exactly
+// one structured error line (forced through the logger even when the level
+// is off — a misconfigured knob must never be invisible) and the documented
+// fallback is used.
+
+#include <cstdint>
+#include <string>
+
+namespace msc {
+
+/// Parses env var `name` as a double.  Unset -> `fallback` silently.
+/// Non-numeric, trailing garbage, or a value < `min_allowed` -> one
+/// structured error line (comp "env", code invalid_config) and `fallback`.
+double env_double(const char* name, double fallback, double min_allowed);
+
+/// Integer twin of env_double.
+std::int64_t env_int(const char* name, std::int64_t fallback,
+                     std::int64_t min_allowed);
+
+}  // namespace msc

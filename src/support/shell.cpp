@@ -1,34 +1,110 @@
 #include "support/shell.hpp"
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <mutex>
 
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include "support/strings.hpp"
 
 namespace msc {
 
 std::string ShellResult::describe() const {
-  if (!started) return "popen failed";
+  if (!started) return "spawn failed";
+  if (timed_out) return "timed out";
   if (signaled) return strprintf("signal %d", term_signal);
   return strprintf("exit %d", exit_code);
 }
 
-ShellResult run_shell(const std::string& cmd) {
+ShellResult run_shell(const std::string& cmd, double timeout_ms) {
+  using Clock = std::chrono::steady_clock;
   ShellResult r;
-  FILE* pipe = popen(cmd.c_str(), "r");
-  if (pipe == nullptr) return r;
-  r.started = true;
-  char buf[512];
-  while (fgets(buf, sizeof buf, pipe) != nullptr) r.output += buf;
-  const int status = pclose(pipe);
-  if (status == -1) {
-    // wait4 itself failed; leave exit_code = -1 so describe() says so.
-    r.started = false;
+
+  int fds[2];
+  if (pipe(fds) != 0) return r;
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
     return r;
   }
+  if (pid == 0) {
+    // Child: own process group so a timeout can kill the shell AND every
+    // descendant (cc1, ld, sleep ...) with one kill(-pgid).
+    setpgid(0, 0);
+    dup2(fds[1], STDOUT_FILENO);
+    close(fds[0]);
+    close(fds[1]);
+    execl("/bin/sh", "sh", "-c", cmd.c_str(), static_cast<char*>(nullptr));
+    _exit(127);
+  }
+
+  // Parent.  Mirror setpgid here too: whichever side runs first wins, and
+  // the kill(-pid) below must never race an unmoved child.
+  setpgid(pid, pid);
+  close(fds[1]);
+  r.started = true;
+
+  const bool bounded = timeout_ms > 0.0;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             bounded ? timeout_ms : 0.0));
+
+  // Drain stdout with poll() so a timeout fires even while the child is
+  // silent; EOF on the pipe means every writer (the whole group) is gone.
+  bool expired = false;
+  for (;;) {
+    int wait_ms = -1;
+    if (bounded) {
+      const auto remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              deadline - Clock::now())
+                              .count();
+      wait_ms = remain > 0 ? static_cast<int>(remain) : 0;
+    }
+    struct pollfd pfd = {fds[0], POLLIN, 0};
+    const int n = poll(&pfd, 1, wait_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {  // timeout
+      expired = true;
+      break;
+    }
+    char buf[512];
+    const ssize_t got = read(fds[0], buf, sizeof buf);
+    if (got > 0) {
+      r.output.append(buf, static_cast<std::size_t>(got));
+      continue;
+    }
+    break;  // EOF (or read error): the group has no stdout writers left
+  }
+  close(fds[0]);
+
+  if (expired) {
+    r.timed_out = true;
+    kill(-pid, SIGKILL);
+  }
+
+  int status = 0;
+  pid_t waited;
+  do {
+    waited = waitpid(pid, &status, 0);
+  } while (waited < 0 && errno == EINTR);
+  if (waited < 0) {
+    r.started = false;  // wait itself failed; describe() says spawn failed
+    return r;
+  }
+  if (r.timed_out) return r;  // killed by us: exit status is not the command's
   if (WIFSIGNALED(status)) {
     r.signaled = true;
     r.term_signal = WTERMSIG(status);
@@ -58,8 +134,14 @@ bool host_cc_available(const std::string& cc) {
   static std::map<std::string, bool> cache;
   std::lock_guard<std::mutex> lock(m);
   auto it = cache.find(cc);
+  // The probe is bounded: a wedged driver (NFS-mounted toolchain, broken
+  // wrapper script) must read as "unavailable", not stall every AOT request
+  // ahead of the compile budget.
   if (it == cache.end())
-    it = cache.emplace(cc, run_shell(shell_quote(cc) + " --version >/dev/null 2>&1").ok).first;
+    it = cache.emplace(cc, run_shell(shell_quote(cc) + " --version >/dev/null 2>&1",
+                                     10000.0)
+                               .ok)
+             .first;
   return it->second;
 }
 

@@ -13,21 +13,28 @@ namespace msc {
 /// Outcome of one run_shell invocation.  `ok` is the only field most
 /// callers need; the rest exist so failure notes can say *how* it failed.
 struct ShellResult {
-  bool ok = false;        ///< started, exited normally with status 0
-  bool started = false;   ///< popen itself succeeded
-  bool signaled = false;  ///< killed by a signal (exit_code is meaningless)
-  int exit_code = -1;     ///< exit status when started && !signaled
-  int term_signal = 0;    ///< terminating signal when signaled
-  std::string output;     ///< captured stdout of the command
+  bool ok = false;         ///< started, exited normally with status 0
+  bool started = false;    ///< spawning the shell succeeded
+  bool signaled = false;   ///< killed by a signal (exit_code is meaningless)
+  bool timed_out = false;  ///< exceeded timeout_ms; its process group was killed
+  int exit_code = -1;      ///< exit status when started && !signaled
+  int term_signal = 0;     ///< terminating signal when signaled
+  std::string output;      ///< captured stdout of the command
 
-  /// "exit 3" / "signal 11" / "popen failed" — for failure notes.
+  /// "exit 3" / "signal 11" / "timed out after 500 ms" — for failure notes.
   std::string describe() const;
 };
 
 /// Runs `cmd` through /bin/sh, capturing stdout.  The command's stderr is
 /// NOT captured unless the command redirects it itself (append `2>&1` or
 /// `2>file` per stage so compile and run diagnostics stay separable).
-ShellResult run_shell(const std::string& cmd);
+///
+/// `timeout_ms > 0` bounds the command: the shell runs in its own process
+/// group, and on expiry the *whole group* is SIGKILLed (a hung `cc` forks
+/// cc1/ld children; killing only the shell would orphan the actual hang)
+/// and the result comes back with timed_out set.  `timeout_ms <= 0` waits
+/// forever (the historical behaviour).
+ShellResult run_shell(const std::string& cmd, double timeout_ms = 0.0);
 
 /// POSIX single-quote escaping: the returned string is safe to interpolate
 /// into a shell command as exactly one word, whatever bytes `s` contains

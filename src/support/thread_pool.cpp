@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <typeinfo>
 
+#include "support/cancel.hpp"
 #include "support/error.hpp"
+#include "support/strings.hpp"
 
 namespace msc {
 
@@ -60,24 +63,42 @@ void ThreadPool::worker_loop() {
 }
 
 namespace {
-/// Latch-style completion tracker that also records the first exception.
+/// Latch-style completion tracker that also records the first exception,
+/// tagged with which unit of work raised it.
 struct Completion {
   std::mutex m;
   std::condition_variable cv;
   std::int64_t remaining;
   std::exception_ptr error;
+  std::string error_context;  ///< "chunk [lo, hi)" / "task 7" of the first error
 
   explicit Completion(std::int64_t n) : remaining(n) {}
 
-  void finish(std::exception_ptr e) {
+  void finish(std::exception_ptr e, std::string context = {}) {
     std::lock_guard lock(m);
-    if (e && !error) error = e;
+    if (e && !error) {
+      error = e;
+      error_context = std::move(context);
+    }
     if (--remaining == 0) cv.notify_all();
   }
   void wait() {
     std::unique_lock lock(m);
     cv.wait(lock, [this] { return remaining == 0; });
-    if (error) std::rethrow_exception(error);
+    if (!error) return;
+    // Rethrow the first worker failure on the caller thread, appending the
+    // task context so "which chunk blew up" survives the pool boundary.
+    // Two exceptions must cross untouched: Cancelled (callers detect it by
+    // type for all-or-nothing rollback) and any Error *subclass* (rewrapping
+    // into plain Error would defeat downstream catch-by-type).
+    try {
+      std::rethrow_exception(error);
+    } catch (const Cancelled&) {
+      throw;
+    } catch (const Error& e) {
+      if (error_context.empty() || typeid(e) != typeid(Error)) throw;
+      throw Error(std::string(e.what()) + " [in parallel " + error_context + "]");
+    }
   }
 };
 }  // namespace
@@ -109,7 +130,9 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
         } catch (...) {
           err = std::current_exception();
         }
-        done.finish(err);
+        done.finish(err, err ? strprintf("chunk [%lld, %lld)", (long long)lo,
+                                         (long long)hi)
+                             : std::string());
       });
       ++submitted;
       lo = hi;
@@ -139,7 +162,8 @@ void ThreadPool::parallel_tasks(std::int64_t n, const std::function<void(std::in
         } catch (...) {
           err = std::current_exception();
         }
-        done.finish(err);
+        done.finish(err, err ? strprintf("task %lld", (long long)idx)
+                             : std::string());
       });
       ++submitted;
     }

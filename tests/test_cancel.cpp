@@ -1,0 +1,688 @@
+// Robustness-spine tests: the CancelToken/Deadline pair, the all-or-nothing
+// cancellation contract at every engine checkpoint site (sweep row chunks,
+// temporal wedges, the AOT pipeline, simmpi halo waits and barriers), the
+// shell compile-budget kill, the AOT circuit breaker, watchdog escalation,
+// thread-pool error context, and validated env knobs.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/simmpi.hpp"
+#include "dsl/program.hpp"
+#include "exec/aot_backend.hpp"
+#include "exec/executor.hpp"
+#include "exec/grid.hpp"
+#include "prof/flight.hpp"
+#include "prof/log.hpp"
+#include "resilience/driver.hpp"
+#include "resilience/watchdog.hpp"
+#include "support/cancel.hpp"
+#include "support/shell.hpp"
+#include "support/thread_pool.hpp"
+#include "workload/report.hpp"
+#include "workload/stencils.hpp"
+
+namespace msc {
+namespace {
+
+namespace fs = std::filesystem;
+using exec::Boundary;
+using exec::GridStorage;
+
+std::string scratch_dir(const char* name) {
+  const auto dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::unique_ptr<dsl::Program> small_benchmark(const char* name,
+                                              std::array<std::int64_t, 3> ext = {16, 16,
+                                                                                 16}) {
+  const auto& info = workload::benchmark(name);
+  return workload::make_program(info, ir::DataType::f64, ext);
+}
+
+/// Bit-exact equality across every slot's full padded storage (halos too —
+/// the all-or-nothing contract restores everything).
+bool grids_identical(const GridStorage<double>& a, const GridStorage<double>& b) {
+  if (a.slots() != b.slots() || a.padded_points() != b.padded_points()) return false;
+  const std::size_t bytes = static_cast<std::size_t>(a.padded_points()) * sizeof(double);
+  for (int s = 0; s < a.slots(); ++s)
+    if (std::memcmp(a.slot_data(s), b.slot_data(s), bytes) != 0) return false;
+  return true;
+}
+
+void seed(GridStorage<double>& g, std::uint64_t base = 42) {
+  for (int s = 0; s < g.slots(); ++s) g.fill_random(s, base + static_cast<std::uint64_t>(s));
+}
+
+/// A fake host cc that answers availability/flag probes instantly but hangs
+/// far longer than any budget used here on a real compile (args carry -o).
+std::string hanging_cc(const std::string& dir) {
+  const auto path = fs::path(dir) / "hanging_cc.sh";
+  std::ofstream out(path.string());
+  out << "#!/bin/sh\ncase \"$*\" in *-o*) sleep 30;; esac\nexit 0\n";
+  out.close();
+  fs::permissions(path, fs::perms::owner_all);
+  return path.string();
+}
+
+// ---- token + deadline basics ---------------------------------------------
+
+TEST(CancelToken, LatchesFirstReasonAndCountsPolls) {
+  CancelToken token;
+  EXPECT_EQ(token.state(), ErrorCode::Ok);
+  EXPECT_EQ(token.poll(), ErrorCode::Ok);
+  token.cancel(ErrorCode::Cancelled);
+  token.cancel(ErrorCode::WatchdogStall);  // idempotent: first reason wins
+  EXPECT_EQ(token.state(), ErrorCode::Cancelled);
+  const auto before = token.polls();
+  EXPECT_EQ(token.poll(), ErrorCode::Cancelled);
+  EXPECT_EQ(token.polls(), before + 1);
+}
+
+TEST(CancelToken, CancelRejectsNonCancellationCodes) {
+  CancelToken token;
+  EXPECT_THROW(token.cancel(ErrorCode::Ok), Error);
+  EXPECT_THROW(token.cancel(ErrorCode::CompileTimeout), Error);
+  EXPECT_TRUE(is_cancellation_code(ErrorCode::WatchdogStall));
+  EXPECT_FALSE(is_cancellation_code(ErrorCode::CommTimeout));
+}
+
+TEST(CancelToken, CheckpointThrowsWithCodeAndSite) {
+  CancelToken token;
+  EXPECT_NO_THROW(token.checkpoint("anywhere"));
+  token.cancel(ErrorCode::WatchdogStall);
+  try {
+    token.checkpoint("sweep.row_chunk");
+    FAIL() << "expected Cancelled";
+  } catch (const Cancelled& c) {
+    EXPECT_EQ(c.code(), ErrorCode::WatchdogStall);
+    EXPECT_EQ(c.site(), "sweep.row_chunk");
+    EXPECT_NE(std::string(c.what()).find("watchdog_stall"), std::string::npos);
+    EXPECT_NE(std::string(c.what()).find("sweep.row_chunk"), std::string::npos);
+  }
+}
+
+TEST(CancelDeadline, UnarmedNeverExpiresArmedDoes) {
+  Deadline unarmed;
+  EXPECT_FALSE(unarmed.armed());
+  EXPECT_FALSE(unarmed.expired());
+  EXPECT_GT(unarmed.remaining_ms(), 1e18);
+
+  const Deadline past = Deadline::after_ms(0);
+  EXPECT_TRUE(past.armed());
+  EXPECT_TRUE(past.expired());
+  EXPECT_EQ(past.remaining_ms(), 0.0);
+
+  const Deadline future = Deadline::after_ms(10000);
+  EXPECT_FALSE(future.expired());
+  EXPECT_GT(future.remaining_ms(), 9000.0);
+  EXPECT_LE(future.remaining_ms(), 10000.0);
+}
+
+TEST(CancelDeadline, PollLatchesExpiryAndBudgetMaps) {
+  CancelToken token;
+  EXPECT_EQ(token.budget_ms(50.0), 50.0);          // cap only, no deadline
+  EXPECT_GT(token.budget_ms(0.0), 1e18);           // no cap, no deadline
+
+  token.set_deadline(Deadline::after_ms(10000));
+  EXPECT_EQ(token.budget_ms(50.0), 50.0);          // cap below budget
+  EXPECT_LE(token.budget_ms(0.0), 10000.0);        // budget alone
+  EXPECT_GT(token.budget_ms(0.0), 9000.0);
+
+  CancelToken expired(Deadline::after_ms(0));
+  EXPECT_EQ(expired.poll(), ErrorCode::DeadlineExpired);
+  EXPECT_EQ(expired.state(), ErrorCode::DeadlineExpired);  // latched
+  EXPECT_EQ(expired.budget_ms(50.0), 0.0);
+}
+
+TEST(ErrorCodes, StableSlugs) {
+  EXPECT_STREQ(error_code_name(ErrorCode::Ok), "ok");
+  EXPECT_STREQ(error_code_name(ErrorCode::DeadlineExpired), "deadline_expired");
+  EXPECT_STREQ(error_code_name(ErrorCode::WatchdogStall), "watchdog_stall");
+  EXPECT_STREQ(error_code_name(ErrorCode::CompileTimeout), "compile_timeout");
+  EXPECT_STREQ(error_code_name(ErrorCode::Quarantined), "quarantined");
+  EXPECT_STREQ(error_code_name(ErrorCode::InvalidConfig), "invalid_config");
+}
+
+// ---- all-or-nothing at the engine checkpoints ----------------------------
+
+TEST(CancelSweep, PreCancelledRunLeavesGridPristine) {
+  auto prog = small_benchmark("3d7pt_star");
+  GridStorage<double> grid(prog->stencil().state());
+  seed(grid);
+  const GridStorage<double> before = grid;
+
+  CancelToken token;
+  token.cancel();
+  try {
+    exec::run_scheduled(prog->stencil(), prog->primary_schedule(), grid, 1, 4,
+                        Boundary::ZeroHalo, prog->bindings(), nullptr, &token);
+    FAIL() << "expected Cancelled";
+  } catch (const Cancelled& c) {
+    EXPECT_EQ(c.site(), "sweep.row_chunk");
+  }
+  EXPECT_TRUE(grids_identical(grid, before));
+}
+
+TEST(CancelSweep, MidRunDeadlineRestoresEveryGridSlot) {
+  auto prog = small_benchmark("3d7pt_star", {32, 32, 32});
+  GridStorage<double> grid(prog->stencil().state());
+  seed(grid);
+  const GridStorage<double> before = grid;
+
+  // A ~2 ms budget against a multi-step 32^3 run: expires at some row-chunk
+  // checkpoint mid-run on any machine.  The contract under test: wherever
+  // it lands, the grid comes back byte-identical to its pre-run state.
+  CancelToken token(Deadline::after_ms(2));
+  try {
+    exec::run_scheduled(prog->stencil(), prog->primary_schedule(), grid, 1, 64,
+                        Boundary::ZeroHalo, prog->bindings(), nullptr, &token);
+    GTEST_SKIP() << "machine outran the deadline; nothing to verify";
+  } catch (const Cancelled& c) {
+    EXPECT_EQ(c.code(), ErrorCode::DeadlineExpired);
+  }
+  EXPECT_TRUE(grids_identical(grid, before));
+}
+
+TEST(CancelSweep, ArmedButUnfiredTokenIsBitIdenticalToNoToken) {
+  auto prog = small_benchmark("3d7pt_star");
+  GridStorage<double> with_token(prog->stencil().state());
+  GridStorage<double> without(prog->stencil().state());
+  seed(with_token);
+  seed(without);
+
+  CancelToken token(Deadline::after_ms(60000));
+  exec::run_scheduled(prog->stencil(), prog->primary_schedule(), with_token, 1, 5,
+                      Boundary::ZeroHalo, prog->bindings(), nullptr, &token);
+  exec::run_scheduled(prog->stencil(), prog->primary_schedule(), without, 1, 5,
+                      Boundary::ZeroHalo, prog->bindings(), nullptr, nullptr);
+  EXPECT_TRUE(grids_identical(with_token, without));
+  EXPECT_GT(token.polls(), 0) << "checkpoints must actually poll the token";
+}
+
+TEST(CancelReference, GenericEngineHonoursTheToken) {
+  auto prog = small_benchmark("3d7pt_star");
+  GridStorage<double> grid(prog->stencil().state());
+  seed(grid);
+  const GridStorage<double> before = grid;
+
+  CancelToken token;
+  token.cancel();
+  EXPECT_THROW(exec::run_reference(prog->stencil(), grid, 1, 3, Boundary::ZeroHalo,
+                                   prog->bindings(), nullptr, {}, &token),
+               Cancelled);
+  EXPECT_TRUE(grids_identical(grid, before));
+}
+
+TEST(CancelTemporal, MidWedgeCancelRestoresGrid) {
+  auto prog = small_benchmark("3d7pt_star");
+  prog->primary_kernel().time_tile(4);
+  GridStorage<double> grid(prog->stencil().state());
+  seed(grid);
+  const GridStorage<double> before = grid;
+
+  CancelToken token;
+  token.cancel(ErrorCode::WatchdogStall);
+  try {
+    exec::run_scheduled_temporal(prog->stencil(), prog->primary_schedule(), grid, 1, 8,
+                                 Boundary::ZeroHalo, prog->bindings(), nullptr, nullptr,
+                                 {}, &token);
+    FAIL() << "expected Cancelled";
+  } catch (const Cancelled& c) {
+    EXPECT_EQ(c.code(), ErrorCode::WatchdogStall);
+    EXPECT_EQ(c.site(), "temporal.wedge");
+  }
+  EXPECT_TRUE(grids_identical(grid, before));
+}
+
+TEST(CancelTemporal, ParallelWavefrontDrainsCleanlyOnDeadline) {
+  auto prog = small_benchmark("3d7pt_star", {32, 32, 32});
+  prog->primary_kernel().time_tile(4);
+  GridStorage<double> grid(prog->stencil().state());
+  seed(grid);
+  const GridStorage<double> before = grid;
+
+  ThreadPool pool(4);
+  exec::TemporalOptions topts;
+  topts.pool = &pool;
+  CancelToken token(Deadline::after_ms(2));
+  try {
+    exec::run_scheduled_temporal(prog->stencil(), prog->primary_schedule(), grid, 1, 64,
+                                 Boundary::ZeroHalo, prog->bindings(), nullptr, nullptr,
+                                 topts, &token);
+    GTEST_SKIP() << "machine outran the deadline; nothing to verify";
+  } catch (const Cancelled&) {
+  }
+  // The wavefront must have drained (no wedged workers) and restored state.
+  EXPECT_TRUE(grids_identical(grid, before));
+}
+
+// ---- shell compile budget -------------------------------------------------
+
+TEST(CancelShell, TimedOutCommandIsKilledAndReported) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const ShellResult r = run_shell("sleep 5", 150.0);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_TRUE(r.started);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.describe().find("timed out"), std::string::npos);
+  EXPECT_LT(elapsed, 3.0) << "the process group must be killed at the budget";
+}
+
+TEST(CancelShell, UnboundedCommandStillWorks) {
+  const ShellResult r = run_shell("echo shell-ok");
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_NE(r.output.find("shell-ok"), std::string::npos);
+}
+
+// ---- AOT pipeline: checkpoints, budget, circuit breaker ------------------
+
+TEST(CancelAot, PreCancelledRunStopsBeforeThePipeline) {
+  auto prog = small_benchmark("3d7pt_star");
+  GridStorage<double> grid(prog->stencil().state());
+  seed(grid);
+  const GridStorage<double> before = grid;
+
+  CancelToken token;
+  token.cancel();
+  exec::AotOptions opts;
+  opts.cache_dir = scratch_dir("msc_cancel_aot_pre");
+  try {
+    exec::run_scheduled_aot(prog->stencil(), prog->primary_schedule(), grid, 1, 3,
+                            Boundary::ZeroHalo, prog->bindings(), nullptr, nullptr, opts,
+                            &token);
+    FAIL() << "expected Cancelled";
+  } catch (const Cancelled& c) {
+    EXPECT_EQ(c.site(), "aot.emit");
+  }
+  EXPECT_TRUE(grids_identical(grid, before));
+}
+
+TEST(CancelAot, DeadlineDuringCompileThrowsCancelledNotQuarantine) {
+  const std::string dir = scratch_dir("msc_cancel_aot_deadline");
+  auto prog = small_benchmark("3d7pt_star");
+  GridStorage<double> grid(prog->stencil().state());
+  seed(grid);
+  const GridStorage<double> before = grid;
+  const int live_before = exec::detail::AotModule::live();
+
+  exec::aot_breaker_reset();
+  exec::AotOptions opts;
+  opts.cc = hanging_cc(dir);
+  opts.cache_dir = dir + "/cache";
+  opts.compile_timeout_ms = 60000.0;  // generous budget; the deadline is tighter
+
+  CancelToken token(Deadline::after_ms(200));
+  try {
+    exec::run_scheduled_aot(prog->stencil(), prog->primary_schedule(), grid, 1, 3,
+                            Boundary::ZeroHalo, prog->bindings(), nullptr, nullptr, opts,
+                            &token);
+    FAIL() << "expected Cancelled (deadline-driven compile kill)";
+  } catch (const Cancelled& c) {
+    EXPECT_EQ(c.code(), ErrorCode::DeadlineExpired);
+    EXPECT_EQ(c.site(), "aot.compile");
+  }
+  // Deadline pressure is the caller's choice, not the compiler's fault: the
+  // plan must NOT be quarantined, the grid must be pristine, and no module
+  // handle may have leaked.
+  EXPECT_EQ(exec::aot_quarantined_count(), 0);
+  EXPECT_TRUE(grids_identical(grid, before));
+  EXPECT_EQ(exec::detail::AotModule::live(), live_before);
+}
+
+TEST(CancelAot, BudgetTimeoutQuarantinesAndDegradesBitExactly) {
+  const std::string dir = scratch_dir("msc_cancel_aot_budget");
+  auto prog = small_benchmark("3d7pt_star");
+  GridStorage<double> oracle(prog->stencil().state());
+  GridStorage<double> degraded(prog->stencil().state());
+  GridStorage<double> quarantined(prog->stencil().state());
+  seed(oracle);
+  seed(degraded);
+  seed(quarantined);
+
+  exec::run_scheduled(prog->stencil(), prog->primary_schedule(), oracle, 1, 4,
+                      Boundary::ZeroHalo, prog->bindings());
+
+  exec::aot_breaker_reset();
+  exec::AotOptions opts;
+  opts.cc = hanging_cc(dir);
+  opts.cache_dir = dir + "/cache";
+  opts.compile_timeout_ms = 150.0;
+
+  // First run: the hanging cc is killed at the budget, the plan is
+  // quarantined, and the run degrades to the sweep engine.
+  exec::AotExecInfo first;
+  exec::run_scheduled_aot(prog->stencil(), prog->primary_schedule(), degraded, 1, 4,
+                          Boundary::ZeroHalo, prog->bindings(), nullptr, &first, opts);
+  EXPECT_FALSE(first.aot);
+  EXPECT_NE(first.fallback_reason.find("timed out"), std::string::npos);
+  EXPECT_STREQ(exec::aot_fallback_slug(first.fallback_reason), "compile_timeout");
+  EXPECT_EQ(exec::aot_quarantined_count(), 1);
+  EXPECT_FALSE(exec::aot_quarantine_reason(first.plan_hash).empty());
+
+  // Second run: the circuit breaker routes around the compiler entirely.
+  const auto t0 = std::chrono::steady_clock::now();
+  exec::AotExecInfo second;
+  exec::run_scheduled_aot(prog->stencil(), prog->primary_schedule(), quarantined, 1, 4,
+                          Boundary::ZeroHalo, prog->bindings(), nullptr, &second, opts);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_FALSE(second.aot);
+  EXPECT_TRUE(second.quarantined);
+  EXPECT_STREQ(exec::aot_fallback_slug(second.fallback_reason), "quarantined");
+  EXPECT_LT(wall, 1.0) << "quarantined plans must skip the compiler";
+
+  EXPECT_TRUE(grids_identical(oracle, degraded));
+  EXPECT_TRUE(grids_identical(oracle, quarantined));
+
+  exec::aot_breaker_reset();
+  EXPECT_EQ(exec::aot_quarantined_count(), 0);
+}
+
+TEST(CancelAot, PerStepDispatchCancelsBetweenStepsAndRestores) {
+  if (!host_cc_available()) GTEST_SKIP() << "no host cc";
+  const std::string dir = scratch_dir("msc_cancel_aot_run");
+  auto prog = small_benchmark("3d7pt_star", {24, 24, 24});
+  GridStorage<double> grid(prog->stencil().state());
+  seed(grid);
+
+  exec::AotOptions opts;
+  opts.cache_dir = dir;
+
+  // Warm the compile cache with an unbounded run so the cancelled attempt
+  // below reaches the per-step dispatch loop instead of dying in compile.
+  exec::AotExecInfo warm;
+  exec::run_scheduled_aot(prog->stencil(), prog->primary_schedule(), grid, 1, 2,
+                          Boundary::ZeroHalo, prog->bindings(), nullptr, &warm, opts);
+  ASSERT_TRUE(warm.aot) << warm.fallback_reason;
+
+  seed(grid);
+  const GridStorage<double> before = grid;
+  CancelToken token(Deadline::after_ms(15));
+  try {
+    exec::run_scheduled_aot(prog->stencil(), prog->primary_schedule(), grid, 1, 5000,
+                            Boundary::ZeroHalo, prog->bindings(), nullptr, nullptr, opts,
+                            &token);
+    GTEST_SKIP() << "machine outran the deadline; nothing to verify";
+  } catch (const Cancelled& c) {
+    EXPECT_EQ(c.code(), ErrorCode::DeadlineExpired);
+  }
+  EXPECT_TRUE(grids_identical(grid, before));
+}
+
+TEST(CancelAot, ArmedTokenDispatchMatchesSingleCallBitExactly) {
+  if (!host_cc_available()) GTEST_SKIP() << "no host cc";
+  const std::string dir = scratch_dir("msc_cancel_aot_steps");
+  auto prog = small_benchmark("3d7pt_star");
+  GridStorage<double> stepped(prog->stencil().state());
+  GridStorage<double> whole(prog->stencil().state());
+  seed(stepped);
+  seed(whole);
+
+  exec::AotOptions opts;
+  opts.cache_dir = dir;
+  CancelToken token(Deadline::after_ms(60000));
+
+  exec::AotExecInfo ia, ib;
+  exec::run_scheduled_aot(prog->stencil(), prog->primary_schedule(), stepped, 1, 6,
+                          Boundary::ZeroHalo, prog->bindings(), nullptr, &ia, opts,
+                          &token);
+  exec::run_scheduled_aot(prog->stencil(), prog->primary_schedule(), whole, 1, 6,
+                          Boundary::ZeroHalo, prog->bindings(), nullptr, &ib, opts);
+  ASSERT_TRUE(ia.aot) << ia.fallback_reason;
+  ASSERT_TRUE(ib.aot) << ib.fallback_reason;
+  EXPECT_TRUE(grids_identical(stepped, whole));
+}
+
+// ---- simmpi: deadline-clamped waits --------------------------------------
+
+TEST(CancelComm, MidHaloWaitDeadlineRaisesCancelledOnEveryRank) {
+  comm::SimWorld world(2);
+  CancelToken token(Deadline::after_ms(80));
+  world.set_cancel_token(&token);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    world.run([&](comm::RankCtx& ctx) {
+      if (ctx.rank() == 0) {
+        double buf = 0.0;
+        auto req = ctx.irecv(1, 7, &buf, sizeof buf);
+        ctx.wait(req);  // rank 1 never sends: only the deadline ends this
+      }
+    });
+    FAIL() << "expected Cancelled";
+  } catch (const Cancelled& c) {
+    EXPECT_EQ(c.code(), ErrorCode::DeadlineExpired);
+    EXPECT_EQ(c.site(), "comm.wait");
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_LT(elapsed, 3.0) << "the wait must be clamped to the deadline budget";
+}
+
+TEST(CancelComm, BarrierHonoursTheDeadline) {
+  comm::SimWorld world(2);
+  CancelToken token(Deadline::after_ms(80));
+  world.set_cancel_token(&token);
+  try {
+    world.run([&](comm::RankCtx& ctx) {
+      if (ctx.rank() == 0) ctx.barrier();  // rank 1 never arrives
+    });
+    FAIL() << "expected Cancelled";
+  } catch (const Cancelled& c) {
+    EXPECT_EQ(c.site(), "comm.barrier");
+  }
+}
+
+TEST(CancelComm, UncancelledWorldIsUnaffectedByAnArmedToken) {
+  comm::SimWorld world(2);
+  CancelToken token(Deadline::after_ms(60000));
+  world.set_cancel_token(&token);
+  double got = -1.0;
+  world.run([&](comm::RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      const double v = 3.5;
+      auto req = ctx.isend(1, 9, &v, sizeof v);
+      ctx.wait(req);
+    } else {
+      auto req = ctx.irecv(0, 9, &got, sizeof got);
+      ctx.wait(req);
+    }
+    ctx.barrier();
+  });
+  EXPECT_EQ(got, 3.5);
+}
+
+// ---- watchdog -------------------------------------------------------------
+
+TEST(Watchdog, EscalatesStallCancelDumpOnHeartbeatStagnation) {
+  const std::string dir = scratch_dir("msc_watchdog_test");
+  const std::string dump = dir + "/stall.flight.json";
+
+  CancelToken token;
+  resilience::WatchdogConfig cfg;
+  cfg.poll_ms = 2.0;
+  cfg.stall_ms = 20.0;
+  cfg.cancel_ms = 40.0;
+  cfg.dump_ms = 60.0;
+  cfg.dump_path = dump;
+
+  // Nothing records flight events while we sleep: the heartbeat stagnates
+  // and the ladder must walk stall -> cancel -> dump on its own.
+  resilience::Watchdog dog(cfg, &token);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (dog.stage() != resilience::WatchdogStage::Dumped &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  dog.stop();
+
+  EXPECT_EQ(dog.stage(), resilience::WatchdogStage::Dumped);
+  EXPECT_EQ(token.state(), ErrorCode::WatchdogStall);
+  EXPECT_GE(dog.max_gap_ms(), cfg.cancel_ms);
+
+  std::ifstream in(dump);
+  ASSERT_TRUE(in.good()) << "flight dump must be written at the last rung";
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const auto doc = workload::Json::parse(text);
+  EXPECT_EQ(doc.find("schema")->as_string(), "msc-flight-v1");
+}
+
+TEST(Watchdog, StaysIdleWhileTheHeartbeatAdvances) {
+  CancelToken token;
+  resilience::WatchdogConfig cfg;
+  cfg.poll_ms = 2.0;
+  cfg.stall_ms = 30.0;
+  cfg.cancel_ms = 60.0;
+
+  resilience::Watchdog dog(cfg, &token);
+  const auto until = std::chrono::steady_clock::now() + std::chrono::milliseconds(150);
+  while (std::chrono::steady_clock::now() < until) {
+    const std::uint64_t now = prof::flight_now_ns();
+    prof::global_flight().record(prof::FlightKind::Step, now, now, 1, 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  dog.stop();
+  EXPECT_EQ(dog.stage(), resilience::WatchdogStage::Idle);
+  EXPECT_EQ(token.state(), ErrorCode::Ok);
+}
+
+TEST(Watchdog, StageNamesAreStable) {
+  using resilience::WatchdogStage;
+  EXPECT_STREQ(resilience::watchdog_stage_name(WatchdogStage::Idle), "idle");
+  EXPECT_STREQ(resilience::watchdog_stage_name(WatchdogStage::Stalled), "stalled");
+  EXPECT_STREQ(resilience::watchdog_stage_name(WatchdogStage::Cancelled), "cancelled");
+  EXPECT_STREQ(resilience::watchdog_stage_name(WatchdogStage::Dumped), "dumped");
+}
+
+// ---- thread pool: exception context --------------------------------------
+
+TEST(PoolErrors, WorkerErrorCarriesChunkContext) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(0, 100, [](std::int64_t lo, std::int64_t) {
+      if (lo == 0) throw Error("boom in worker");
+    });
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom in worker"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("[in parallel chunk"), std::string::npos);
+  }
+}
+
+TEST(PoolErrors, CancelledPassesThroughUnwrapped) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(0, 100, [](std::int64_t lo, std::int64_t) {
+      if (lo == 0) throw Cancelled(ErrorCode::DeadlineExpired, "sweep.row_chunk");
+    });
+    FAIL() << "expected Cancelled";
+  } catch (const Cancelled& c) {
+    // Still catchable as its concrete type, code and site intact — context
+    // wrapping must never erase the cancellation taxonomy.
+    EXPECT_EQ(c.code(), ErrorCode::DeadlineExpired);
+    EXPECT_EQ(c.site(), "sweep.row_chunk");
+    EXPECT_EQ(std::string(c.what()).find("[in parallel"), std::string::npos);
+  }
+}
+
+TEST(PoolErrors, TaskErrorCarriesTaskContext) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_tasks(8, [](std::int64_t i) {
+      if (i == 3) throw Error("task blew up");
+    });
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("task blew up"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("[in parallel task 3]"), std::string::npos);
+  }
+}
+
+// ---- validated env knobs --------------------------------------------------
+
+class EnvKnobs : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prof::global_log().set_capture([this](const std::string& line) {
+      lines_.push_back(line);
+    });
+  }
+  void TearDown() override {
+    prof::global_log().set_capture(nullptr);
+    ::unsetenv("MSC_COMM_TIMEOUT_MS");
+    ::unsetenv("MSC_CKPT_EVERY");
+    ::unsetenv("MSC_LOG_LEVEL");
+    prof::global_log().configure_from_env();
+  }
+  bool captured(const std::string& needle) const {
+    for (const auto& l : lines_)
+      if (l.find(needle) != std::string::npos) return true;
+    return false;
+  }
+  std::vector<std::string> lines_;
+};
+
+TEST_F(EnvKnobs, CommTimeoutRejectsGarbageWithOneStructuredLine) {
+  ::setenv("MSC_COMM_TIMEOUT_MS", "banana", 1);
+  EXPECT_EQ(comm::comm_config_from_env().timeout_ms, 0.0);
+  EXPECT_TRUE(captured("invalid_config"));
+  EXPECT_TRUE(captured("MSC_COMM_TIMEOUT_MS"));
+
+  lines_.clear();
+  ::setenv("MSC_COMM_TIMEOUT_MS", "-5", 1);
+  EXPECT_EQ(comm::comm_config_from_env().timeout_ms, 0.0);
+  EXPECT_TRUE(captured("invalid_config"));
+
+  lines_.clear();
+  ::setenv("MSC_COMM_TIMEOUT_MS", "250", 1);
+  EXPECT_EQ(comm::comm_config_from_env().timeout_ms, 250.0);
+  EXPECT_TRUE(lines_.empty()) << "valid values must not log";
+}
+
+TEST_F(EnvKnobs, CkptEveryRejectsNegativeAndTrailingGarbage) {
+  ::setenv("MSC_CKPT_EVERY", "-3", 1);
+  EXPECT_EQ(resilience::ckpt_every_from_env(4), 4);
+  EXPECT_TRUE(captured("invalid_config"));
+  EXPECT_TRUE(captured("MSC_CKPT_EVERY"));
+
+  lines_.clear();
+  ::setenv("MSC_CKPT_EVERY", "5x", 1);
+  EXPECT_EQ(resilience::ckpt_every_from_env(4), 4);
+  EXPECT_TRUE(captured("invalid_config"));
+
+  lines_.clear();
+  ::setenv("MSC_CKPT_EVERY", "8", 1);
+  EXPECT_EQ(resilience::ckpt_every_from_env(4), 8);
+  ::setenv("MSC_CKPT_EVERY", "0", 1);  // 0 = disabled is a legal setting
+  EXPECT_EQ(resilience::ckpt_every_from_env(4), 0);
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(EnvKnobs, UnknownLogLevelIsRejectedLoudly) {
+  ::setenv("MSC_LOG_LEVEL", "chatty", 1);
+  prof::global_log().configure_from_env();
+  EXPECT_EQ(prof::global_log().level(), prof::LogLevel::Off);
+  EXPECT_TRUE(captured("invalid_config"));
+  EXPECT_TRUE(captured("MSC_LOG_LEVEL"));
+
+  lines_.clear();
+  ::setenv("MSC_LOG_LEVEL", "warn", 1);
+  prof::global_log().configure_from_env();
+  EXPECT_EQ(prof::global_log().level(), prof::LogLevel::Warn);
+}
+
+}  // namespace
+}  // namespace msc

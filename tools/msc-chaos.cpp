@@ -7,9 +7,10 @@
 // grid is bit-identical to the fault-free one AND at least one fault was
 // actually injected (vacuous sweeps fail loudly).
 //
-//   $ msc-chaos --smoke                      # CI subset (drop/corrupt/crash)
+//   $ msc-chaos --smoke                      # CI subset (drop/corrupt/crash/hang)
 //   $ msc-chaos --seed 7 --report chaos.json # full matrix + JSON report
 //   $ msc-chaos --only heat2d                # filter by label substring
+//   $ msc-chaos --flight-dir dumps/          # per-crash flight-ring dumps
 //   $ msc-chaos --list                       # print the matrix and exit
 //
 // Always writes BENCH_chaos_overhead.json (msc-bench-v1) into $MSC_BENCH_DIR
@@ -19,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -36,6 +38,8 @@ void usage() {
       "  --seed <n>        fault-plan + jitter seed (default 1)\n"
       "  --only <substr>   run only scenarios whose label contains <substr>\n"
       "  --report <path>   write the msc-chaos-v1 JSON report here\n"
+      "  --flight-dir <d>  write each crashing scenario's flight-ring dump\n"
+      "                    (msc-flight-v1) to <d>/<label>.flight.json\n"
       "  --list            print the scenario matrix and exit\n");
 }
 
@@ -44,7 +48,7 @@ void usage() {
 int main(int argc, char** argv) {
   bool smoke = false, list_only = false;
   std::uint64_t seed = 1;
-  std::string only, report_path;
+  std::string only, report_path, flight_dir;
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -63,6 +67,8 @@ int main(int argc, char** argv) {
       only = next();
     } else if (arg == "--report") {
       report_path = next();
+    } else if (arg == "--flight-dir") {
+      flight_dir = next();
     } else if (arg == "--list") {
       list_only = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -110,6 +116,13 @@ int main(int argc, char** argv) {
                 r.fault_free_seconds, r.chaos_seconds, r.note.empty() ? "" : "  — ",
                 r.note.c_str());
     failed += r.ok ? 0 : 1;
+    if (!flight_dir.empty() && !r.flight_dump.is_null()) {
+      std::error_code ec;
+      std::filesystem::create_directories(flight_dir, ec);
+      const std::string path = flight_dir + "/" + sc.label() + ".flight.json";
+      msc::workload::write_file(path, r.flight_dump.dump() + "\n");
+      std::printf("    flight dump: %s\n", path.c_str());
+    }
     results.push_back(r);
   }
   std::printf("msc-chaos: %d/%zu recovered bit-exactly\n",
