@@ -1,0 +1,128 @@
+#include "comm/exchange_plan.hpp"
+
+namespace msc::comm {
+
+int direction_index(const std::array<int, 3>& off, int ndim) {
+  int idx = 0;
+  for (int d = 0; d < ndim; ++d) {
+    const int o = off[static_cast<std::size_t>(d)];
+    MSC_ASSERT(o >= -1 && o <= 1) << "direction offset out of range";
+    idx = idx * 3 + (o + 1);
+  }
+  return idx;
+}
+
+int opposite_direction_index(const std::array<int, 3>& off, int ndim) {
+  std::array<int, 3> neg{0, 0, 0};
+  for (int d = 0; d < ndim; ++d)
+    neg[static_cast<std::size_t>(d)] = -off[static_cast<std::size_t>(d)];
+  return direction_index(neg, ndim);
+}
+
+ExchangePlan::ExchangePlan(const CartDecomp& dec, int rank, std::int64_t halo) {
+  MSC_CHECK(rank >= 0 && rank < dec.size()) << "plan for invalid rank " << rank;
+  MSC_CHECK(halo >= 0) << "negative halo";
+  rank_ = rank;
+  ndim_ = dec.ndim();
+  halo_ = halo;
+  const auto coords = dec.coords_of(rank);
+  for (int d = 0; d < ndim_; ++d) {
+    extent_[static_cast<std::size_t>(d)] = dec.local_extent(rank, d);
+    MSC_CHECK(halo <= extent_[static_cast<std::size_t>(d)])
+        << "halo " << halo << " exceeds rank " << rank << "'s extent "
+        << extent_[static_cast<std::size_t>(d)] << " in dim " << d;
+  }
+
+  // Enumerate all 3^ndim-1 neighbor offsets; keep the ones whose neighbor
+  // exists (wrapping periodic dims).  Offsets iterate dim-0-major so the
+  // compacted list is ordered by direction index.
+  const int total = ndim_ == 1 ? 3 : (ndim_ == 2 ? 9 : 27);
+  for (int code = 0; code < total; ++code) {
+    std::array<int, 3> off{0, 0, 0};
+    int rem = code, nonzero = 0;
+    for (int d = ndim_ - 1; d >= 0; --d) {
+      off[static_cast<std::size_t>(d)] = rem % 3 - 1;
+      rem /= 3;
+      nonzero += off[static_cast<std::size_t>(d)] != 0 ? 1 : 0;
+    }
+    if (nonzero == 0) continue;
+
+    bool active = true;
+    std::vector<int> ncoords = coords;
+    for (int d = 0; d < ndim_ && active; ++d) {
+      const int o = off[static_cast<std::size_t>(d)];
+      if (o == 0) continue;
+      const int n = dec.dims()[static_cast<std::size_t>(d)];
+      int c = ncoords[static_cast<std::size_t>(d)] + o;
+      if (c < 0 || c >= n) {
+        if (!dec.periodic(d)) {
+          active = false;
+          break;
+        }
+        c = (c + n) % n;
+      }
+      ncoords[static_cast<std::size_t>(d)] = c;
+    }
+    if (!active) continue;
+
+    PlanDirection dir;
+    dir.off = off;
+    dir.index = direction_index(off, ndim_);
+    dir.neighbor = dec.rank_of(ncoords);
+    dir.send_tag = kPlanTagBase + dir.index;
+    dir.recv_tag = kPlanTagBase + opposite_direction_index(off, ndim_);
+    dir.diagonal = nonzero >= 2;
+    dir.elems = 1;
+    for (int d = 0; d < ndim_; ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      const std::int64_t e = extent_[ds];
+      switch (off[ds]) {
+        case -1:
+          dir.send_lo[ds] = 0;
+          dir.send_hi[ds] = halo;
+          dir.recv_lo[ds] = -halo;
+          dir.recv_hi[ds] = 0;
+          break;
+        case +1:
+          dir.send_lo[ds] = e - halo;
+          dir.send_hi[ds] = e;
+          dir.recv_lo[ds] = e;
+          dir.recv_hi[ds] = e + halo;
+          break;
+        default:
+          dir.send_lo[ds] = 0;
+          dir.send_hi[ds] = e;
+          dir.recv_lo[ds] = 0;
+          dir.recv_hi[ds] = e;
+          break;
+      }
+      dir.elems *= dir.send_hi[ds] - dir.send_lo[ds];
+    }
+    dir.arena_offset = total_elems_;
+    total_elems_ += dir.elems;
+    diagonal_count_ += dir.diagonal ? 1 : 0;
+    dirs_.push_back(dir);
+  }
+}
+
+// The pack/unpack/exchange templates live in the header; force both element
+// types here so errors surface at library build time.
+template ExchangeStats begin_exchange_plan<float>(RankCtx&, const ExchangePlan&,
+                                                  PlanWorkspace<float>&,
+                                                  const exec::GridStorage<float>&, int);
+template ExchangeStats begin_exchange_plan<double>(RankCtx&, const ExchangePlan&,
+                                                   PlanWorkspace<double>&,
+                                                   const exec::GridStorage<double>&, int);
+template void finish_exchange_plan<float>(RankCtx&, const ExchangePlan&, PlanWorkspace<float>&,
+                                          exec::GridStorage<float>&, int);
+template void finish_exchange_plan<double>(RankCtx&, const ExchangePlan&,
+                                           PlanWorkspace<double>&, exec::GridStorage<double>&,
+                                           int);
+template ExchangeStats exchange_halo_plan<float>(RankCtx&, const ExchangePlan&,
+                                                 PlanWorkspace<float>&,
+                                                 exec::GridStorage<float>&, int);
+template ExchangeStats exchange_halo_plan<double>(RankCtx&, const ExchangePlan&,
+                                                  PlanWorkspace<double>&,
+                                                  exec::GridStorage<double>&, int);
+
+}  // namespace msc::comm

@@ -6,14 +6,20 @@ namespace msc::comm {
 // types here so errors surface at library build time.
 
 template ExchangeStats exchange_halo<float>(RankCtx&, const CartDecomp&,
+                                            exec::GridStorage<float>&, int,
+                                            ExchangeWorkspace<float>&);
+template ExchangeStats exchange_halo<double>(RankCtx&, const CartDecomp&,
+                                             exec::GridStorage<double>&, int,
+                                             ExchangeWorkspace<double>&);
+template ExchangeStats exchange_halo<float>(RankCtx&, const CartDecomp&,
                                             exec::GridStorage<float>&, int);
 template ExchangeStats exchange_halo<double>(RankCtx&, const CartDecomp&,
                                              exec::GridStorage<double>&, int);
 template DistRunStats run_distributed<float>(RankCtx&, const CartDecomp&, const ir::StencilDef&,
                                              exec::GridStorage<float>&, std::int64_t,
-                                             std::int64_t, const exec::Bindings&);
+                                             std::int64_t, const exec::Bindings&, Exchanger);
 template DistRunStats run_distributed<double>(RankCtx&, const CartDecomp&, const ir::StencilDef&,
                                               exec::GridStorage<double>&, std::int64_t,
-                                              std::int64_t, const exec::Bindings&);
+                                              std::int64_t, const exec::Bindings&, Exchanger);
 
 }  // namespace msc::comm

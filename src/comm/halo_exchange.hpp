@@ -2,12 +2,18 @@
 
 // Halo exchange over the simulated MPI runtime (paper §4.4, Fig. 6b/c).
 //
-// The exchange proceeds dimension by dimension; each face pack covers the
-// full padded cross-section (including halos already filled by earlier
-// dimensions), which propagates corner/edge values correctly for box
-// stencils.  All sends and receives of one dimension are posted
-// nonblocking before any wait — the asynchronous pattern the paper credits
-// for beating Physis's master-coordinated exchange.
+// Two exchangers live here and in exchange_plan.hpp:
+//
+//   * the legacy dimension-sequential exchange (exchange_halo): each face
+//     pack covers the full padded cross-section (including halos already
+//     filled by earlier dimensions), which ripples corner/edge values to
+//     diagonal neighbors over 2-3 sequential passes with a barrier between
+//     dimensions.  Kept as the differential-testing reference and for the
+//     workspace-reuse fallback path.
+//   * the plan-based single-phase exchange (exchange_plan.hpp): all 26/8
+//     directions including diagonals in one phase, persistent coalesced
+//     buffers, strided memcpy pack/unpack.  This is what the distributed
+//     runners below use.
 //
 // run_distributed ties it together: every rank owns a sub-grid with halo,
 // steps the stencil locally, and exchanges the freshly written slot after
@@ -20,6 +26,7 @@
 #include <vector>
 
 #include "comm/decompose.hpp"
+#include "comm/exchange_plan.hpp"
 #include "comm/simmpi.hpp"
 #include "exec/executor.hpp"
 #include "exec/grid.hpp"
@@ -30,11 +37,10 @@
 
 namespace msc::comm {
 
-/// Statistics of one rank's participation in exchanges.
-struct ExchangeStats {
-  std::int64_t messages_sent = 0;
-  std::int64_t bytes_sent = 0;
-};
+/// Which exchanger a distributed run uses.  Plan is the production path;
+/// FaceSequential is the legacy reference the differential tests pit it
+/// against.
+enum class Exchanger { Plan, FaceSequential };
 
 namespace detail {
 
@@ -76,13 +82,22 @@ void for_each_face_point(const exec::GridStorage<T>& g, int dim, int side, bool 
   }
 }
 
+/// Packs into `buf` (cleared first; capacity is retained, so a reused
+/// buffer allocates nothing in steady state).
+template <typename T>
+void pack_face_into(const exec::GridStorage<T>& g, int slot, int dim, int side,
+                    std::vector<T>& buf, bool padded_cross = true) {
+  buf.clear();
+  for_each_face_point(
+      g, dim, side, /*inside=*/true,
+      [&](std::array<std::int64_t, 3> c) { buf.push_back(g.at(slot, c)); }, padded_cross);
+}
+
 template <typename T>
 std::vector<T> pack_face(const exec::GridStorage<T>& g, int slot, int dim, int side,
                          bool padded_cross = true) {
   std::vector<T> buf;
-  for_each_face_point(
-      g, dim, side, /*inside=*/true,
-      [&](std::array<std::int64_t, 3> c) { buf.push_back(g.at(slot, c)); }, padded_cross);
+  pack_face_into(g, slot, dim, side, buf, padded_cross);
   return buf;
 }
 
@@ -102,18 +117,27 @@ void unpack_face(exec::GridStorage<T>& g, int slot, int dim, int side,
 
 }  // namespace detail
 
+/// Reusable buffers of the face-sequential exchanger: one send/recv vector
+/// per (dim, side) plus the request list.  Capacities survive across
+/// exchanges, so steady-state exchanges stop allocating.
+template <typename T>
+struct ExchangeWorkspace {
+  std::array<std::vector<T>, 6> send, recv;  // index 2*dim + side
+  std::vector<Request> requests;
+};
+
 /// Exchanges the halo of `slot` with all cartesian neighbors.  Dimension-
 /// sequential with a barrier between dimensions (corner propagation).
 template <typename T>
 ExchangeStats exchange_halo(RankCtx& ctx, const CartDecomp& dec, exec::GridStorage<T>& local,
-                            int slot) {
+                            int slot, ExchangeWorkspace<T>& ws) {
   ExchangeStats stats;
   const int rank = ctx.rank();
   prof::TraceScope scope("halo_exchange", "comm");
   for (int dim = 0; dim < dec.ndim(); ++dim) {
-    std::vector<Request> reqs;
-    std::vector<std::vector<T>> send_bufs, recv_bufs;
-    std::vector<std::pair<int, int>> recv_sides;  // (side, ignored)
+    ws.requests.clear();
+    int recv_sides[2] = {0, 0};
+    int nrecv = 0;
 
     {
       prof::TimelineScope pack_span(rank, prof::Phase::Pack);
@@ -121,27 +145,28 @@ ExchangeStats exchange_halo(RankCtx& ctx, const CartDecomp& dec, exec::GridStora
         const int nb = dec.neighbor(rank, dim, side == 0 ? -1 : +1);
         if (nb < 0) continue;
         // Pack the inner-halo slab facing this neighbor and post both ops.
-        send_bufs.push_back(detail::pack_face(local, slot, dim, side));
-        auto& sb = send_bufs.back();
+        auto& sb = ws.send[static_cast<std::size_t>(dim * 2 + side)];
+        detail::pack_face_into(local, slot, dim, side, sb);
         const int tag = dim * 2 + side;           // my face id
         const int peer_tag = dim * 2 + (1 - side);  // the face id the peer sends
-        reqs.push_back(ctx.isend(nb, tag, sb.data(),
-                                 static_cast<std::int64_t>(sb.size() * sizeof(T))));
+        ws.requests.push_back(ctx.isend(nb, tag, sb.data(),
+                                        static_cast<std::int64_t>(sb.size() * sizeof(T))));
         stats.messages_sent += 1;
         stats.bytes_sent += static_cast<std::int64_t>(sb.size() * sizeof(T));
 
-        recv_bufs.emplace_back(sb.size());
-        auto& rb = recv_bufs.back();
-        reqs.push_back(ctx.irecv(nb, peer_tag, rb.data(),
-                                 static_cast<std::int64_t>(rb.size() * sizeof(T))));
-        recv_sides.push_back({side, 0});
+        auto& rb = ws.recv[static_cast<std::size_t>(dim * 2 + side)];
+        rb.resize(sb.size());
+        ws.requests.push_back(ctx.irecv(nb, peer_tag, rb.data(),
+                                        static_cast<std::int64_t>(rb.size() * sizeof(T))));
+        recv_sides[nrecv++] = side;
       }
     }
-    ctx.wait_all(reqs);  // blocked time lands as "wait" spans (simmpi)
+    ctx.wait_all(ws.requests);  // blocked time lands as "wait" spans (simmpi)
     {
       prof::TimelineScope unpack_span(rank, prof::Phase::Unpack);
-      for (std::size_t n = 0; n < recv_bufs.size(); ++n)
-        detail::unpack_face(local, slot, dim, recv_sides[n].first, recv_bufs[n]);
+      for (int n = 0; n < nrecv; ++n)
+        detail::unpack_face(local, slot, dim, recv_sides[n],
+                            ws.recv[static_cast<std::size_t>(dim * 2 + recv_sides[n])]);
     }
     ctx.barrier();  // next dimension packs halos this dimension just filled
   }
@@ -150,6 +175,14 @@ ExchangeStats exchange_halo(RankCtx& ctx, const CartDecomp& dec, exec::GridStora
   prof::counter("comm.halo.messages").add(stats.messages_sent);
   prof::counter("comm.halo.exchanges").add(1);
   return stats;
+}
+
+/// Workspace-free convenience overload (one-shot exchanges, tests).
+template <typename T>
+ExchangeStats exchange_halo(RankCtx& ctx, const CartDecomp& dec, exec::GridStorage<T>& local,
+                            int slot) {
+  ExchangeWorkspace<T> ws;
+  return exchange_halo(ctx, dec, local, slot, ws);
 }
 
 /// In-flight single-phase exchange (all faces posted at once, no corner
@@ -220,27 +253,39 @@ struct DistRunStats {
 
 /// Runs timesteps t_begin..t_end of `st` on this rank's `local` sub-grid.
 /// The caller seeds the initial slots (interior); global-edge halos are
-/// zero-filled here, neighbor halos come from exchanges.
+/// zero-filled here, neighbor halos come from exchanges.  The plan-based
+/// exchanger is the default; FaceSequential keeps the legacy reference
+/// path alive for differential testing.
 template <typename T>
 DistRunStats run_distributed(RankCtx& ctx, const CartDecomp& dec, const ir::StencilDef& st,
                              exec::GridStorage<T>& local, std::int64_t t_begin,
-                             std::int64_t t_end, const exec::Bindings& bindings = {}) {
+                             std::int64_t t_end, const exec::Bindings& bindings = {},
+                             Exchanger exchanger = Exchanger::Plan) {
   DistRunStats stats;
+  const bool plan_path = exchanger == Exchanger::Plan;
+  ExchangePlan plan;
+  PlanWorkspace<T> pws;
+  ExchangeWorkspace<T> fws;
+  if (plan_path) plan = ExchangePlan(dec, ctx.rank(), local.halo());
+  const auto exchange = [&](int slot) {
+    return plan_path ? exchange_halo_plan(ctx, plan, pws, local, slot)
+                     : exchange_halo(ctx, dec, local, slot, fws);
+  };
+
   // Zero all halos once (covers global edges), then fill the initial
   // window slots' neighbor halos by exchange.
   for (int slot = 0; slot < local.slots(); ++slot)
     local.fill_halo(slot, exec::Boundary::ZeroHalo);
-  for (int back = 1; back < st.time_window(); ++back) {
-    const int slot = local.slot_for_time(t_begin - back);
-    stats.exchange.messages_sent += exchange_halo(ctx, dec, local, slot).messages_sent;
-  }
+  for (int back = 1; back < st.time_window(); ++back)
+    stats.exchange.messages_sent +=
+        exchange(local.slot_for_time(t_begin - back)).messages_sent;
 
   for (std::int64_t t = t_begin; t <= t_end; ++t) {
     {
       prof::TimelineScope compute_span(ctx.rank(), prof::Phase::Compute);
       exec::run_reference(st, local, t, t, exec::Boundary::External, bindings);
     }
-    const auto ex = exchange_halo(ctx, dec, local, local.slot_for_time(t));
+    const auto ex = exchange(local.slot_for_time(t));
     stats.exchange.messages_sent += ex.messages_sent;
     stats.exchange.bytes_sent += ex.bytes_sent;
     ++stats.timesteps;
@@ -248,38 +293,30 @@ DistRunStats run_distributed(RankCtx& ctx, const CartDecomp& dec, const ir::Sten
   return stats;
 }
 
-/// Communication/computation-overlapped distributed run (star stencils
-/// only: the single-phase exchange does not propagate corners).  Per step:
-/// the freshest slot's exchange is posted, the sub-domain *interior*
-/// (cells at distance >= radius from the local boundary, which read no
-/// halo) computes while the messages fly, then the exchange completes and
-/// the boundary shell finishes the step.
+/// Communication/computation-overlapped distributed run.  Per step: the
+/// freshest slot's exchange is posted (the plan's single phase covers
+/// faces, edges, and corners, so box stencils overlap too), the sub-domain
+/// *interior* (cells at distance >= radius from the local boundary, which
+/// read no halo) computes while the messages fly, then the exchange
+/// completes and the boundary shell finishes the step.
 template <typename T>
 DistRunStats run_distributed_overlapped(RankCtx& ctx, const CartDecomp& dec,
                                         const ir::StencilDef& st, exec::GridStorage<T>& local,
                                         std::int64_t t_begin, std::int64_t t_end,
                                         const exec::Bindings& bindings = {}) {
-  // Star-shape check: every access offset may be nonzero in one dimension
-  // at most, so no halo corner is ever read.
-  for (const auto& term : st.terms()) {
-    for (const auto& acc : ir::collect_accesses(term.kernel->rhs())) {
-      int nonzero = 0;
-      for (const auto& idx : acc->indices) nonzero += idx.offset != 0 ? 1 : 0;
-      MSC_CHECK(nonzero <= 1)
-          << "run_distributed_overlapped supports star stencils only; access of '"
-          << acc->tensor->name() << "' touches a halo corner (use run_distributed)";
-    }
-  }
   const auto lin = exec::linearize_stencil(st, bindings);
   MSC_CHECK(lin.has_value()) << "overlapped distributed run requires an affine stencil";
   const std::int64_t r = st.max_radius();
   const int nd = local.ndim();
 
+  ExchangePlan plan(dec, ctx.rank(), local.halo());
+  PlanWorkspace<T> pws;
+
   DistRunStats stats;
   for (int slot = 0; slot < local.slots(); ++slot)
     local.fill_halo(slot, exec::Boundary::ZeroHalo);
   for (int back = 1; back < st.time_window(); ++back)
-    exchange_halo(ctx, dec, local, local.slot_for_time(t_begin - back));
+    exchange_halo_plan(ctx, plan, pws, local, local.slot_for_time(t_begin - back));
 
   // Region sweep over [lo, hi) of interior coordinates: contiguous last-dim
   // rows through the compiled row kernels (same per-point term order as the
@@ -312,7 +349,7 @@ DistRunStats run_distributed_overlapped(RankCtx& ctx, const CartDecomp& dec,
   auto& timeline = prof::global_timeline();
   for (std::int64_t t = t_begin; t <= t_end; ++t) {
     const int newest = local.slot_for_time(t - 1);
-    auto pending = begin_exchange_async(ctx, dec, local, newest);
+    const auto pending_stats = begin_exchange_plan(ctx, plan, pws, local, newest);
     // Messages are in flight from here until the finish wait; the "send"
     // span is the window the async exchange offers for hiding comm, and
     // its intersection with compute spans is the overlap-efficiency
@@ -341,10 +378,10 @@ DistRunStats run_distributed_overlapped(RankCtx& ctx, const CartDecomp& dec,
 
     {
       prof::TraceScope finish("halo_exchange.finish", "comm");
-      finish_exchange_async(ctx, pending, local, newest);
+      finish_exchange_plan(ctx, plan, pws, local, newest);
     }
-    stats.exchange.messages_sent += pending.stats.messages_sent;
-    stats.exchange.bytes_sent += pending.stats.bytes_sent;
+    stats.exchange.messages_sent += pending_stats.messages_sent;
+    stats.exchange.bytes_sent += pending_stats.bytes_sent;
 
     // Boundary shell: one slab pair per dimension, shrinking the earlier
     // dimensions' ranges so no cell is swept twice.

@@ -14,6 +14,14 @@ NetworkModel sunway_network() {
   n.link_bw_gbs = 8.0;       // 16 GB/s bidirectional NIC, one direction
   n.bisection_gbs = 70000.0; // 70 TB/s-class bisection for 40k nodes
   n.low_dim_congestion = 0.05;
+  // SW26010: one rank per core group, four CGs share a node.  Each CG is
+  // its own NUMA domain, so cross-CG traffic rides the on-chip NoC.
+  n.topology.ranks_per_node = 4;
+  n.topology.sockets_per_node = 4;
+  n.topology.node_latency_us = 0.3;
+  n.topology.node_bw_gbs = 45.0;
+  n.topology.socket_latency_us = 0.1;
+  n.topology.socket_bw_gbs = 90.0;
   return n;
 }
 
@@ -26,7 +34,84 @@ NetworkModel tianhe3_network() {
   // congests frequent 2-D halo exchanges in the paper's Fig. 10(a).
   n.bisection_gbs = 1000.0;
   n.low_dim_congestion = 2.0;
+  // Phytium MT-2000+ node: eight ranks across two sockets, shared memory
+  // inside a socket, inter-socket fabric between them.
+  n.topology.ranks_per_node = 8;
+  n.topology.sockets_per_node = 2;
+  n.topology.node_latency_us = 0.6;
+  n.topology.node_bw_gbs = 25.0;
+  n.topology.socket_latency_us = 0.2;
+  n.topology.socket_bw_gbs = 60.0;
   return n;
+}
+
+RankMap::RankMap(const CartDecomp& dec, const Topology& topo, MapStrategy strategy)
+    : strategy_(strategy) {
+  MSC_CHECK(topo.ranks_per_node >= 1) << "topology needs at least one rank per node";
+  MSC_CHECK(topo.sockets_per_node >= 1 &&
+            topo.ranks_per_node % topo.sockets_per_node == 0)
+      << "sockets_per_node must divide ranks_per_node";
+  const int size = dec.size();
+  const int ndim = dec.ndim();
+  const int rpn = topo.ranks_per_node;
+  const int rps = topo.ranks_per_socket();
+  node_.resize(static_cast<std::size_t>(size));
+  socket_.resize(static_cast<std::size_t>(size));
+
+  if (strategy == MapStrategy::Linear || rpn == 1) {
+    for (int r = 0; r < size; ++r) {
+      node_[static_cast<std::size_t>(r)] = r / rpn;
+      socket_[static_cast<std::size_t>(r)] =
+          node_[static_cast<std::size_t>(r)] * topo.sockets_per_node + (r % rpn) / rps;
+    }
+    return;
+  }
+
+  // Hierarchical: carve the process grid into contiguous sub-bricks of
+  // ranks_per_node ranks each.  Greedy prime-factor assignment: every prime
+  // factor of ranks_per_node widens the currently thinnest block dimension
+  // (ties broken toward the dimension with the most node-blocks remaining),
+  // keeping the bricks near-cubic so the block surface (= off-node traffic)
+  // is minimal.  A dimension the factor would overshoot is skipped unless
+  // every dimension overshoots.
+  int rem = rpn;
+  for (int p = 2; rem > 1; ++p) {
+    while (rem % p == 0) {
+      rem /= p;
+      int best = -1;
+      for (int pass = 0; pass < 2 && best < 0; ++pass) {
+        for (int d = 0; d < ndim; ++d) {
+          const auto ds = static_cast<std::size_t>(d);
+          if (pass == 0 && block_[ds] * p > dec.dims()[ds]) continue;
+          if (best < 0 || block_[ds] < block_[static_cast<std::size_t>(best)] ||
+              (block_[ds] == block_[static_cast<std::size_t>(best)] &&
+               dec.dims()[ds] / block_[ds] >
+                   dec.dims()[static_cast<std::size_t>(best)] /
+                       block_[static_cast<std::size_t>(best)]))
+            best = d;
+        }
+      }
+      block_[static_cast<std::size_t>(best)] *= p;
+    }
+  }
+
+  std::array<int, 3> nblocks{1, 1, 1};
+  for (int d = 0; d < ndim; ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    nblocks[ds] = (dec.dims()[ds] + block_[ds] - 1) / block_[ds];
+  }
+  for (int r = 0; r < size; ++r) {
+    const auto coords = dec.coords_of(r);
+    int node = 0, local = 0;
+    for (int d = 0; d < ndim; ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      node = node * nblocks[ds] + coords[ds] / block_[ds];
+      local = local * block_[ds] + coords[ds] % block_[ds];
+    }
+    node_[static_cast<std::size_t>(r)] = node;
+    socket_[static_cast<std::size_t>(r)] =
+        node * topo.sockets_per_node + std::min(local / rps, topo.sockets_per_node - 1);
+  }
 }
 
 CommCost halo_exchange_cost(const NetworkModel& net, const CartDecomp& dec, std::int64_t halo,
@@ -70,6 +155,109 @@ CommCost halo_exchange_cost(const NetworkModel& net, const CartDecomp& dec, std:
       congestion += net.low_dim_congestion * std::sqrt(static_cast<double>(dec.size()));
     cost.seconds = latency + std::max(inject, cross) * congestion;
   }
+  return cost;
+}
+
+PlanCommCost plan_exchange_cost(const NetworkModel& net, const CartDecomp& dec,
+                                std::int64_t halo, std::int64_t esz, const RankMap& map) {
+  MSC_CHECK(halo >= 0) << "negative halo";
+  const Topology& topo = net.topology;
+  PlanCommCost cost;
+  const int ndim = dec.ndim();
+  const int total = ndim == 1 ? 3 : (ndim == 2 ? 9 : 27);
+
+  // Walk every rank's 3^ndim-1 envelope (faces, edges and corners, exactly
+  // ExchangePlan's compacted direction list).  Aggregating over all ranks
+  // rather than sampling one keeps the off-node fraction honest: any single
+  // rank can sit on a node-block corner and misrepresent the mapping.
+  std::int64_t total_off_node = 0;
+  double latency_busiest_s = 0.0;
+  for (int rank = 0; rank < dec.size(); ++rank) {
+    const auto coords = dec.coords_of(rank);
+    std::int64_t rank_bytes = 0, rank_off_bytes = 0, rank_cross = 0, rank_intra = 0;
+    int rank_msgs = 0, rank_off_msgs = 0;
+    double rank_latency_s = 0.0;
+    for (int code = 0; code < total; ++code) {
+      std::array<int, 3> off{0, 0, 0};
+      int rem = code, nonzero = 0;
+      for (int d = ndim - 1; d >= 0; --d) {
+        off[static_cast<std::size_t>(d)] = rem % 3 - 1;
+        rem /= 3;
+        nonzero += off[static_cast<std::size_t>(d)] != 0 ? 1 : 0;
+      }
+      if (nonzero == 0) continue;
+
+      bool active = true;
+      std::vector<int> ncoords = coords;
+      std::int64_t bytes = esz;
+      for (int d = 0; d < ndim; ++d) {
+        const auto ds = static_cast<std::size_t>(d);
+        const int o = off[ds];
+        if (o == 0) {
+          bytes *= dec.local_extent(rank, d);
+          continue;
+        }
+        const int n = dec.dims()[ds];
+        if (n <= 1) {  // neighbor would be this rank itself: no wire traffic
+          active = false;
+          break;
+        }
+        bytes *= halo;
+        ncoords[ds] = (ncoords[ds] + o + n) % n;  // wrap purely for placement
+      }
+      if (!active) continue;
+
+      const int nrank = dec.rank_of(ncoords);
+      ++rank_msgs;
+      rank_bytes += bytes;
+      if (map.node_of(nrank) != map.node_of(rank)) {
+        ++rank_off_msgs;
+        rank_off_bytes += bytes;
+        rank_latency_s += net.latency_us * 1e-6;
+      } else if (map.socket_of(nrank) != map.socket_of(rank)) {
+        rank_cross += bytes;
+        rank_latency_s += topo.node_latency_us * 1e-6;
+      } else {
+        rank_intra += bytes;
+        rank_latency_s += topo.socket_latency_us * 1e-6;
+      }
+    }
+    cost.total_bytes += rank_bytes;
+    total_off_node += rank_off_bytes;
+    if (rank_bytes > cost.bytes_per_rank) {  // the busiest rank sets the pace
+      cost.bytes_per_rank = rank_bytes;
+      cost.messages_per_rank = rank_msgs;
+      cost.off_node_messages = rank_off_msgs;
+      cost.off_node_bytes = rank_off_bytes;
+      cost.cross_socket_bytes = rank_cross;
+      cost.intra_socket_bytes = rank_intra;
+      latency_busiest_s = rank_latency_s;
+    }
+  }
+  cost.off_node_fraction =
+      cost.total_bytes > 0
+          ? static_cast<double>(total_off_node) / static_cast<double>(cost.total_bytes)
+          : 0.0;
+
+  // Off-node traffic pays the alpha-beta network; intra-node classes ride
+  // their own (memory-side) links concurrently with the NIC, so the wire
+  // time is the max of the classes, not the sum.
+  const double inject =
+      static_cast<double>(cost.off_node_bytes) / (net.link_bw_gbs * 1e9);
+  const double cross =
+      static_cast<double>(total_off_node) / (net.bisection_gbs * 1e9);
+  const double intra =
+      static_cast<double>(cost.cross_socket_bytes) / (topo.node_bw_gbs * 1e9) +
+      static_cast<double>(cost.intra_socket_bytes) / (topo.socket_bw_gbs * 1e9);
+  // The planar hot-link factor scales with the off-node fraction: a
+  // Hierarchical map that keeps most neighbors on-node relieves exactly the
+  // links the congestion term models.
+  double congestion = 1.0;
+  if (ndim == 2)
+    congestion += net.low_dim_congestion * std::sqrt(static_cast<double>(dec.size())) *
+                  cost.off_node_fraction;
+  cost.seconds =
+      latency_busiest_s + std::max(std::max(inject, cross) * congestion, intra);
   return cost;
 }
 

@@ -12,10 +12,25 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "comm/decompose.hpp"
 
 namespace msc::comm {
+
+/// Hierarchical machine shape: ranks pack into sockets, sockets into nodes,
+/// with progressively cheaper links inward.  Off-node messages pay the
+/// NetworkModel's alpha-beta terms; intra-node traffic uses these instead.
+struct Topology {
+  int ranks_per_node = 1;
+  int sockets_per_node = 1;       ///< must divide ranks_per_node
+  double node_latency_us = 0.5;   ///< cross-socket, same node
+  double node_bw_gbs = 20.0;
+  double socket_latency_us = 0.2; ///< same socket (shared memory)
+  double socket_bw_gbs = 50.0;
+
+  int ranks_per_socket() const { return ranks_per_node / sockets_per_node; }
+};
 
 struct NetworkModel {
   std::string name;
@@ -28,6 +43,7 @@ struct NetworkModel {
   /// 2-D stencils deviate from ideal strong scaling on the prototype
   /// Tianhe-3 while 3-D stays near ideal (see DESIGN.md).
   double low_dim_congestion = 0.0;
+  Topology topology;
 };
 
 /// Sunway TaihuLight: custom fat tree, generous bisection for its size.
@@ -51,5 +67,55 @@ struct CommCost {
 /// all transfers serialize through rank 0.
 CommCost halo_exchange_cost(const NetworkModel& net, const CartDecomp& dec, std::int64_t halo,
                             std::int64_t esz, bool centralized = false);
+
+/// How ranks are placed onto the hierarchical topology.
+enum class MapStrategy {
+  Linear,        ///< rank r lands on node r / ranks_per_node (MPI default)
+  Hierarchical,  ///< compact sub-brick blocks: each node owns a contiguous
+                 ///< block of the process grid, so face neighbors are mostly
+                 ///< on-node and only block surfaces cross the network
+};
+
+/// Rank -> (node, socket) placement for a Cartesian process grid.
+class RankMap {
+ public:
+  RankMap(const CartDecomp& dec, const Topology& topo, MapStrategy strategy);
+
+  int node_of(int rank) const { return node_[static_cast<std::size_t>(rank)]; }
+  /// Globally unique socket id (nodes do not share socket ids).
+  int socket_of(int rank) const { return socket_[static_cast<std::size_t>(rank)]; }
+  MapStrategy strategy() const { return strategy_; }
+  /// Per-dimension extents of one node's block of the process grid
+  /// (all-ones under Linear, which ignores grid geometry entirely).
+  const std::array<int, 3>& node_block() const { return block_; }
+
+ private:
+  MapStrategy strategy_;
+  std::array<int, 3> block_{1, 1, 1};
+  std::vector<int> node_;
+  std::vector<int> socket_;
+};
+
+/// Per-timestep cost of one 26-direction plan exchange (exchange_plan.hpp),
+/// split by where each neighbor lives on the topology.  The congestion term
+/// scales with the off-node fraction, so a Hierarchical RankMap that keeps
+/// neighbors on-node relieves exactly the hot links the Linear map saturates.
+struct PlanCommCost {
+  double seconds = 0.0;
+  std::int64_t bytes_per_rank = 0;  ///< busiest (interior) rank, all dirs
+  int messages_per_rank = 0;
+  std::int64_t total_bytes = 0;          ///< network-wide volume
+  std::int64_t off_node_bytes = 0;       ///< busiest rank, leaves the node
+  int off_node_messages = 0;
+  std::int64_t cross_socket_bytes = 0;   ///< same node, different socket
+  std::int64_t intra_socket_bytes = 0;   ///< shared-memory neighbors
+  double off_node_fraction = 0.0;        ///< off_node_bytes / bytes_per_rank
+};
+
+/// Models the full 26-direction exchange of exchange_plan.hpp (faces, edges
+/// and corners) for an interior rank, routing each message over the link
+/// class the RankMap assigns it.  Topology comes from `net.topology`.
+PlanCommCost plan_exchange_cost(const NetworkModel& net, const CartDecomp& dec,
+                                std::int64_t halo, std::int64_t esz, const RankMap& map);
 
 }  // namespace msc::comm

@@ -356,15 +356,30 @@ void RankCtx::fault_hook(std::int64_t step) {
 
 SimWorld::SimWorld(int nranks) : nranks_(nranks) {
   MSC_CHECK(nranks >= 1) << "world needs at least one rank";
-  mailboxes_.resize(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks));
-  for (auto& box : mailboxes_) box = std::make_unique<Mailbox>();
+  // Slots are lazy (see mailbox()): only the atomic pointer array is O(n^2);
+  // the boxes themselves materialize on first touch of each (src, dst) pair.
+  mailboxes_ = std::vector<std::atomic<Mailbox*>>(static_cast<std::size_t>(nranks) *
+                                                  static_cast<std::size_t>(nranks));
   failed_.assign(static_cast<std::size_t>(nranks), false);
   config_ = comm_config_from_env();
 }
 
+SimWorld::~SimWorld() {
+  for (auto& slot : mailboxes_) delete slot.load(std::memory_order_relaxed);
+}
+
 SimWorld::Mailbox& SimWorld::mailbox(int src, int dst) {
-  return *mailboxes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks_) +
-                     static_cast<std::size_t>(dst)];
+  auto& slot = mailboxes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks_) +
+                          static_cast<std::size_t>(dst)];
+  Mailbox* box = slot.load(std::memory_order_acquire);
+  if (box != nullptr) return *box;
+  std::lock_guard lock(mailbox_create_mutex_);
+  box = slot.load(std::memory_order_relaxed);
+  if (box == nullptr) {
+    box = new Mailbox();
+    slot.store(box, std::memory_order_release);
+  }
+  return *box;
 }
 
 double SimWorld::effective_timeout_ms() const {
@@ -381,7 +396,9 @@ void SimWorld::declare_failed(int rank) {
   prof::counter("resilience.rank_failures").add(1);
   // Wake every blocked waiter.  Briefly taking each lock orders the wakeup
   // after any waiter's failed-check, so no sleeper can miss the failure.
-  for (auto& box : mailboxes_) {
+  for (auto& slot : mailboxes_) {
+    Mailbox* box = slot.load(std::memory_order_acquire);
+    if (box == nullptr) continue;  // never touched, nobody sleeping on it
     { std::lock_guard lock(box->m); }
     box->cv.notify_all();
   }

@@ -24,6 +24,7 @@
 // wedging.  All of this is off (and costs nothing) in fault-free runs:
 // without a timeout or injector the fast path is the original one.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -145,6 +146,9 @@ class RankCtx {
 class SimWorld {
  public:
   explicit SimWorld(int nranks);
+  ~SimWorld();
+  SimWorld(const SimWorld&) = delete;
+  SimWorld& operator=(const SimWorld&) = delete;
 
   int size() const { return nranks_; }
 
@@ -208,6 +212,9 @@ class SimWorld {
     std::map<std::pair<int, std::uint64_t>, Message> sent;
   };
 
+  /// Lazily creates the (src, dst) mailbox on first touch.  A 1024-rank
+  /// world has a million slots but a 26-neighbor exchange touches ~27k of
+  /// them; eager allocation would cost hundreds of MB for nothing.
   Mailbox& mailbox(int src, int dst);
 
   /// Re-queues the clean copy of (tag, seq) from the retransmit buffer.
@@ -216,7 +223,8 @@ class SimWorld {
   bool retransmit_locked(Mailbox& box, int tag, std::uint64_t seq);
 
   int nranks_;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // src * nranks + dst
+  std::vector<std::atomic<Mailbox*>> mailboxes_;  // src * nranks + dst, lazy
+  std::mutex mailbox_create_mutex_;
 
   CommConfig config_;
   resilience::FaultInjector* injector_ = nullptr;

@@ -112,7 +112,12 @@ FaultPlan scenario_plan(const ChaosScenario& sc) {
       plan.rules.push_back(r);
       return plan;
     }
-    default: return make_message_fault_plan(sc.kind, sc.seed, 3);
+    default:
+      if (sc.diagonal) {
+        const int ndim = sc.workload == "heat2d" ? 2 : 3;
+        return make_diagonal_fault_plan(sc.kind, sc.seed, ndim);
+      }
+      return make_message_fault_plan(sc.kind, sc.seed, 3);
   }
 }
 
@@ -259,7 +264,8 @@ ChaosResult run_cc_hang_scenario(const ChaosScenario& sc) {
 }  // namespace
 
 std::string ChaosScenario::label() const {
-  return strprintf("%s.r%d.%s", workload.c_str(), nranks, fault_kind_name(kind));
+  return strprintf("%s.r%d.%s%s", workload.c_str(), nranks, fault_kind_name(kind),
+                   diagonal ? ".diag" : "");
 }
 
 std::vector<ChaosScenario> chaos_matrix(bool smoke, std::uint64_t seed) {
@@ -283,6 +289,21 @@ std::vector<ChaosScenario> chaos_matrix(bool smoke, std::uint64_t seed) {
         sc.seed = seed;
         matrix.push_back(sc);
       }
+  // Diagonal-envelope variants: the same message kinds aimed exclusively at
+  // the plan exchanger's corner tags (full matrix only; smoke stays lean).
+  if (!smoke) {
+    for (const auto& w : workloads)
+      for (int r : rank_counts)
+        for (FaultKind k : {FaultKind::Drop, FaultKind::Corrupt, FaultKind::Delay}) {
+          ChaosScenario sc;
+          sc.workload = w;
+          sc.nranks = r;
+          sc.kind = k;
+          sc.seed = seed;
+          sc.diagonal = true;
+          matrix.push_back(sc);
+        }
+  }
   // cc_hang is host-only (no ranks, no transport): one scenario covers it.
   ChaosScenario cc;
   cc.workload = "3d7pt_star";
@@ -307,7 +328,15 @@ ChaosResult run_chaos_scenario(const ChaosScenario& sc) {
   proc_dims[0] = sc.nranks;
   std::vector<std::int64_t> global_ext;
   for (int d = 0; d < ndim; ++d) global_ext.push_back(st.state()->extent(d));
-  comm::CartDecomp dec(proc_dims, global_ext);
+  // Diagonal scenarios wrap the trailing (1-rank) dims so the plan
+  // exchanger's corner directions are active — self-messages on corner
+  // tags, which is exactly the traffic the fault plan targets.
+  std::vector<bool> periodic;
+  if (sc.diagonal) {
+    periodic.assign(static_cast<std::size_t>(ndim), true);
+    periodic[0] = false;
+  }
+  comm::CartDecomp dec(proc_dims, global_ext, periodic);
 
   exec::GridStorage<double> global(st.state());
   for (int slot = 0; slot < global.slots(); ++slot)

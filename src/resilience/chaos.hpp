@@ -37,8 +37,13 @@ struct ChaosScenario {
   std::int64_t timesteps = 6;
   std::int64_t ckpt_every = 2;
   double timeout_ms = 30.0;  ///< comm timeout under chaos (keeps runs fast)
+  /// Target the plan exchanger's diagonal (corner) envelopes instead of all
+  /// traffic: trailing decomposition dims become periodic so corner
+  /// directions are active, and the fault plan fires only on corner tags.
+  /// Message kinds only.
+  bool diagonal = false;
 
-  std::string label() const;  ///< "3d7pt_star.r2.drop"
+  std::string label() const;  ///< "3d7pt_star.r2.drop" / "...drop.diag"
 };
 
 struct ChaosResult {

@@ -81,6 +81,8 @@ CkptRunStats run_distributed_checkpointed(comm::RankCtx& ctx, const comm::CartDe
                                           const exec::Bindings& bindings = {}) {
   CkptRunStats stats;
   const int rank = ctx.rank();
+  const comm::ExchangePlan plan(dec, rank, local.halo());
+  comm::PlanWorkspace<T> pws;
 
   // Agree on the restore cut with no snapshot writes in flight: every rank
   // reads the store strictly between these two barriers.
@@ -108,7 +110,7 @@ CkptRunStats run_distributed_checkpointed(comm::RankCtx& ctx, const comm::CartDe
     for (int back = 1; back < st.time_window(); ++back) {
       const int slot = local.slot_for_time(t_begin - back);
       stats.dist.exchange.messages_sent +=
-          comm::exchange_halo(ctx, dec, local, slot).messages_sent;
+          comm::exchange_halo_plan(ctx, plan, pws, local, slot).messages_sent;
     }
   }
 
@@ -118,7 +120,7 @@ CkptRunStats run_distributed_checkpointed(comm::RankCtx& ctx, const comm::CartDe
       prof::TimelineScope compute_span(rank, prof::Phase::Compute);
       exec::run_reference(st, local, t, t, exec::Boundary::External, bindings);
     }
-    const auto ex = comm::exchange_halo(ctx, dec, local, local.slot_for_time(t));
+    const auto ex = comm::exchange_halo_plan(ctx, plan, pws, local, local.slot_for_time(t));
     stats.dist.exchange.messages_sent += ex.messages_sent;
     stats.dist.exchange.bytes_sent += ex.bytes_sent;
     ++stats.dist.timesteps;

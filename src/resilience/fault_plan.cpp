@@ -1,8 +1,10 @@
 #include "resilience/fault_plan.hpp"
 
+#include <array>
 #include <fstream>
 #include <sstream>
 
+#include "comm/exchange_plan.hpp"
 #include "prof/counters.hpp"
 #include "prof/log.hpp"
 #include "resilience/retry.hpp"
@@ -166,6 +168,37 @@ FaultPlan make_message_fault_plan(FaultKind kind, std::uint64_t seed, std::int64
   r.delay_ms = 2.0;
   r.bit = 17;  // mid-mantissa flip: corrupts the value without making it NaN
   plan.rules.push_back(r);
+  return plan;
+}
+
+FaultPlan make_diagonal_fault_plan(FaultKind kind, std::uint64_t seed, int ndim) {
+  MSC_CHECK(is_message_kind(kind))
+      << "make_diagonal_fault_plan covers message kinds only, not '"
+      << fault_kind_name(kind) << "'";
+  MSC_CHECK(ndim >= 2 && ndim <= 3) << "diagonals need 2 or 3 dims, got " << ndim;
+  FaultPlan plan;
+  plan.seed = seed;
+  // All-dims-nonzero offsets: 4 corner directions in 2-D, 8 in 3-D.
+  const int total = ndim == 2 ? 9 : 27;
+  for (int code = 0; code < total; ++code) {
+    std::array<int, 3> off{0, 0, 0};
+    int rem = code;
+    bool corner = true;
+    for (int d = ndim - 1; d >= 0; --d) {
+      off[static_cast<std::size_t>(d)] = rem % 3 - 1;
+      rem /= 3;
+      corner = corner && off[static_cast<std::size_t>(d)] != 0;
+    }
+    if (!corner) continue;
+    FaultRule r;
+    r.kind = kind;
+    r.tag = comm::kPlanTagBase + comm::direction_index(off, ndim);
+    r.probability = 1.0;
+    r.max_count = 1;
+    r.delay_ms = 2.0;
+    r.bit = 17;
+    plan.rules.push_back(r);
+  }
   return plan;
 }
 

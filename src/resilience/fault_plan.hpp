@@ -84,6 +84,13 @@ struct FaultPlan {
 FaultPlan make_message_fault_plan(FaultKind kind, std::uint64_t seed,
                                   std::int64_t max_count = 3);
 
+/// Plan that targets exactly the diagonal (corner) envelopes of the
+/// 26-direction plan exchanger: one always-fires rule per full-ndim nonzero
+/// direction tag (comm::kPlanTagBase + direction index), max one fire each.
+/// Face traffic is untouched — a recovery bug specific to the corner phase
+/// cannot hide behind face retransmissions.
+FaultPlan make_diagonal_fault_plan(FaultKind kind, std::uint64_t seed, int ndim);
+
 /// What the transport should do with one send.
 struct MessageVerdict {
   bool drop = false;

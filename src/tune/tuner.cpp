@@ -109,8 +109,9 @@ std::vector<double> features(const ir::StencilDef& st, const machine::MachineMod
   for (int d = 0; d < nd; ++d) global[static_cast<std::size_t>(d)] =
       cfg.global[static_cast<std::size_t>(d)];
   comm::CartDecomp dec(p.mpi_dims, global);
-  const auto cc = comm::halo_exchange_cost(
-      net, dec, st.max_radius(), static_cast<std::int64_t>(cfg.fp64 ? 8 : 4));
+  const comm::RankMap map(dec, net.topology, comm::MapStrategy::Hierarchical);
+  const auto cc = comm::plan_exchange_cost(
+      net, dec, st.max_radius(), static_cast<std::int64_t>(cfg.fp64 ? 8 : 4), map);
 
   std::int64_t points = 1;
   for (int d = 0; d < nd; ++d) points *= ext[static_cast<std::size_t>(d)];
@@ -160,8 +161,11 @@ double measure_config(const ir::StencilDef& st, const machine::MachineModel& m,
   for (int d = 0; d < nd; ++d) global[static_cast<std::size_t>(d)] =
       cfg.global[static_cast<std::size_t>(d)];
   comm::CartDecomp dec(params.mpi_dims, global);
-  const auto cc = comm::halo_exchange_cost(
-      net, dec, st.max_radius(), static_cast<std::int64_t>(cfg.fp64 ? 8 : 4));
+  // Cost the 26-direction plan exchange the distributed runtime actually
+  // performs, placed by the topology-aware hierarchical mapping.
+  const comm::RankMap map(dec, net.topology, comm::MapStrategy::Hierarchical);
+  const auto cc = comm::plan_exchange_cost(
+      net, dec, st.max_radius(), static_cast<std::int64_t>(cfg.fp64 ? 8 : 4), map);
 
   // Temporal wedge fusion keeps a wedge's working set cache-resident across
   // its time window, cutting the *exposed* memory time per sweep to the

@@ -314,21 +314,52 @@ TEST(OverlappedRun, MatchesPlainDistributedAndSingleNode) {
   }
 }
 
-TEST(OverlappedRun, RejectsBoxStencils) {
+TEST(OverlappedRun, BoxStencilsOverlapViaPlanExchange) {
+  // The 26-direction plan exchange delivers halo corners in the same phase
+  // as faces, so box stencils — which read diagonal neighbors — are now
+  // overlappable too.  Corner-dependent 2x2 decomposition against the
+  // single-node reference, exact match required.
   const auto& info = workload::benchmark("2d9pt_box");
-  auto prog = workload::make_program(info, ir::DataType::f64, {8, 8, 0});
+  auto prog = workload::make_program(info, ir::DataType::f64, {12, 12, 0});
   const auto& st = prog->stencil();
-  CartDecomp dec({2, 1}, {8, 8});
-  SimWorld world(2);
-  EXPECT_THROW(world.run([&](RankCtx& ctx) {
+
+  auto seed_value = [](std::int64_t t, std::int64_t gj, std::int64_t gi) {
+    return 0.01 * static_cast<double>((gj * 31 + gi * 7 + t) % 97);
+  };
+  exec::GridStorage<double> global(st.state());
+  for (int back = 0; back < st.time_window() - 1; ++back) {
+    const int slot = global.slot_for_time(-back);
+    global.for_each_interior([&](std::array<std::int64_t, 3> c) {
+      global.at(slot, c) = seed_value(-back, c[0], c[1]);
+    });
+  }
+  exec::run_reference(st, global, 1, 4, exec::Boundary::ZeroHalo);
+
+  CartDecomp dec({2, 2}, {12, 12});
+  SimWorld world(4);
+  std::vector<double> worst(4, 0.0);
+  world.run([&](RankCtx& ctx) {
+    const int r = ctx.rank();
     auto local_tensor = ir::make_sp_tensor("B", ir::DataType::f64,
-                                           {dec.local_extent(ctx.rank(), 0),
-                                            dec.local_extent(ctx.rank(), 1)},
+                                           {dec.local_extent(r, 0), dec.local_extent(r, 1)},
                                            st.state()->halo(), st.state()->time_window());
     exec::GridStorage<double> local(local_tensor);
-    run_distributed_overlapped(ctx, dec, st, local, 1, 2);
-  }),
-               Error);
+    const std::int64_t oj = dec.local_offset(r, 0), oi = dec.local_offset(r, 1);
+    for (int back = 0; back < st.time_window() - 1; ++back) {
+      const int slot = local.slot_for_time(-back);
+      local.for_each_interior([&](std::array<std::int64_t, 3> c) {
+        local.at(slot, c) = seed_value(-back, oj + c[0], oi + c[1]);
+      });
+    }
+    run_distributed_overlapped(ctx, dec, st, local, 1, 4);
+    const int slot = local.slot_for_time(4);
+    local.for_each_interior([&](std::array<std::int64_t, 3> c) {
+      const double want = global.at(global.slot_for_time(4), {oj + c[0], oi + c[1], 0});
+      worst[static_cast<std::size_t>(r)] =
+          std::max(worst[static_cast<std::size_t>(r)], std::abs(local.at(slot, c) - want));
+    });
+  });
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(worst[static_cast<std::size_t>(r)], 0.0) << r;
 }
 
 TEST(SinglePhaseExchange, InteriorFacesOnly) {
@@ -525,6 +556,59 @@ TEST(NetworkModel, HaloVolumeScalesWithRadius) {
   EXPECT_NEAR(static_cast<double>(r5.bytes_per_rank) /
                   static_cast<double>(r1.bytes_per_rank),
               5.0, 1e-9);
+}
+
+// ---- topology-aware rank mapping ----------------------------------------
+
+TEST(RankMap, LinearPacksInRankOrder) {
+  CartDecomp dec({4, 4}, {64, 64});
+  Topology topo;
+  topo.ranks_per_node = 4;
+  topo.sockets_per_node = 2;
+  RankMap map(dec, topo, MapStrategy::Linear);
+  EXPECT_EQ(map.node_of(0), 0);
+  EXPECT_EQ(map.node_of(3), 0);
+  EXPECT_EQ(map.node_of(4), 1);
+  EXPECT_EQ(map.socket_of(0), 0);
+  EXPECT_EQ(map.socket_of(2), 1);  // second socket of node 0
+  EXPECT_EQ(map.socket_of(4), 2);  // first socket of node 1
+}
+
+TEST(RankMap, HierarchicalFormsCompactBlocks) {
+  // 4 ranks/node over a 4x4 grid: the greedy factor split must carve 2x2
+  // node bricks, so each block's four ranks share a node.
+  CartDecomp dec({4, 4}, {64, 64});
+  Topology topo;
+  topo.ranks_per_node = 4;
+  RankMap map(dec, topo, MapStrategy::Hierarchical);
+  EXPECT_EQ(map.node_block()[0], 2);
+  EXPECT_EQ(map.node_block()[1], 2);
+  EXPECT_EQ(map.node_of(dec.rank_of({0, 0})), map.node_of(dec.rank_of({1, 1})));
+  EXPECT_NE(map.node_of(dec.rank_of({0, 0})), map.node_of(dec.rank_of({0, 2})));
+}
+
+TEST(PlanExchangeCost, HierarchicalMappingKeepsNeighborsOnNode) {
+  // The whole point of topology-aware placement: a compact sub-brick block
+  // turns most of the 8/26-direction envelope into on-node traffic, which
+  // both shrinks the off-node fraction and the modelled exchange time.
+  const auto net = tianhe3_network();
+  CartDecomp dec({8, 8}, {1024, 1024});
+  const RankMap lin(dec, net.topology, MapStrategy::Linear);
+  const RankMap hier(dec, net.topology, MapStrategy::Hierarchical);
+  const auto cl = plan_exchange_cost(net, dec, 1, 8, lin);
+  const auto ch = plan_exchange_cost(net, dec, 1, 8, hier);
+  EXPECT_LT(ch.off_node_fraction, cl.off_node_fraction);
+  EXPECT_LT(ch.seconds, cl.seconds);
+}
+
+TEST(PlanExchangeCost, CoversFullDirectionEnvelope) {
+  const auto net = sunway_network();
+  CartDecomp dec3({4, 4, 4}, {256, 256, 256});
+  const RankMap map3(dec3, net.topology, MapStrategy::Hierarchical);
+  EXPECT_EQ(plan_exchange_cost(net, dec3, 1, 8, map3).messages_per_rank, 26);
+  CartDecomp dec2({4, 4}, {1024, 1024});
+  const RankMap map2(dec2, net.topology, MapStrategy::Hierarchical);
+  EXPECT_EQ(plan_exchange_cost(net, dec2, 1, 8, map2).messages_per_rank, 8);
 }
 
 }  // namespace

@@ -469,6 +469,37 @@ TEST(Chaos, DropScenarioRecoversWithoutRestart) {
   EXPECT_GE(res.retries, 1) << "a dropped halo must be re-requested";
 }
 
+TEST(Chaos, MatrixIncludesDiagonalEnvelopeScenarios) {
+  const auto full = chaos_matrix(false, 1);
+  int diag = 0;
+  for (const auto& sc : full)
+    if (sc.diagonal) {
+      ++diag;
+      EXPECT_NE(sc.label().find(".diag"), std::string::npos);
+      EXPECT_TRUE(sc.kind == FaultKind::Drop || sc.kind == FaultKind::Corrupt ||
+                  sc.kind == FaultKind::Delay)
+          << "diagonal targeting is for message kinds only";
+    }
+  EXPECT_GT(diag, 0) << "full matrix must cover corner-envelope faults";
+}
+
+TEST(Chaos, DiagonalDropTargetsCornerTagsAndRecovers) {
+  // Drop aimed exclusively at the plan exchanger's corner tags: the
+  // retransmit layer must recover it and the grid must match the oracle
+  // bit for bit — a corner-phase recovery bug cannot hide behind faces.
+  ChaosScenario sc;
+  sc.workload = "heat2d";
+  sc.nranks = 2;
+  sc.kind = FaultKind::Drop;
+  sc.seed = 1;
+  sc.diagonal = true;
+  const ChaosResult res = run_chaos_scenario(sc);
+  EXPECT_TRUE(res.ok) << res.note;
+  EXPECT_TRUE(res.bit_exact) << res.note;
+  EXPECT_EQ(res.attempts, 1) << "transport faults are absorbed in-flight";
+  EXPECT_GE(res.faults_injected, 1) << "no corner message was ever targeted";
+}
+
 TEST(Chaos, ReportSchema) {
   ChaosScenario sc;
   sc.kind = FaultKind::Duplicate;
